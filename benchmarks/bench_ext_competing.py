@@ -1,0 +1,22 @@
+"""§4.1 (plots omitted in the paper) — effect of competing events per interval.
+
+The paper reports that results resemble the default setting, "with the
+utility score being slightly lower for larger numbers of competing events, as
+expected".
+"""
+
+from repro.experiments.figures import ext_competing
+
+from benchmarks.conftest import persist_figure, run_once
+
+
+def test_ext_competing_events(benchmark, bench_scale, results_dir):
+    figure = run_once(benchmark, ext_competing, scale=bench_scale)
+    text = persist_figure(figure, results_dir)
+    print("\n" + text)
+
+    for dataset in figure.datasets:
+        series = figure.series(metric="utility", dataset=dataset)
+        curve = [value for _, value in series["ALG"]]
+        # More competing events per interval never helps the organiser.
+        assert curve[-1] <= curve[0] + 1e-9

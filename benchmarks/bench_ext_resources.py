@@ -1,0 +1,23 @@
+"""§4.1 (plots omitted in the paper) — effect of the available resources θ.
+
+The paper reports the methods are "marginally affected" by the resource
+parameters; with more resources the utility can only stay equal or improve
+(more events fit into the good intervals).
+"""
+
+from repro.experiments.figures import ext_resources
+
+from benchmarks.conftest import persist_figure, run_once
+
+
+def test_ext_available_resources(benchmark, bench_scale, results_dir):
+    figure = run_once(benchmark, ext_resources, scale=bench_scale)
+    text = persist_figure(figure, results_dir)
+    print("\n" + text)
+
+    for dataset in figure.datasets:
+        series = figure.series(metric="utility", dataset=dataset)
+        curve = [value for _, value in series["ALG"]]
+        # A larger θ admits a superset of schedules; the greedy utility should not
+        # degrade beyond noise (greedy anomalies can cost a percent or two).
+        assert curve[-1] >= 0.95 * curve[0]

@@ -1,0 +1,25 @@
+"""Figure 10b — search space (assignments examined) of ALG vs INC.
+
+Paper shape: INC examines roughly half (or fewer) of the assignments ALG
+examines at every sweep point, and the gap widens for larger k, |T| and |E|.
+"""
+
+from repro.experiments.figures import fig10b
+
+from benchmarks.conftest import persist_figure, run_once
+
+
+def test_fig10b_search_space(benchmark, bench_scale, results_dir):
+    figure = run_once(benchmark, fig10b, scale=bench_scale)
+    text = persist_figure(figure, results_dir)
+    print("\n" + text)
+
+    by_point = {}
+    for record in figure.records:
+        by_point.setdefault(record.params["label"], {})[record.algorithm] = record
+    ratios = []
+    for label, pair in by_point.items():
+        assert pair["INC"].assignments_examined < pair["ALG"].assignments_examined, label
+        ratios.append(pair["INC"].assignments_examined / pair["ALG"].assignments_examined)
+    # On average INC examines no more than ~60% of ALG's assignments.
+    assert sum(ratios) / len(ratios) < 0.6

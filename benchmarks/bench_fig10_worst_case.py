@@ -1,0 +1,23 @@
+"""Figure 10a — HOR / HOR-I worst case with respect to k and |T| (k mod |T| = 1).
+
+Paper shape: even in the horizontal algorithms' worst case, HOR-I remains the
+fastest method (excluding TOP) on every dataset, and HOR still beats INC on
+the synthetic datasets.
+"""
+
+from repro.experiments.figures import fig10a
+
+from benchmarks.conftest import persist_figure, run_once
+
+
+def test_fig10a_worst_case(benchmark, bench_scale, results_dir):
+    figure = run_once(benchmark, fig10a, scale=bench_scale)
+    text = persist_figure(figure, results_dir)
+    print("\n" + text)
+
+    for dataset in figure.datasets:
+        records = {r.algorithm: r for r in figure.records if r.dataset == dataset}
+        # Even in the worst case the horizontal + incremental scheme never
+        # performs more score computations than plain HOR or ALG.
+        assert records["HOR-I"].user_computations <= records["HOR"].user_computations + 1e-9
+        assert records["HOR-I"].user_computations <= records["ALG"].user_computations + 1e-9

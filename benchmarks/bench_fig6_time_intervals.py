@@ -1,0 +1,25 @@
+"""Figure 6 — utility and time while varying the number of time intervals |T|.
+
+Paper shape: utility increases with |T| for every method (fewer parallel
+events per interval and more candidate assignments); HOR / HOR-I stay 2–4×
+faster than ALG, and the bound-based methods help least on the Uniform data.
+"""
+
+from repro.experiments.figures import fig6
+
+from benchmarks.conftest import persist_figure, run_once
+
+
+def test_fig6_varying_time_intervals(benchmark, bench_scale, results_dir):
+    figure = run_once(benchmark, fig6, scale=bench_scale)
+    text = persist_figure(figure, results_dir)
+    print("\n" + text)
+
+    for dataset in figure.datasets:
+        series = figure.series(metric="utility", dataset=dataset)
+        alg_curve = [value for _, value in series["ALG"]]
+        # Utility at the largest |T| exceeds utility at the smallest |T|.
+        assert alg_curve[-1] >= alg_curve[0] - 1e-9
+        # HOR tracks ALG closely at every point.
+        for (_, alg_value), (_, hor_value) in zip(series["ALG"], series["HOR"]):
+            assert hor_value >= 0.85 * alg_value

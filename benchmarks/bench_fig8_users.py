@@ -1,0 +1,37 @@
+"""Figure 8 — execution time while varying the number of users |U| (Unf dataset).
+
+Paper shape: time grows linearly with |U| for every method (each score costs
+|U| elementary computations); HOR/HOR-I keep a 2–4× margin over ALG, in both
+the |T| = 3k/2 panel (a) and the |T| ≈ 0.65·k panel (b) where HOR-I differs
+from HOR.
+"""
+
+from repro.experiments.figures import fig8
+
+from benchmarks.conftest import persist_figure, run_once
+
+
+def test_fig8_varying_users(benchmark, bench_scale, results_dir):
+    figure = run_once(benchmark, fig8, scale=bench_scale)
+    text = persist_figure(figure, results_dir)
+    print("\n" + text)
+
+    for panel, intervals in figure.notes["panels"].items():
+        records = [r for r in figure.records if r.params["panel"] == panel]
+        by_algorithm = {}
+        for record in records:
+            by_algorithm.setdefault(record.algorithm, []).append(
+                (record.params["num_users"], record.user_computations)
+            )
+        # Computations grow with the number of users for every scoring method.
+        for algorithm, points in by_algorithm.items():
+            if algorithm == "RAND":
+                continue
+            points.sort()
+            assert points[-1][1] >= points[0][1]
+        # The horizontal methods never cost more than ALG.
+        alg = dict(by_algorithm["ALG"])
+        for name in ("HOR", "HOR-I"):
+            if name in by_algorithm:
+                for users, value in by_algorithm[name]:
+                    assert value <= alg[users] + 1e-9

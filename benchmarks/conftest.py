@@ -1,0 +1,71 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure (or table) of the paper at the scale
+selected by the ``REPRO_BENCH_SCALE`` environment variable (``small`` by
+default; set it to ``default`` for the full documented reproduction scale, or
+``tiny`` for a smoke run).  Each benchmark:
+
+* runs the figure exactly once under ``pytest-benchmark`` (``pedantic`` with a
+  single round — the figure itself already contains the timing comparison the
+  paper cares about);
+* prints the per-algorithm series as ASCII tables (the same rows/series the
+  paper plots);
+* writes the tables plus the raw records to ``benchmarks/results/`` so the
+  output survives the pytest run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import format_figure_result, format_table
+
+#: Directory where benchmark tables and raw records are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale preset used by every benchmark (tiny / small / default).
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The scale preset selected for this benchmark session."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """The directory benchmark artefacts are written to."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def persist_figure(figure: FigureResult, results_dir: Path) -> str:
+    """Render a figure result, write it to disk and return the rendered text."""
+    text = format_figure_result(figure)
+    (results_dir / f"{figure.figure_id}.txt").write_text(text + "\n", encoding="utf-8")
+    rows = [record.to_row() for record in figure.records]
+    (results_dir / f"{figure.figure_id}.json").write_text(
+        json.dumps(rows, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return text
+
+
+def persist_rows(name: str, rows, results_dir: Path) -> str:
+    """Render arbitrary table rows, write them to disk and return the text."""
+    text = format_table(rows)
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    (results_dir / f"{name}.json").write_text(
+        json.dumps(rows, indent=2, sort_keys=True, default=str), encoding="utf-8"
+    )
+    return text
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

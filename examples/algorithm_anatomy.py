@@ -1,0 +1,88 @@
+"""Anatomy of the algorithms on the paper's own running example (Figure 1).
+
+The paper walks its running example through ALG (Example 2), the incremental
+updating scheme (Example 3), HOR (Example 4) and HOR-I (Example 5).  This
+script rebuilds that exact instance and prints, for each algorithm, the
+selections it makes, the score updates it performs and the final schedule —
+the same trace the paper's figures narrate.
+
+Run with:  python examples/algorithm_anatomy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CompetingEvent, Event, Organizer, SESInstance, TimeInterval, User
+from repro.algorithms.registry import run_scheduler
+from repro.core.interest import InterestMatrix
+from repro.core.scoring import ScoringEngine
+
+
+def running_example() -> SESInstance:
+    """Figure 1 of the paper, verbatim."""
+    return SESInstance(
+        events=[
+            Event(id="e1", location="Stage 1"),
+            Event(id="e2", location="Stage 1"),
+            Event(id="e3", location="Room A"),
+            Event(id="e4", location="Stage 2"),
+        ],
+        intervals=[
+            TimeInterval(id="t1", label="Friday 8-11pm"),
+            TimeInterval(id="t2", label="Saturday 6-9pm"),
+        ],
+        competing_events=[
+            CompetingEvent(id="c1", interval_id="t1"),
+            CompetingEvent(id="c2", interval_id="t2"),
+        ],
+        users=[User(id="u1"), User(id="u2")],
+        interest=InterestMatrix(np.array([[0.9, 0.3, 0.0, 0.6], [0.2, 0.6, 0.1, 0.6]])),
+        competing_interest=InterestMatrix(np.array([[0.8, 0.3], [0.4, 0.7]])),
+        activity=np.array([[0.8, 0.5], [0.5, 0.7]]),
+        organizer=Organizer(name="paper"),
+        name="running-example",
+    )
+
+
+def print_initial_scores(instance: SESInstance) -> None:
+    engine = ScoringEngine(instance)
+    print("Initial assignment scores (Eq. 4), as in Figure 2 row 1:")
+    header = "        " + "  ".join(f"{interval.id:>6s}" for interval in instance.intervals)
+    print(header)
+    for event_index, event in enumerate(instance.events):
+        row = [
+            f"{engine.assignment_score(event_index, interval_index, count=False):6.2f}"
+            for interval_index in range(instance.num_intervals)
+        ]
+        print(f"  {event.id:>4s}  " + "  ".join(row))
+    print()
+
+
+def run_and_report(instance: SESInstance, name: str, k: int = 3) -> None:
+    result = run_scheduler(name, instance, k)
+    assignments = ", ".join(
+        f"{instance.events[a.event_index].id}@{instance.intervals[a.interval_index].id}"
+        for a in result.schedule.assignments()
+    )
+    counters = result.counters
+    print(f"{name:6s} schedule: {assignments:30s} utility={result.utility:.3f}  "
+          f"initial scores={counters['initial_computations']:2d}  "
+          f"updates={counters['update_computations']:2d}  "
+          f"assignments examined={counters['assignments_examined']:3d}")
+
+
+def main() -> None:
+    instance = running_example()
+    print_initial_scores(instance)
+    print("Scheduling k = 3 events with every method (compare with Examples 2-5):\n")
+    for name in ("ALG", "INC", "HOR", "HOR-I", "TOP", "RAND", "EXACT"):
+        run_and_report(instance, name)
+    print("\nNotes: ALG and INC always coincide (Proposition 3); HOR and HOR-I always")
+    print("coincide (Proposition 6); INC reaches the ALG schedule with fewer score updates,")
+    print("HOR-I reaches the HOR schedule with fewer updates still.  EXACT shows that on this")
+    print("tiny instance the greedy schedule is not optimal (1.407 vs 1.428) — SES is NP-hard.")
+
+
+if __name__ == "__main__":
+    main()

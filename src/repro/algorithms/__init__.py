@@ -1,0 +1,38 @@
+"""Schedulers for the Social Event Scheduling problem.
+
+* :class:`~repro.algorithms.alg.AlgScheduler` — the greedy algorithm of the
+  original SES paper ([4] in the reproduced paper), used as the baseline the
+  contributions are compared against.
+* :class:`~repro.algorithms.inc.IncScheduler` — Incremental Updating (INC).
+* :class:`~repro.algorithms.hor.HorScheduler` — Horizontal Assignment (HOR).
+* :class:`~repro.algorithms.hor_i.HorIScheduler` — Horizontal Assignment with
+  Incremental Updating (HOR-I).
+* :class:`~repro.algorithms.top.TopScheduler` and
+  :class:`~repro.algorithms.rand.RandScheduler` — the TOP and RAND baselines.
+* :class:`~repro.algorithms.exact.ExactScheduler` — exhaustive search for tiny
+  instances (testing/verification only).
+"""
+
+from repro.algorithms.base import BaseScheduler, SchedulerResult
+from repro.algorithms.alg import AlgScheduler
+from repro.algorithms.inc import IncScheduler
+from repro.algorithms.hor import HorScheduler
+from repro.algorithms.hor_i import HorIScheduler
+from repro.algorithms.top import TopScheduler
+from repro.algorithms.rand import RandScheduler
+from repro.algorithms.exact import ExactScheduler
+from repro.algorithms.registry import available_schedulers, get_scheduler
+
+__all__ = [
+    "BaseScheduler",
+    "SchedulerResult",
+    "AlgScheduler",
+    "IncScheduler",
+    "HorScheduler",
+    "HorIScheduler",
+    "TopScheduler",
+    "RandScheduler",
+    "ExactScheduler",
+    "available_schedulers",
+    "get_scheduler",
+]

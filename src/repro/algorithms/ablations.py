@@ -1,0 +1,174 @@
+"""Ablation schedulers isolating INC's two schemes (paper §3.2).
+
+INC combines two independent ideas on top of ALG:
+
+1. the **incremental updating scheme** (§3.2.1) — only stale assignments whose
+   stale score reaches the bound Φ are recomputed; and
+2. the **interval-based assignment organisation** (§3.2.2) — assignments are
+   grouped per interval with per-interval tops (``M_t``), so whole intervals
+   can be skipped when searching for the next selection.
+
+To quantify what each scheme contributes (the ablation DESIGN.md calls for),
+this module provides:
+
+* :class:`IncUpdatesOnlyScheduler` (``INC-U``) — incremental, bound-pruned
+  updates but **no** interval organisation: every assignment is examined on
+  every iteration, exactly like ALG's scan.  Its score-computation count shows
+  the saving of scheme 1 alone; its assignments-examined count stays at ALG's
+  level.
+* :class:`AlgOrganizedScheduler` (``ALG-O``) — ALG's eager updating but with
+  the interval organisation used for selection: after the updates, only the
+  per-interval top assignments are examined to pick the next selection.  Its
+  score-computation count stays at ALG's level; its assignments-examined
+  count shows the saving of scheme 2 alone.
+
+Both produce exactly the same schedules as ALG (they only reorganise *when*
+scores are recomputed or *which* entries are looked at, never the values the
+selection is based on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.base import AssignmentEntry, BaseScheduler, better_candidate
+from repro.core.schedule import Schedule
+
+Candidate = Tuple[float, int, int]
+
+
+class IncUpdatesOnlyScheduler(BaseScheduler):
+    """Incremental (bound-pruned) updates without the interval organisation."""
+
+    name = "INC-U"
+
+    def _run(self, k: int) -> Schedule:
+        instance = self.instance
+        engine = self.engine
+        checker = self.checker
+        counter = self.counter
+        schedule = Schedule()
+
+        entries: List[AssignmentEntry] = []
+        for event_index in range(instance.num_events):
+            for interval_index in range(instance.num_intervals):
+                score = engine.assignment_score(event_index, interval_index, initial=True)
+                counter.count_generated()
+                entries.append(AssignmentEntry(event_index, interval_index, score))
+
+        while len(schedule) < k:
+            # Pass 1 (full scan, like ALG): the best *exact* valid score is the bound Φ.
+            phi: Optional[Candidate] = None
+            alive: List[AssignmentEntry] = []
+            for entry in entries:
+                counter.count_examined()
+                if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
+                    entry.event_index, entry.interval_index
+                ):
+                    continue
+                alive.append(entry)
+                if entry.updated:
+                    phi = better_candidate(
+                        phi, (entry.score, entry.event_index, entry.interval_index)
+                    )
+            entries = alive
+
+            # Pass 2: refresh only the stale entries that could beat Φ.
+            best = phi
+            for entry in entries:
+                if entry.updated:
+                    continue
+                counter.count_examined()
+                if phi is not None and entry.score < phi[0]:
+                    continue  # stale score is an upper bound: cannot beat Φ
+                entry.score = engine.assignment_score(entry.event_index, entry.interval_index)
+                entry.updated = True
+                best = better_candidate(
+                    best, (entry.score, entry.event_index, entry.interval_index)
+                )
+            if best is None:
+                break
+
+            score, event_index, interval_index = best
+            self._select_assignment(schedule, event_index, interval_index, score)
+            remaining: List[AssignmentEntry] = []
+            for entry in entries:
+                if entry.event_index == event_index:
+                    continue
+                if entry.interval_index == interval_index:
+                    entry.updated = False
+                remaining.append(entry)
+            entries = remaining
+        return schedule
+
+
+class AlgOrganizedScheduler(BaseScheduler):
+    """ALG's eager updates combined with the interval-based selection organisation."""
+
+    name = "ALG-O"
+
+    def _run(self, k: int) -> Schedule:
+        instance = self.instance
+        engine = self.engine
+        checker = self.checker
+        counter = self.counter
+        schedule = Schedule()
+
+        lists = self._generate_all_entries(initial=True)
+        # Per-interval top valid entry (M_t); kept exact because updates are eager.
+        tops: List[Optional[Candidate]] = [
+            self._interval_top(lists[interval_index], schedule)
+            for interval_index in range(instance.num_intervals)
+        ]
+
+        while len(schedule) < k:
+            best: Optional[Candidate] = None
+            for candidate in tops:
+                counter.count_examined()
+                best = better_candidate(best, candidate)
+            if best is None:
+                break
+            score, event_index, interval_index = best
+            self._select_assignment(schedule, event_index, interval_index, score)
+
+            # Eagerly recompute the selected interval (exactly what ALG does) …
+            refreshed: List[AssignmentEntry] = []
+            for entry in lists[interval_index]:
+                counter.count_examined()
+                if entry.event_index == event_index or schedule.is_scheduled(entry.event_index):
+                    continue
+                if not checker.is_feasible(entry.event_index, interval_index):
+                    continue
+                entry.score = engine.assignment_score(entry.event_index, interval_index)
+                refreshed.append(entry)
+            refreshed.sort(key=AssignmentEntry.sort_key)
+            lists[interval_index] = refreshed
+            tops[interval_index] = self._interval_top(refreshed, schedule)
+
+            # … and repair the tops that referenced the now-scheduled event.
+            for other_interval in range(instance.num_intervals):
+                if other_interval == interval_index:
+                    continue
+                top = tops[other_interval]
+                if top is not None and top[1] == event_index:
+                    tops[other_interval] = self._interval_top(lists[other_interval], schedule)
+        return schedule
+
+    def _interval_top(
+        self, entries: List[AssignmentEntry], schedule: Schedule
+    ) -> Optional[Candidate]:
+        for entry in entries:
+            self.counter.count_examined()
+            if schedule.is_scheduled(entry.event_index):
+                continue
+            if not self.checker.is_feasible(entry.event_index, entry.interval_index):
+                continue
+            return (entry.score, entry.event_index, entry.interval_index)
+        return None
+
+
+#: Ablation line-up used by the ablation benchmark.
+ABLATION_METHODS: Dict[str, type] = {
+    IncUpdatesOnlyScheduler.name: IncUpdatesOnlyScheduler,
+    AlgOrganizedScheduler.name: AlgOrganizedScheduler,
+}

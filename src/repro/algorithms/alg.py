@@ -1,0 +1,85 @@
+"""ALG — the greedy algorithm of the original SES paper (§3.1).
+
+ALG is the existing solution the reproduced paper improves upon.  It first
+computes the assignment score of every (event, interval) pair, then repeats
+``k`` times:
+
+1. scan **all** remaining assignments and select the valid one with the
+   largest score (ties broken by event index, then interval index);
+2. remove every assignment of the selected event;
+3. recompute ("update") the score of every remaining assignment of the
+   selected interval, dropping those that became infeasible.
+
+Step 1 examines the full assignment table on every iteration and step 3
+recomputes an interval's scores from scratch — the two costs INC/HOR/HOR-I
+are designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.algorithms.base import BaseScheduler
+from repro.core.schedule import Schedule
+
+
+class AlgScheduler(BaseScheduler):
+    """The prior-work greedy algorithm (referred to as ALG in the paper)."""
+
+    name = "ALG"
+
+    def _run(self, k: int) -> Schedule:
+        instance = self.instance
+        engine = self.engine
+        checker = self.checker
+        counter = self.counter
+        schedule = Schedule()
+
+        # Initial generation: scores for all pairs of events and intervals.
+        scores: Dict[Tuple[int, int], float] = {}
+        for event_index in range(instance.num_events):
+            for interval_index in range(instance.num_intervals):
+                score = engine.assignment_score(event_index, interval_index, initial=True)
+                counter.count_generated()
+                scores[(event_index, interval_index)] = score
+
+        iterations = 0
+        while len(schedule) < k:
+            iterations += 1
+            best: Optional[Tuple[float, int, int]] = None
+            # Examine every remaining assignment to find the top valid one.
+            for (event_index, interval_index), score in scores.items():
+                counter.count_examined()
+                if not checker.is_feasible(event_index, interval_index):
+                    continue
+                candidate = (score, event_index, interval_index)
+                if best is None or self._beats(candidate, best):
+                    best = candidate
+            if best is None:
+                break
+
+            score, event_index, interval_index = best
+            self._select_assignment(schedule, event_index, interval_index, score)
+
+            # Drop every assignment that refers to the selected event.
+            for other_interval in range(instance.num_intervals):
+                scores.pop((event_index, other_interval), None)
+
+            # Update: recompute the scores of the selected interval from scratch.
+            stale_pairs = [pair for pair in scores if pair[1] == interval_index]
+            for pair in stale_pairs:
+                counter.count_examined()
+                if not checker.is_feasible(pair[0], interval_index):
+                    del scores[pair]
+                    continue
+                scores[pair] = engine.assignment_score(pair[0], interval_index)
+
+        self.note("iterations", iterations)
+        return schedule
+
+    @staticmethod
+    def _beats(candidate: Tuple[float, int, int], incumbent: Tuple[float, int, int]) -> bool:
+        """Library-wide tie-break: larger score, then smaller event, then smaller interval."""
+        candidate_key = (-candidate[0], candidate[1], candidate[2])
+        incumbent_key = (-incumbent[0], incumbent[1], incumbent[2])
+        return candidate_key < incumbent_key

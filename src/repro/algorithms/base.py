@@ -1,0 +1,286 @@
+"""Common machinery shared by every SES scheduler.
+
+:class:`BaseScheduler` implements the template method :meth:`BaseScheduler.schedule`
+(timing, counter management, result assembly, output validation) and provides
+the helpers used by the concrete algorithms:
+
+* a deterministic total order over assignments — higher score first, then
+  smaller event index, then smaller interval index — so that the
+  ALG/INC and HOR/HOR-I equivalence propositions of the paper hold exactly
+  even in the presence of ties;
+* :class:`AssignmentEntry`, the mutable record the interval-organised
+  algorithms keep per (event, interval) pair.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.constraints import ConstraintChecker
+from repro.core.counters import ComputationCounter
+from repro.core.errors import SolverError
+from repro.core.instance import SESInstance
+from repro.core.schedule import Schedule
+from repro.core.scoring import ScoringEngine
+
+
+@dataclass
+class SchedulerResult:
+    """The outcome of one scheduler run.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the scheduler (``"ALG"``, ``"INC"``, …).
+    k:
+        The requested number of events to schedule.
+    schedule:
+        The produced (feasible) schedule; may contain fewer than ``k``
+        assignments when the instance does not admit ``k`` feasible ones.
+    utility:
+        Total utility Ω(S) of the schedule (Eq. 3).
+    net_utility:
+        Utility minus organisation costs (equals ``utility`` for paper-style
+        instances where every cost is zero).
+    elapsed_seconds:
+        Wall-clock time of the run.
+    counters:
+        Snapshot of the :class:`~repro.core.counters.ComputationCounter`.
+    extras:
+        Algorithm-specific diagnostics (e.g. number of rounds for HOR).
+    """
+
+    algorithm: str
+    k: int
+    schedule: Schedule
+    utility: float
+    net_utility: float
+    elapsed_seconds: float
+    counters: Dict[str, int]
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_scheduled(self) -> int:
+        """Number of assignments actually produced."""
+        return len(self.schedule)
+
+    @property
+    def score_computations(self) -> int:
+        """Number of assignment-score evaluations performed."""
+        return int(self.counters.get("score_computations", 0))
+
+    @property
+    def user_computations(self) -> int:
+        """The paper's computation metric: |U| per score evaluation."""
+        return int(self.counters.get("user_computations", 0))
+
+    @property
+    def assignments_examined(self) -> int:
+        """The paper's Fig. 10b search-space metric."""
+        return int(self.counters.get("assignments_examined", 0))
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary used by the experiment harness and reports."""
+        return {
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "scheduled": self.num_scheduled,
+            "utility": self.utility,
+            "net_utility": self.net_utility,
+            "time_sec": self.elapsed_seconds,
+            "score_computations": self.score_computations,
+            "user_computations": self.user_computations,
+            "assignments_examined": self.assignments_examined,
+        }
+
+
+class AssignmentEntry:
+    """Mutable record of one candidate assignment used by INC/HOR/HOR-I.
+
+    ``score`` is the last computed score; ``updated`` says whether that score
+    reflects the current schedule (exact) or is a stale upper bound.
+    """
+
+    __slots__ = ("event_index", "interval_index", "score", "updated")
+
+    def __init__(self, event_index: int, interval_index: int, score: float, updated: bool = True):
+        self.event_index = event_index
+        self.interval_index = interval_index
+        self.score = score
+        self.updated = updated
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Descending-score, ascending-(event, interval) total order."""
+        return (-self.score, self.event_index, self.interval_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "+" if self.updated else "-"
+        return f"α(e{self.event_index}, t{self.interval_index})={self.score:.4f}{flag}"
+
+
+def better_candidate(
+    first: Optional[Tuple[float, int, int]], second: Optional[Tuple[float, int, int]]
+) -> Optional[Tuple[float, int, int]]:
+    """Return the better of two ``(score, event, interval)`` candidates.
+
+    ``None`` means "no candidate".  The order is the library-wide tie-break:
+    larger score wins; ties go to the smaller event index, then the smaller
+    interval index.
+    """
+    if first is None:
+        return second
+    if second is None:
+        return first
+    first_key = (-first[0], first[1], first[2])
+    second_key = (-second[0], second[1], second[2])
+    return first if first_key <= second_key else second
+
+
+class BaseScheduler(ABC):
+    """Abstract base class of every SES scheduler.
+
+    Subclasses implement :meth:`_run`, which receives the effective ``k`` and
+    must return a feasible :class:`~repro.core.schedule.Schedule`; the base
+    class takes care of timing, utility evaluation and result packaging.
+
+    Parameters
+    ----------
+    instance:
+        The SES problem instance.
+    counter:
+        Optional externally-owned counter (useful to aggregate across runs);
+        a fresh one is created when omitted.
+    seed:
+        Seed for the randomised schedulers (ignored by the deterministic ones).
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "base"
+
+    def __init__(
+        self,
+        instance: SESInstance,
+        *,
+        counter: Optional[ComputationCounter] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._instance = instance
+        self._counter = counter if counter is not None else ComputationCounter()
+        if self._counter.num_users == 0:
+            self._counter.num_users = instance.num_users
+        self._seed = seed
+        self._engine: Optional[ScoringEngine] = None
+        self._checker: Optional[ConstraintChecker] = None
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def instance(self) -> SESInstance:
+        """The instance being scheduled."""
+        return self._instance
+
+    @property
+    def counter(self) -> ComputationCounter:
+        """The counter recording this scheduler's work."""
+        return self._counter
+
+    def schedule(self, k: int) -> SchedulerResult:
+        """Produce a feasible schedule of (up to) ``k`` events.
+
+        Raises
+        ------
+        SolverError
+            If ``k`` is not a positive integer.
+        """
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise SolverError(f"k must be a positive integer, got {k!r}")
+        effective_k = min(k, self._instance.num_events)
+
+        self._engine = ScoringEngine(self._instance, counter=self._counter)
+        self._checker = ConstraintChecker(self._instance)
+        self._extras: Dict[str, object] = {}
+
+        started = time.perf_counter()
+        schedule = self._run(effective_k)
+        elapsed = time.perf_counter() - started
+
+        utility = self._engine.evaluate_schedule(schedule)
+        net_utility = self._engine.evaluate_schedule(schedule, include_costs=True)
+        return SchedulerResult(
+            algorithm=self.name,
+            k=k,
+            schedule=schedule,
+            utility=utility,
+            net_utility=net_utility,
+            elapsed_seconds=elapsed,
+            counters=self._counter.snapshot(),
+            extras=dict(self._extras),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _run(self, k: int) -> Schedule:
+        """Produce the schedule; implemented by each algorithm."""
+
+    @property
+    def engine(self) -> ScoringEngine:
+        """The scoring engine of the current run."""
+        if self._engine is None:
+            raise SolverError("engine is only available inside schedule()")
+        return self._engine
+
+    @property
+    def checker(self) -> ConstraintChecker:
+        """The constraint checker of the current run."""
+        if self._checker is None:
+            raise SolverError("constraint checker is only available inside schedule()")
+        return self._checker
+
+    def note(self, key: str, value: object) -> None:
+        """Record an algorithm-specific diagnostic in the result's ``extras``."""
+        self._extras[key] = value
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _select_assignment(
+        self, schedule: Schedule, event_index: int, interval_index: int, score: float
+    ) -> None:
+        """Commit a selection: schedule, constraint state and scoring state."""
+        schedule.add(event_index, interval_index)
+        self.checker.commit(event_index, interval_index)
+        self.engine.apply(event_index, interval_index, score=score)
+        self._counter.count_selection()
+
+    def _generate_all_entries(
+        self, *, initial: bool = True, only_valid: bool = False, schedule: Optional[Schedule] = None
+    ) -> List[List[AssignmentEntry]]:
+        """Compute scores for every (event, interval) pair, grouped per interval.
+
+        ``only_valid`` restricts generation to assignments that are currently
+        valid (event unscheduled and feasible) — HOR's per-round regeneration —
+        while the default generates everything (ALG/INC initialisation).
+        """
+        per_interval: List[List[AssignmentEntry]] = [
+            [] for _ in range(self._instance.num_intervals)
+        ]
+        for event_index in range(self._instance.num_events):
+            if only_valid and schedule is not None and schedule.is_scheduled(event_index):
+                continue
+            for interval_index in range(self._instance.num_intervals):
+                if only_valid and not self.checker.is_feasible(event_index, interval_index):
+                    continue
+                score = self.engine.assignment_score(event_index, interval_index, initial=initial)
+                self._counter.count_generated()
+                per_interval[interval_index].append(
+                    AssignmentEntry(event_index, interval_index, score)
+                )
+        for entries in per_interval:
+            entries.sort(key=AssignmentEntry.sort_key)
+        return per_interval

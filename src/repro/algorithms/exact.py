@@ -1,0 +1,98 @@
+"""Exhaustive (optimal) solver for tiny SES instances.
+
+SES is strongly NP-hard, so the exact solver only exists to validate the
+greedy algorithms on instances small enough to enumerate: the tests compare
+greedy utilities against the true optimum and the hardness module uses it to
+verify the 3DM-3 reduction on toy inputs.
+
+The search enumerates, per candidate event, the choice "leave unscheduled" or
+"assign to interval t" for every feasible ``t``, pruning branches that cannot
+reach ``k`` assignments anymore.  Utility is monotone in added events (every
+assignment score is non-negative), so the optimum schedules exactly
+``min(k, max feasible)`` events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.base import BaseScheduler
+from repro.core.errors import SolverError
+from repro.core.schedule import Schedule
+
+
+class ExactScheduler(BaseScheduler):
+    """Brute-force optimal scheduler (exponential; guarded by a search-space limit)."""
+
+    name = "EXACT"
+
+    #: Maximum number of leaves ((|T|+1) ** |E|) the solver accepts.
+    DEFAULT_SEARCH_LIMIT = 5_000_000
+
+    def __init__(self, *args, search_limit: int = DEFAULT_SEARCH_LIMIT, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._search_limit = search_limit
+
+    def _run(self, k: int) -> Schedule:
+        instance = self.instance
+        num_events = instance.num_events
+        num_intervals = instance.num_intervals
+        search_space = (num_intervals + 1) ** num_events
+        if search_space > self._search_limit:
+            raise SolverError(
+                f"instance too large for exhaustive search: (|T|+1)^|E| = {search_space} "
+                f"exceeds the limit of {self._search_limit}"
+            )
+
+        engine = self.engine
+        checker = self.checker
+        best_schedule = Schedule()
+        best_utility = 0.0
+        current = Schedule()
+
+        def recurse(event_index: int, assigned: int) -> None:
+            nonlocal best_schedule, best_utility
+            remaining = num_events - event_index
+            # Prune: even assigning every remaining event cannot improve the count
+            # beyond k, and utility is monotone, so stop exploring once k reached.
+            if assigned == k or event_index == num_events:
+                utility = engine.evaluate_schedule(current)
+                better_count = len(current) > len(best_schedule)
+                same_count = len(current) == len(best_schedule)
+                if better_count or (same_count and utility > best_utility + 1e-12):
+                    best_schedule = current.copy()
+                    best_utility = utility
+                return
+            if assigned + remaining < len(best_schedule):
+                # Cannot even reach the best cardinality found so far.
+                return
+
+            # Option 1: leave the event unscheduled.
+            recurse(event_index + 1, assigned)
+            # Option 2: assign it to each feasible interval.
+            for interval_index in range(num_intervals):
+                if not checker.is_feasible(event_index, interval_index):
+                    continue
+                current.add(event_index, interval_index)
+                checker.commit(event_index, interval_index)
+                recurse(event_index + 1, assigned + 1)
+                checker.release(event_index, interval_index)
+                current.remove(event_index)
+
+        recurse(0, 0)
+        self.note("optimal_utility", best_utility)
+        return best_schedule
+
+    def optimal_utility(self, k: int) -> float:
+        """Convenience wrapper returning only the optimal utility value."""
+        result = self.schedule(k)
+        return result.utility
+
+
+def optimum(instance, k: int, *, search_limit: Optional[int] = None) -> float:
+    """Compute the optimal utility of an instance (tiny instances only)."""
+    kwargs = {}
+    if search_limit is not None:
+        kwargs["search_limit"] = search_limit
+    solver = ExactScheduler(instance, **kwargs)
+    return solver.schedule(k).utility

@@ -1,0 +1,117 @@
+"""HOR — the Horizontal Assignment algorithm (paper §3.3).
+
+HOR trades a (usually negligible) loss of solution quality for a drastic
+reduction in score updates.  It works in *rounds*: at the beginning of a
+round it computes the score of every currently valid assignment, and during
+the round it selects at most **one** assignment per interval — the interval's
+top assignment, processed in globally decreasing score order (the *horizontal
+selection policy*).  Because an interval receives at most one new event per
+round, the scores computed at the beginning of the round remain exact for
+every interval that has not yet been selected into, so no updates are needed
+until the next round.
+
+When ``k ≤ |T|`` a single round suffices and HOR performs only the initial
+``|E|·|T|`` score computations (Proposition 4).  The paper's Fig. 5–9 show
+HOR matching ALG's utility in more than 70 % of runs, with an average
+difference of 0.008 % otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.algorithms.base import AssignmentEntry, BaseScheduler
+from repro.core.schedule import Schedule
+
+
+class HorScheduler(BaseScheduler):
+    """Horizontal Assignment algorithm (HOR)."""
+
+    name = "HOR"
+
+    def _run(self, k: int) -> Schedule:
+        instance = self.instance
+        engine = self.engine
+        checker = self.checker
+        counter = self.counter
+        schedule = Schedule()
+
+        num_intervals = instance.num_intervals
+        rounds = 0
+
+        while len(schedule) < k:
+            rounds += 1
+            initial_round = rounds == 1
+
+            # Recompute the scores of every valid assignment for this round.
+            lists: List[List[AssignmentEntry]] = [[] for _ in range(num_intervals)]
+            for event_index in range(instance.num_events):
+                if schedule.is_scheduled(event_index):
+                    continue
+                for interval_index in range(num_intervals):
+                    if not checker.is_feasible(event_index, interval_index):
+                        continue
+                    score = engine.assignment_score(
+                        event_index, interval_index, initial=initial_round
+                    )
+                    counter.count_generated()
+                    lists[interval_index].append(
+                        AssignmentEntry(event_index, interval_index, score)
+                    )
+            for entries in lists:
+                entries.sort(key=AssignmentEntry.sort_key)
+
+            # M: per-interval cursor into the sorted list (the interval's current top).
+            cursors = [0] * num_intervals
+            # Intervals that already received an event this round are closed.
+            closed = [False] * num_intervals
+
+            selected_this_round = 0
+            while len(schedule) < k:
+                best: Optional[AssignmentEntry] = None
+                best_interval = -1
+                for interval_index in range(num_intervals):
+                    if closed[interval_index]:
+                        continue
+                    entry = self._advance_cursor(lists, cursors, interval_index, schedule)
+                    if entry is None:
+                        continue
+                    counter.count_examined()
+                    if best is None or entry.sort_key() < best.sort_key():
+                        best = entry
+                        best_interval = interval_index
+                if best is None:
+                    break
+                self._select_assignment(schedule, best.event_index, best_interval, best.score)
+                closed[best_interval] = True
+                selected_this_round += 1
+
+            if selected_this_round == 0:
+                break  # No valid assignment remains: a further round would not help.
+
+        self.note("rounds", rounds)
+        return schedule
+
+    def _advance_cursor(
+        self,
+        lists: List[List[AssignmentEntry]],
+        cursors: List[int],
+        interval_index: int,
+        schedule: Schedule,
+    ) -> Optional[AssignmentEntry]:
+        """Move the interval's cursor past entries whose event got scheduled.
+
+        Entries were generated as feasible at the start of the round and the
+        interval has not received a new event since (otherwise it would be
+        closed), so only the "event already scheduled" condition can
+        invalidate them mid-round.
+        """
+        entries = lists[interval_index]
+        position = cursors[interval_index]
+        while position < len(entries) and schedule.is_scheduled(entries[position].event_index):
+            self.counter.count_examined()
+            position += 1
+        cursors[interval_index] = position
+        if position >= len(entries):
+            return None
+        return entries[position]

@@ -1,0 +1,192 @@
+"""HOR-I — Horizontal Assignment with Incremental Updating (paper §3.4).
+
+HOR-I follows HOR's horizontal selection policy (one event per interval per
+round) but replaces HOR's full per-round score recomputation with the
+incremental, bound-pruned updating scheme of INC:
+
+* the per-interval assignment lists built in the first round are kept across
+  rounds (entries are dropped lazily once their event is scheduled or they
+  become infeasible);
+* when an interval received an event in a previous round its scores are
+  stale; at the start of the next round the interval is refreshed by walking
+  its score-sorted list and recomputing only the entries whose stale score is
+  at least the interval's running bound Φ (stale scores are upper bounds, so
+  everything below Φ cannot be the interval's top);
+* during the round, when an interval's top must be replaced (its event was
+  just scheduled for another interval), the replacement is found lazily: the
+  head of the list is recomputed only if it is stale, repeatedly, until an
+  exact valid head emerges.
+
+HOR-I always returns exactly the same schedule as HOR (Proposition 6) — the
+bound pruning never hides an assignment that HOR would have chosen — while
+performing at most as many score computations.  When ``k ≤ |T|`` only one
+round is needed and HOR-I degenerates to HOR.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+from repro.algorithms.base import AssignmentEntry, BaseScheduler
+from repro.core.schedule import Schedule
+
+
+class HorIScheduler(BaseScheduler):
+    """Horizontal Assignment with Incremental Updating (HOR-I)."""
+
+    name = "HOR-I"
+
+    def _run(self, k: int) -> Schedule:
+        instance = self.instance
+        engine = self.engine
+        checker = self.checker
+        counter = self.counter
+        schedule = Schedule()
+
+        num_intervals = instance.num_intervals
+        lists: List[List[AssignmentEntry]] = [[] for _ in range(num_intervals)]
+        # has_stale[i]: interval i contains entries whose score predates its last change.
+        has_stale = [False] * num_intervals
+
+        rounds = 0
+        while len(schedule) < k:
+            rounds += 1
+
+            if rounds == 1:
+                # First round: generate and score every valid assignment (like HOR).
+                for event_index in range(instance.num_events):
+                    for interval_index in range(num_intervals):
+                        if not checker.is_feasible(event_index, interval_index):
+                            continue
+                        score = engine.assignment_score(event_index, interval_index, initial=True)
+                        counter.count_generated()
+                        lists[interval_index].append(
+                            AssignmentEntry(event_index, interval_index, score)
+                        )
+                for entries in lists:
+                    entries.sort(key=AssignmentEntry.sort_key)
+            else:
+                # Later rounds: refresh only the intervals whose scores went stale,
+                # and within them only the entries that can still be the top.
+                for interval_index in range(num_intervals):
+                    if has_stale[interval_index]:
+                        self._refresh_interval(interval_index, lists, schedule)
+                        has_stale[interval_index] = any(
+                            not entry.updated for entry in lists[interval_index]
+                        )
+
+            # ---------------- selection phase (horizontal policy) ----------------
+            closed = [False] * num_intervals
+            selected_this_round = 0
+            while len(schedule) < k:
+                best: Optional[AssignmentEntry] = None
+                best_interval = -1
+                for interval_index in range(num_intervals):
+                    if closed[interval_index]:
+                        continue
+                    entry = self._interval_top(interval_index, lists, schedule)
+                    if entry is None:
+                        continue
+                    counter.count_examined()
+                    if best is None or entry.sort_key() < best.sort_key():
+                        best = entry
+                        best_interval = interval_index
+                if best is None:
+                    break
+                self._select_assignment(schedule, best.event_index, best_interval, best.score)
+                closed[best_interval] = True
+                selected_this_round += 1
+                # The interval's remaining scores now predate its new state.
+                remaining = [
+                    entry
+                    for entry in lists[best_interval]
+                    if entry.event_index != best.event_index
+                ]
+                for entry in remaining:
+                    entry.updated = False
+                lists[best_interval] = remaining
+                has_stale[best_interval] = bool(remaining)
+
+            if selected_this_round == 0:
+                break
+
+        self.note("rounds", rounds)
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _refresh_interval(
+        self,
+        interval_index: int,
+        lists: List[List[AssignmentEntry]],
+        schedule: Schedule,
+    ) -> None:
+        """Round-start incremental refresh of one stale interval (Algorithm 3, lines 9–20).
+
+        Walks the score-sorted list keeping a running bound Φ (the best exact
+        score recomputed so far).  A stale entry is recomputed only while its
+        stale score is at least Φ; the walk stops at the first stale entry
+        below Φ, since stale scores over-estimate true scores.
+        """
+        counter = self.counter
+        engine = self.engine
+        checker = self.checker
+        entries = lists[interval_index]
+        kept: List[AssignmentEntry] = []
+        phi: Optional[float] = None
+        stop_index = len(entries)
+
+        for position, entry in enumerate(entries):
+            counter.count_examined()
+            if not entry.updated and phi is not None and entry.score < phi:
+                stop_index = position
+                break
+            if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
+                entry.event_index, interval_index
+            ):
+                continue  # drop invalid entries met in the refreshed prefix
+            if not entry.updated:
+                entry.score = engine.assignment_score(entry.event_index, interval_index)
+                entry.updated = True
+            if phi is None or entry.score > phi:
+                phi = entry.score
+            kept.append(entry)
+
+        kept.extend(entries[stop_index:])
+        kept.sort(key=AssignmentEntry.sort_key)
+        lists[interval_index] = kept
+
+    def _interval_top(
+        self,
+        interval_index: int,
+        lists: List[List[AssignmentEntry]],
+        schedule: Schedule,
+    ) -> Optional[AssignmentEntry]:
+        """Exact, valid top assignment of one interval, resolving stale heads lazily.
+
+        Invalid heads (event already scheduled, or no longer feasible) are
+        dropped; a stale head is recomputed and re-inserted in score order.
+        Because stale scores are upper bounds, once the head is exact and
+        valid it is guaranteed to be the interval's true top.
+        """
+        counter = self.counter
+        engine = self.engine
+        checker = self.checker
+        entries = lists[interval_index]
+        while entries:
+            counter.count_examined()
+            head = entries[0]
+            if schedule.is_scheduled(head.event_index) or not checker.is_feasible(
+                head.event_index, interval_index
+            ):
+                entries.pop(0)
+                continue
+            if head.updated:
+                return head
+            head.score = engine.assignment_score(head.event_index, interval_index)
+            head.updated = True
+            entries.pop(0)
+            bisect.insort(entries, head, key=AssignmentEntry.sort_key)
+        return None

@@ -1,0 +1,190 @@
+"""INC — the Incremental Updating algorithm (paper §3.2).
+
+INC produces exactly the same schedule as ALG (Proposition 3) while
+performing only a fraction of ALG's score recomputations and examining far
+fewer assignments.  It rests on two ideas:
+
+* **Incremental updating** (§3.2.1).  After a selection, the assignments of
+  the selected interval keep their old scores and are only flagged as *not
+  updated*.  A stale score can only over-estimate the true score
+  (Proposition 1: adding events to an interval never increases the marginal
+  gain of another event), so before the next selection only the stale
+  assignments whose stale score is at least Φ — the best exact, valid score
+  currently known — need to be recomputed.
+
+* **Interval-based assignment organisation** (§3.2.2).  Assignments are kept
+  in per-interval lists sorted by (possibly stale) score, and each interval
+  carries ``M_t``, its best *updated and valid* assignment.  The bound Φ is
+  the best ``M_t``; intervals whose top score is below Φ are skipped without
+  touching their assignments, which is what shrinks the search space
+  (Fig. 10b).
+
+The tie-break (score, then event index, then interval index) is shared with
+ALG so the two algorithms select identical assignments even under ties.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algorithms.base import AssignmentEntry, BaseScheduler, better_candidate
+from repro.core.schedule import Schedule
+
+Candidate = Tuple[float, int, int]
+
+
+class IncScheduler(BaseScheduler):
+    """Incremental Updating algorithm (INC); same output as ALG, fewer computations."""
+
+    name = "INC"
+
+    def _run(self, k: int) -> Schedule:
+        instance = self.instance
+        engine = self.engine
+        checker = self.checker
+        counter = self.counter
+        schedule = Schedule()
+
+        num_intervals = instance.num_intervals
+
+        # ------------------------------------------------------------------
+        # Initialisation: generate all assignments, grouped and sorted per interval.
+        # ------------------------------------------------------------------
+        lists: List[List[AssignmentEntry]] = [[] for _ in range(num_intervals)]
+        for event_index in range(instance.num_events):
+            for interval_index in range(num_intervals):
+                score = engine.assignment_score(event_index, interval_index, initial=True)
+                counter.count_generated()
+                lists[interval_index].append(AssignmentEntry(event_index, interval_index, score))
+        for entries in lists:
+            entries.sort(key=AssignmentEntry.sort_key)
+
+        # has_stale[i] — interval i contains at least one not-updated assignment.
+        has_stale = [False] * num_intervals
+        # tops[i] — best *updated and valid* candidate of interval i (M_t in the paper).
+        tops: List[Optional[Candidate]] = [
+            self._find_top_updated_valid(lists[i], schedule) for i in range(num_intervals)
+        ]
+
+        iterations = 0
+        while len(schedule) < k:
+            iterations += 1
+
+            # Bound Φ: the best exact, valid candidate currently known.
+            phi: Optional[Candidate] = None
+            for candidate in tops:
+                counter.count_examined()
+                phi = better_candidate(phi, candidate)
+
+            # Incremental updates: only stale assignments that could beat Φ.
+            for interval_index in range(num_intervals):
+                if not has_stale[interval_index]:
+                    continue
+                entries = lists[interval_index]
+                if not entries:
+                    has_stale[interval_index] = False
+                    continue
+                counter.count_examined()  # peek at the interval head (M_t check)
+                if phi is not None and entries[0].score < phi[0]:
+                    # Every stale score in this interval is below Φ, hence so is
+                    # every true score (Proposition 1): skip the interval.
+                    continue
+                phi = self._update_interval(
+                    interval_index, lists, tops, schedule, phi
+                )
+                has_stale[interval_index] = any(not entry.updated for entry in lists[interval_index])
+
+            if phi is None:
+                break  # No valid assignment remains anywhere.
+
+            score, event_index, interval_index = phi
+            self._select_assignment(schedule, event_index, interval_index, score)
+
+            # The selected interval's scores all become stale.
+            selected_entries = lists[interval_index]
+            lists[interval_index] = [
+                entry for entry in selected_entries if entry.event_index != event_index
+            ]
+            for entry in lists[interval_index]:
+                entry.updated = False
+            has_stale[interval_index] = bool(lists[interval_index])
+            tops[interval_index] = None
+
+            # Other intervals: the selected event's assignments become invalid.
+            # Only the interval tops that referenced it must be recomputed now;
+            # the list entries themselves are dropped lazily.
+            for other_interval in range(num_intervals):
+                if other_interval == interval_index:
+                    continue
+                top = tops[other_interval]
+                if top is not None and top[1] == event_index:
+                    tops[other_interval] = self._find_top_updated_valid(
+                        lists[other_interval], schedule
+                    )
+
+        self.note("iterations", iterations)
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _update_interval(
+        self,
+        interval_index: int,
+        lists: List[List[AssignmentEntry]],
+        tops: List[Optional[Candidate]],
+        schedule: Schedule,
+        phi: Optional[Candidate],
+    ) -> Optional[Candidate]:
+        """Refresh the stale assignments of one interval that could beat Φ.
+
+        Walks the interval's score-sorted list from the top; every stale entry
+        whose (stale) score is at least Φ is recomputed.  The walk stops at
+        the first entry strictly below Φ — all deeper entries are below it as
+        well.  Returns the possibly-improved Φ.
+        """
+        counter = self.counter
+        engine = self.engine
+        checker = self.checker
+        entries = lists[interval_index]
+        kept: List[AssignmentEntry] = []
+        stop_index = len(entries)
+
+        for position, entry in enumerate(entries):
+            counter.count_examined()
+            if phi is not None and entry.score < phi[0]:
+                stop_index = position
+                break
+            if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
+                entry.event_index, interval_index
+            ):
+                continue  # drop invalid entries encountered in the prefix
+            if not entry.updated:
+                entry.score = engine.assignment_score(entry.event_index, interval_index)
+                entry.updated = True
+            candidate: Candidate = (entry.score, entry.event_index, entry.interval_index)
+            tops[interval_index] = better_candidate(tops[interval_index], candidate)
+            phi = better_candidate(phi, candidate)
+            kept.append(entry)
+
+        kept.extend(entries[stop_index:])
+        kept.sort(key=AssignmentEntry.sort_key)
+        lists[interval_index] = kept
+        return phi
+
+    def _find_top_updated_valid(
+        self, entries: List[AssignmentEntry], schedule: Schedule
+    ) -> Optional[Candidate]:
+        """First updated & valid entry of a score-sorted list (``getTopAssgn``)."""
+        counter = self.counter
+        checker = self.checker
+        for entry in entries:
+            counter.count_examined()
+            if not entry.updated:
+                continue
+            if schedule.is_scheduled(entry.event_index):
+                continue
+            if not checker.is_feasible(entry.event_index, entry.interval_index):
+                continue
+            return (entry.score, entry.event_index, entry.interval_index)
+        return None

@@ -1,0 +1,46 @@
+"""RAND — the random-assignment baseline (§4.1).
+
+RAND assigns events to intervals uniformly at random subject to feasibility.
+It performs no score computations at all; its utility is the floor every
+informed method should beat (and the gap grows with ``k`` in the paper's
+plots, because a larger ``k`` gives the greedy methods more chances to pick
+better-than-random assignments).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.base import BaseScheduler
+from repro.core.schedule import Schedule
+
+
+class RandScheduler(BaseScheduler):
+    """The RAND baseline: feasible but uninformed random assignments."""
+
+    name = "RAND"
+
+    def _run(self, k: int) -> Schedule:
+        instance = self.instance
+        checker = self.checker
+        counter = self.counter
+        rng = random.Random(self._seed)
+        schedule = Schedule()
+
+        event_order = list(range(instance.num_events))
+        rng.shuffle(event_order)
+        interval_indices = list(range(instance.num_intervals))
+
+        for event_index in event_order:
+            if len(schedule) >= k:
+                break
+            candidate_intervals = interval_indices[:]
+            rng.shuffle(candidate_intervals)
+            for interval_index in candidate_intervals:
+                counter.count_examined()
+                if checker.is_feasible(event_index, interval_index):
+                    schedule.add(event_index, interval_index)
+                    checker.commit(event_index, interval_index)
+                    counter.count_selection()
+                    break
+        return schedule

@@ -1,0 +1,48 @@
+"""TOP — the "top-k scores, no updates" baseline (§4.1).
+
+TOP computes every assignment score once (against the empty schedule), sorts
+them, and greedily takes the k best valid assignments without ever updating a
+score.  It therefore performs the minimum possible number of score
+computations but ignores the cannibalisation between events placed in the
+same interval, which is why its utility is far below the greedy methods in
+the paper's plots (it tends to pile "popular" events onto a few intervals).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import AssignmentEntry, BaseScheduler
+from repro.core.schedule import Schedule
+
+
+class TopScheduler(BaseScheduler):
+    """The TOP baseline: schedule the k assignments with the largest initial scores."""
+
+    name = "TOP"
+
+    def _run(self, k: int) -> Schedule:
+        instance = self.instance
+        engine = self.engine
+        checker = self.checker
+        counter = self.counter
+        schedule = Schedule()
+
+        entries = []
+        for event_index in range(instance.num_events):
+            for interval_index in range(instance.num_intervals):
+                score = engine.assignment_score(event_index, interval_index, initial=True)
+                counter.count_generated()
+                entries.append(AssignmentEntry(event_index, interval_index, score))
+        entries.sort(key=AssignmentEntry.sort_key)
+
+        for entry in entries:
+            if len(schedule) >= k:
+                break
+            counter.count_examined()
+            if schedule.is_scheduled(entry.event_index):
+                continue
+            if not checker.is_feasible(entry.event_index, entry.interval_index):
+                continue
+            schedule.add(entry.event_index, entry.interval_index)
+            checker.commit(entry.event_index, entry.interval_index)
+            counter.count_selection()
+        return schedule

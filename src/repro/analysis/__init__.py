@@ -1,0 +1,29 @@
+"""Analytical models of the algorithms' computation counts (paper §3).
+
+The paper accompanies each algorithm with a complexity analysis and two
+propositions about when the horizontal policy pays off (Proposition 4) and
+when it is at its worst (Propositions 5 and 7).  This subpackage turns those
+closed-form expressions into code so they can be checked against the
+instrumented counters of the actual implementations — an analytical/empirical
+cross-validation of the reproduction.
+"""
+
+from repro.analysis.complexity import (
+    ComputationForecast,
+    forecast,
+    hor_performs_fewer_computations,
+    predicted_alg_score_computations,
+    predicted_hor_score_computations,
+    predicted_initial_computations,
+    worst_case_k,
+)
+
+__all__ = [
+    "ComputationForecast",
+    "forecast",
+    "hor_performs_fewer_computations",
+    "predicted_alg_score_computations",
+    "predicted_hor_score_computations",
+    "predicted_initial_computations",
+    "worst_case_k",
+]

@@ -1,0 +1,142 @@
+"""Closed-form computation-count models (paper §3.1, §3.3.1, Propositions 4–7).
+
+The formulas below count *assignment-score evaluations* (each costing |U|
+user-level operations) for the unconstrained case — no location conflicts and
+no binding resource constraint — which is the setting of the paper's own
+counting arguments.  On such instances the models match the implementation's
+instrumented counters exactly (see ``tests/test_complexity_analysis.py``);
+with binding constraints they are upper bounds, because infeasible
+assignments drop out of the update loops early.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.errors import ExperimentError
+
+
+def _validate(num_events: int, num_intervals: int, k: int) -> None:
+    if num_events < 1 or num_intervals < 1 or k < 1:
+        raise ExperimentError("num_events, num_intervals and k must all be positive")
+
+
+def predicted_initial_computations(num_events: int, num_intervals: int) -> int:
+    """Initial score computations common to ALG, INC, TOP (and HOR's first round): |E|·|T|."""
+    if num_events < 1 or num_intervals < 1:
+        raise ExperimentError("num_events and num_intervals must be positive")
+    return num_events * num_intervals
+
+
+def predicted_alg_update_computations(num_events: int, k: int) -> int:
+    """ALG's update computations on an unconstrained instance.
+
+    After the i-th selection ALG recomputes the score of every remaining
+    assignment of the selected interval; with no constraints the remaining
+    events number ``|E| − i``, so the total is ``Σ_{i=1..k} (|E| − i)``
+    (the paper's ``k|E| − k²/2``-order term).
+    """
+    _validate(num_events, 1, k)
+    selections = min(k, num_events)
+    return sum(num_events - i for i in range(1, selections + 1))
+
+
+def predicted_alg_score_computations(num_events: int, num_intervals: int, k: int) -> int:
+    """Total ALG score computations on an unconstrained instance."""
+    return predicted_initial_computations(num_events, num_intervals) + (
+        predicted_alg_update_computations(num_events, k)
+    )
+
+
+def predicted_hor_rounds(num_intervals: int, k: int) -> int:
+    """Number of rounds the horizontal policy needs: ⌈k / |T|⌉."""
+    _validate(1, num_intervals, k)
+    return math.ceil(k / num_intervals)
+
+
+def predicted_hor_update_computations(num_events: int, num_intervals: int, k: int) -> int:
+    """HOR's update computations on an unconstrained instance.
+
+    Round ``j ≥ 1`` recomputes the scores of every still-unscheduled event in
+    every interval: ``|T| · (|E| − j·|T|)`` (§3.3.1).  No updates happen when
+    ``k ≤ |T|``.
+    """
+    _validate(num_events, num_intervals, k)
+    rounds = predicted_hor_rounds(num_intervals, min(k, num_events))
+    total = 0
+    for round_index in range(1, rounds):
+        remaining = max(0, num_events - round_index * num_intervals)
+        total += num_intervals * remaining
+    return total
+
+
+def predicted_hor_score_computations(num_events: int, num_intervals: int, k: int) -> int:
+    """Total HOR score computations on an unconstrained instance."""
+    return predicted_initial_computations(num_events, num_intervals) + (
+        predicted_hor_update_computations(num_events, num_intervals, k)
+    )
+
+
+def hor_performs_fewer_computations(num_events: int, num_intervals: int, k: int) -> bool:
+    """Proposition 4: HOR performs fewer score computations than ALG when
+    ``k ≤ |T|`` or ``|E| < (k/2)·(3|T| + 1)``."""
+    _validate(num_events, num_intervals, k)
+    if k <= num_intervals:
+        return True
+    return num_events < (k / 2.0) * (3 * num_intervals + 1)
+
+
+def worst_case_k(num_intervals: int, *, minimum_k: int | None = None) -> int:
+    """Propositions 5 and 7: the smallest ``k`` ≥ ``minimum_k`` with
+    ``k > |T|`` and ``k mod |T| = 1`` (the horizontal algorithms' worst case)."""
+    if num_intervals < 1:
+        raise ExperimentError("num_intervals must be positive")
+    candidate = num_intervals + 1
+    floor = minimum_k if minimum_k is not None else candidate
+    while candidate < floor or candidate % num_intervals != 1 or candidate <= num_intervals:
+        candidate += 1
+    return candidate
+
+
+@dataclass(frozen=True)
+class ComputationForecast:
+    """Predicted score-computation counts for one (|E|, |T|, k) configuration."""
+
+    num_events: int
+    num_intervals: int
+    k: int
+    initial: int
+    alg_total: int
+    hor_total: int
+    hor_rounds: int
+    hor_wins: bool
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for the report printer."""
+        return {
+            "num_events": self.num_events,
+            "num_intervals": self.num_intervals,
+            "k": self.k,
+            "initial": self.initial,
+            "alg_total": self.alg_total,
+            "hor_total": self.hor_total,
+            "hor_rounds": self.hor_rounds,
+            "hor_wins": self.hor_wins,
+        }
+
+
+def forecast(num_events: int, num_intervals: int, k: int) -> ComputationForecast:
+    """Bundle every §3 prediction for one configuration."""
+    _validate(num_events, num_intervals, k)
+    return ComputationForecast(
+        num_events=num_events,
+        num_intervals=num_intervals,
+        k=k,
+        initial=predicted_initial_computations(num_events, num_intervals),
+        alg_total=predicted_alg_score_computations(num_events, num_intervals, k),
+        hor_total=predicted_hor_score_computations(num_events, num_intervals, k),
+        hor_rounds=predicted_hor_rounds(num_intervals, min(k, num_events)),
+        hor_wins=hor_performs_fewer_computations(num_events, num_intervals, k),
+    )

@@ -1,0 +1,190 @@
+"""Command-line interface of the reproduction (``ses-repro`` / ``python -m repro``).
+
+Sub-commands
+------------
+
+``generate``
+    Build one of the named datasets and save it to ``.json`` / ``.npz``.
+``solve``
+    Run one or more schedulers on a saved or freshly generated instance and
+    print the resulting metrics (and optionally the schedule itself).
+``experiment``
+    Regenerate one of the paper's figures at a chosen scale and print its
+    tables.
+``list``
+    List the available datasets, algorithms and experiments.
+``info``
+    Print summary statistics of a saved instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+from repro.algorithms.registry import PAPER_METHODS, available_schedulers, run_scheduler
+from repro.core.errors import ReproError
+from repro.core.validation import instance_report
+from repro.datasets.builders import build_dataset, dataset_names
+from repro.datasets.loaders import load_instance, save_instance
+from repro.experiments.figures import SCALES, available_experiments, run_experiment
+from repro.experiments.report import format_figure_result, format_records, format_table
+from repro.experiments.harness import run_algorithms
+from repro.experiments.sweeps import summary_sweep
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="ses-repro",
+        description="Social Event Scheduling (SES) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a dataset instance")
+    generate.add_argument("dataset", choices=dataset_names(), help="dataset family to generate")
+    generate.add_argument("output", help="output path (.json or .npz)")
+    generate.add_argument("--users", type=int, default=None, help="number of users")
+    generate.add_argument("--events", type=int, default=None, help="number of candidate events")
+    generate.add_argument("--intervals", type=int, default=None, help="number of time intervals")
+    generate.add_argument("--locations", type=int, default=None, help="number of event locations")
+    generate.add_argument("--seed", type=int, default=7, help="random seed")
+
+    solve = subparsers.add_parser("solve", help="run schedulers on an instance")
+    source = solve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--instance", help="path of a saved instance (.json/.npz)")
+    source.add_argument("--dataset", choices=dataset_names(), help="generate this dataset on the fly")
+    solve.add_argument("-k", type=int, required=True, help="number of events to schedule")
+    solve.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(PAPER_METHODS),
+        help=f"schedulers to run (available: {', '.join(available_schedulers())})",
+    )
+    solve.add_argument("--users", type=int, default=None, help="users when generating on the fly")
+    solve.add_argument("--events", type=int, default=None, help="events when generating on the fly")
+    solve.add_argument("--intervals", type=int, default=None, help="intervals when generating on the fly")
+    solve.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
+    solve.add_argument("--show-schedule", action="store_true", help="print the assignments")
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
+    experiment.add_argument(
+        "experiment_id",
+        choices=available_experiments() + ["summary"],
+        help="figure id (fig5 … fig10b, ext_*, or 'summary' for the §4.2.8 sweep)",
+    )
+    experiment.add_argument(
+        "--scale", choices=sorted(SCALES), default="small", help="experiment scale preset"
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--json", action="store_true", help="emit JSON rows instead of tables")
+
+    subparsers.add_parser("list", help="list datasets, algorithms and experiments")
+
+    info = subparsers.add_parser("info", help="summarise a saved instance")
+    info.add_argument("instance", help="path of a saved instance (.json/.npz)")
+
+    return parser
+
+
+def _generate_overrides(args: argparse.Namespace) -> dict:
+    overrides: dict = {"seed": args.seed}
+    if args.users is not None:
+        overrides["num_users"] = args.users
+    if args.events is not None:
+        overrides["num_events"] = args.events
+    if args.intervals is not None:
+        overrides["num_intervals"] = args.intervals
+    if getattr(args, "locations", None) is not None:
+        overrides["num_locations"] = args.locations
+    return overrides
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    instance = build_dataset(args.dataset, **_generate_overrides(args))
+    path = save_instance(instance, args.output)
+    print(f"wrote {instance.name} instance to {path}")
+    print(format_table([instance.describe()]))
+    return 0
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    if args.instance:
+        instance = load_instance(args.instance)
+    else:
+        instance = build_dataset(args.dataset, **_generate_overrides(args))
+    records = run_algorithms(
+        instance,
+        args.k,
+        algorithms=args.algorithms,
+        experiment_id="cli",
+        seed=args.seed,
+    )
+    print(format_records(records))
+    if args.show_schedule:
+        for name in args.algorithms:
+            result = run_scheduler(name, instance, args.k, seed=args.seed)
+            assignments = ", ".join(
+                f"{instance.events[a.event_index].id}@{instance.intervals[a.interval_index].id}"
+                for a in result.schedule.assignments()
+            )
+            print(f"{name}: {assignments}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.experiment_id == "summary":
+        stats = summary_sweep(scale=args.scale, seed=args.seed)
+        if args.json:
+            print(json.dumps(stats.as_rows(), indent=2))
+        else:
+            print(format_table(stats.as_rows()))
+        return 0
+    figure = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+    if args.json:
+        print(json.dumps([record.to_row() for record in figure.records], indent=2))
+    else:
+        print(format_figure_result(figure))
+    return 0
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    print("datasets:    " + ", ".join(dataset_names()))
+    print("algorithms:  " + ", ".join(available_schedulers()))
+    print("experiments: " + ", ".join(available_experiments() + ["summary"]))
+    print("scales:      " + ", ".join(sorted(SCALES)))
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    print(format_table([instance_report(instance)]))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "solve": _command_solve,
+    "experiment": _command_experiment,
+    "list": _command_list,
+    "info": _command_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Feasibility constraints of the SES problem (paper §2.1).
+
+A schedule ``S`` is feasible when, for every interval ``t``:
+
+1. no two events scheduled at ``t`` share a location (*location constraint*);
+2. the required resources of the events scheduled at ``t`` do not exceed the
+   organiser's available resources θ (*resources constraint*).
+
+An assignment ``α_e^t`` is *feasible* w.r.t. a schedule when adding it keeps
+both constraints satisfied for ``t``, and *valid* when it is feasible and the
+event is not already scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.errors import InfeasibleAssignmentError
+from repro.core.instance import SESInstance
+from repro.core.schedule import Schedule
+
+
+class ConstraintChecker:
+    """Incremental feasibility checker bound to one instance.
+
+    The checker caches per-event locations and resource requirements as plain
+    Python lists so that the solvers' inner loops avoid attribute lookups on
+    dataclasses, and offers both schedule-based checks (recomputed from the
+    schedule) and state-based checks (maintained incrementally via
+    :meth:`commit`) — the latter are what the schedulers use.
+    """
+
+    def __init__(self, instance: SESInstance) -> None:
+        self._instance = instance
+        self._locations = instance.event_locations()
+        self._resources = [event.required_resources for event in instance.events]
+        self._theta = instance.available_resources
+        num_intervals = instance.num_intervals
+        self._used_locations: list[set[str]] = [set() for _ in range(num_intervals)]
+        self._used_resources: list[float] = [0.0] * num_intervals
+
+    # ------------------------------------------------------------------ #
+    # Incremental state
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Forget every committed assignment."""
+        for used in self._used_locations:
+            used.clear()
+        self._used_resources = [0.0] * self._instance.num_intervals
+
+    def commit(self, event_index: int, interval_index: int) -> None:
+        """Record that ``event_index`` has been scheduled at ``interval_index``.
+
+        Raises
+        ------
+        InfeasibleAssignmentError
+            If the assignment violates the location or resources constraint
+            given the previously committed assignments.
+        """
+        if not self.is_feasible(event_index, interval_index):
+            raise InfeasibleAssignmentError(
+                f"assignment of event {event_index} to interval {interval_index} violates "
+                "the location or resources constraint"
+            )
+        self._used_locations[interval_index].add(self._locations[event_index])
+        self._used_resources[interval_index] += self._resources[event_index]
+
+    def release(self, event_index: int, interval_index: int) -> None:
+        """Undo a previous :meth:`commit` (used by the exact solver's backtracking)."""
+        self._used_locations[interval_index].discard(self._locations[event_index])
+        self._used_resources[interval_index] -= self._resources[event_index]
+        if self._used_resources[interval_index] < 0:
+            self._used_resources[interval_index] = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Checks against the incremental state
+    # ------------------------------------------------------------------ #
+    def is_feasible(self, event_index: int, interval_index: int) -> bool:
+        """``True`` when adding the assignment keeps the interval feasible."""
+        if self._locations[event_index] in self._used_locations[interval_index]:
+            return False
+        needed = self._used_resources[interval_index] + self._resources[event_index]
+        return needed <= self._theta + 1e-12
+
+    def remaining_resources(self, interval_index: int) -> float:
+        """Resources still available in an interval."""
+        return self._theta - self._used_resources[interval_index]
+
+    def used_locations(self, interval_index: int) -> set[str]:
+        """Locations already occupied in an interval (a copy)."""
+        return set(self._used_locations[interval_index])
+
+
+# ---------------------------------------------------------------------- #
+# Schedule-level (stateless) checks
+# ---------------------------------------------------------------------- #
+def is_assignment_feasible(
+    instance: SESInstance,
+    schedule: Schedule,
+    event_index: int,
+    interval_index: int,
+) -> bool:
+    """Check feasibility of adding ``α_e^t`` to ``schedule`` (stateless)."""
+    locations = instance.event_locations()
+    event_location = locations[event_index]
+    total_resources = instance.events[event_index].required_resources
+    for other in schedule.events_at(interval_index):
+        if locations[other] == event_location:
+            return False
+        total_resources += instance.events[other].required_resources
+    return total_resources <= instance.available_resources + 1e-12
+
+
+def is_assignment_valid(
+    instance: SESInstance,
+    schedule: Schedule,
+    event_index: int,
+    interval_index: int,
+) -> bool:
+    """Feasible *and* the event is not already scheduled (paper's "valid")."""
+    if schedule.is_scheduled(event_index):
+        return False
+    return is_assignment_feasible(instance, schedule, event_index, interval_index)
+
+
+def is_schedule_feasible(instance: SESInstance, schedule: Schedule) -> bool:
+    """Check the location and resources constraints for a whole schedule."""
+    return not list(violations(instance, schedule))
+
+
+def violations(instance: SESInstance, schedule: Schedule) -> Iterable[str]:
+    """Yield human-readable descriptions of every constraint violation."""
+    locations = instance.event_locations()
+    theta = instance.available_resources
+    for interval_index in sorted(schedule.used_intervals()):
+        events_here = sorted(schedule.events_at(interval_index))
+        seen_locations: dict[str, int] = {}
+        total_resources = 0.0
+        for event_index in events_here:
+            location = locations[event_index]
+            if location in seen_locations:
+                yield (
+                    f"interval {interval_index}: events {seen_locations[location]} and "
+                    f"{event_index} share location {location!r}"
+                )
+            else:
+                seen_locations[location] = event_index
+            total_resources += instance.events[event_index].required_resources
+        if total_resources > theta + 1e-12:
+            yield (
+                f"interval {interval_index}: required resources {total_resources:.3f} exceed "
+                f"available θ={theta:.3f}"
+            )
+
+
+def assert_schedule_feasible(instance: SESInstance, schedule: Schedule) -> None:
+    """Raise :class:`InfeasibleAssignmentError` listing every violation, if any."""
+    problems = list(violations(instance, schedule))
+    if problems:
+        raise InfeasibleAssignmentError("; ".join(problems))

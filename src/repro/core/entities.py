@@ -1,0 +1,140 @@
+"""Entities of the Social Event Scheduling problem (paper §2.1).
+
+The SES problem involves five kinds of entities:
+
+* :class:`Event` — a *candidate* event the organiser may schedule.  Each event
+  has a location (the venue/stage hosting it) and a resource requirement.
+* :class:`TimeInterval` — a candidate time period available for scheduling.
+* :class:`CompetingEvent` — an event already scheduled by a third party that
+  overlaps one of the candidate intervals and competes for the same audience.
+* :class:`User` — a potential attendee, with an optional importance weight
+  (the "weights over the users" extension mentioned in §2.1).
+* :class:`Organizer` — the entity that owns the available resources θ.
+
+The classes are intentionally lightweight, immutable dataclasses: all heavy
+numeric data (interest values, activity probabilities) lives in the instance
+container (:mod:`repro.core.instance`) as NumPy arrays indexed by entity
+position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """A candidate event ``e ∈ E``.
+
+    Parameters
+    ----------
+    id:
+        Stable external identifier (unique among candidate events).
+    location:
+        Identifier of the place (stage, room, hall) hosting the event.  Two
+        events sharing a location cannot be scheduled in the same interval
+        (location constraint).
+    required_resources:
+        The amount ξ_e of organiser resources consumed when the event is
+        scheduled (resources constraint).
+    value:
+        Multiplier applied to the event's expected attendance when computing
+        utility.  ``1.0`` reproduces the paper; other values implement the
+        "profit-oriented" extension of §2.1.
+    cost:
+        Fixed organisation cost subtracted from the utility when the event is
+        scheduled (profit-oriented extension; ``0.0`` reproduces the paper).
+    tags:
+        Optional descriptive topics (used by the dataset substrates when
+        deriving interest, ignored by the solvers).
+    """
+
+    id: str
+    location: str
+    required_resources: float = 0.0
+    value: float = 1.0
+    cost: float = 0.0
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.required_resources < 0:
+            raise ValueError(
+                f"event {self.id!r}: required_resources must be >= 0, "
+                f"got {self.required_resources}"
+            )
+        if self.value < 0:
+            raise ValueError(f"event {self.id!r}: value must be >= 0, got {self.value}")
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A candidate time interval ``t ∈ T``.
+
+    ``start`` and ``end`` are optional wall-clock anchors (hours from an
+    arbitrary origin) used by dataset builders for human-readable scenarios;
+    the solvers only use the interval's index.
+    """
+
+    id: str
+    label: str = ""
+    start: Optional[float] = None
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start is not None and self.end is not None and self.end < self.start:
+            raise ValueError(
+                f"interval {self.id!r}: end ({self.end}) precedes start ({self.start})"
+            )
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Length of the interval in the same unit as ``start``/``end``."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CompetingEvent:
+    """An already-scheduled third-party event ``c ∈ C``.
+
+    Each competing event is associated with exactly one candidate interval
+    (the interval its schedule overlaps); users interested in it are less
+    likely to attend candidate events placed in that interval.
+    """
+
+    id: str
+    interval_id: str
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class User:
+    """A potential attendee ``u ∈ U``.
+
+    ``weight`` implements the §2.1 extension of weighting users (e.g. by
+    influence); the paper's formulation corresponds to ``weight == 1.0``.
+    """
+
+    id: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"user {self.id!r}: weight must be >= 0, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class Organizer:
+    """The organiser owning θ available resources (staff, budget, materials)."""
+
+    name: str = "organizer"
+    available_resources: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.available_resources < 0:
+            raise ValueError(
+                f"organizer {self.name!r}: available_resources must be >= 0, "
+                f"got {self.available_resources}"
+            )

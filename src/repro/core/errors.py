@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch a single class to handle any library-level failure while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class InstanceValidationError(ReproError):
+    """A problem instance is structurally invalid.
+
+    Raised when entity lists and matrices disagree in shape, probabilities
+    fall outside ``[0, 1]``, resources are negative, or a competing event
+    refers to an unknown time interval.
+    """
+
+
+class ScheduleError(ReproError):
+    """A schedule operation is inconsistent.
+
+    Raised when an event is assigned twice, an assignment is removed that
+    does not exist, or indices are out of range.
+    """
+
+
+class InfeasibleAssignmentError(ReproError):
+    """An assignment violates the location or resource constraints."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader received invalid configuration/data."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or harness invocation is invalid."""
+
+
+class SolverError(ReproError):
+    """A scheduler was configured or invoked incorrectly."""

@@ -1,0 +1,166 @@
+"""Interest (affinity) matrices µ used by the attendance model.
+
+The paper models interest as a function ``µ : U × (E ∪ C) → [0, 1]``.  The
+library stores it as two dense NumPy matrices — one for candidate events and
+one for competing events — wrapped by :class:`InterestMatrix`, which adds
+validation, convenient per-row/per-column access and sparse construction
+helpers used by the dataset substrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.errors import InstanceValidationError
+
+
+class InterestMatrix:
+    """A validated ``|U| × |H|`` matrix of interest values in ``[0, 1]``.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(num_users, num_items)`` with entries in
+        ``[0, 1]``.  The array is copied and stored as ``float64``.
+    copy:
+        When ``False`` and the input is already a float64 C-contiguous array,
+        it is used without copying (dataset generators use this to avoid
+        duplicating large matrices).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: np.ndarray, *, copy: bool = True) -> None:
+        array = np.array(values, dtype=np.float64, copy=copy)
+        if array.ndim != 2:
+            raise InstanceValidationError(
+                f"interest matrix must be 2-dimensional, got shape {array.shape}"
+            )
+        if array.size and (np.min(array) < 0.0 or np.max(array) > 1.0):
+            raise InstanceValidationError(
+                "interest values must lie in [0, 1]; found values in "
+                f"[{np.min(array):.4f}, {np.max(array):.4f}]"
+            )
+        self._values = array
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls, num_users: int, num_items: int) -> "InterestMatrix":
+        """Create an all-zero interest matrix."""
+        return cls(np.zeros((num_users, num_items), dtype=np.float64), copy=False)
+
+    @classmethod
+    def from_entries(
+        cls,
+        num_users: int,
+        num_items: int,
+        entries: Iterable[Tuple[int, int, float]],
+    ) -> "InterestMatrix":
+        """Build a matrix from sparse ``(user_index, item_index, value)`` triples.
+
+        Later entries for the same cell overwrite earlier ones.
+        """
+        values = np.zeros((num_users, num_items), dtype=np.float64)
+        for user_index, item_index, value in entries:
+            if not (0 <= user_index < num_users):
+                raise InstanceValidationError(
+                    f"user index {user_index} outside [0, {num_users})"
+                )
+            if not (0 <= item_index < num_items):
+                raise InstanceValidationError(
+                    f"item index {item_index} outside [0, {num_items})"
+                )
+            values[user_index, item_index] = value
+        return cls(values, copy=False)
+
+    @classmethod
+    def from_dict(
+        cls,
+        num_users: int,
+        num_items: int,
+        mapping: Mapping[Tuple[int, int], float],
+    ) -> "InterestMatrix":
+        """Build a matrix from a ``{(user_index, item_index): value}`` mapping."""
+        return cls.from_entries(
+            num_users, num_items, ((u, i, v) for (u, i), v in mapping.items())
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying ``(num_users, num_items)`` float64 array (read/write)."""
+        return self._values
+
+    @property
+    def num_users(self) -> int:
+        """Number of rows (users)."""
+        return self._values.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        """Number of columns (events)."""
+        return self._values.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(num_users, num_items)``."""
+        return self._values.shape  # type: ignore[return-value]
+
+    def column(self, item_index: int) -> np.ndarray:
+        """Interest of every user for one item (a view, not a copy)."""
+        return self._values[:, item_index]
+
+    def row(self, user_index: int) -> np.ndarray:
+        """Interest of one user over every item (a view, not a copy)."""
+        return self._values[user_index, :]
+
+    def value(self, user_index: int, item_index: int) -> float:
+        """Interest µ of a single user for a single item."""
+        return float(self._values[user_index, item_index])
+
+    def mean(self) -> float:
+        """Mean interest value (0.0 for an empty matrix)."""
+        if self._values.size == 0:
+            return 0.0
+        return float(self._values.mean())
+
+    def density(self, *, threshold: float = 0.0) -> float:
+        """Fraction of entries strictly greater than ``threshold``."""
+        if self._values.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self._values > threshold) / self._values.size)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to a JSON-friendly dict (row-major nested lists)."""
+        return {"shape": list(self.shape), "values": self._values.tolist()}
+
+    @classmethod
+    def from_serialized(cls, payload: Mapping[str, object]) -> "InterestMatrix":
+        """Inverse of :meth:`to_dict`."""
+        values = np.asarray(payload["values"], dtype=np.float64)
+        expected_shape = tuple(payload.get("shape", values.shape))  # type: ignore[arg-type]
+        if values.size == 0:
+            values = values.reshape(expected_shape)
+        if tuple(values.shape) != tuple(expected_shape):
+            raise InstanceValidationError(
+                f"serialised interest matrix shape {values.shape} does not match "
+                f"declared shape {expected_shape}"
+            )
+        return cls(values, copy=False)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InterestMatrix):
+            return NotImplemented
+        return self.shape == other.shape and bool(np.allclose(self._values, other._values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InterestMatrix(num_users={self.num_users}, num_items={self.num_items}, "
+            f"mean={self.mean():.3f})"
+        )

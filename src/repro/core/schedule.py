@@ -1,0 +1,185 @@
+"""Schedules and assignments (paper §2.1).
+
+An :class:`Assignment` ``α_e^t`` states that candidate event ``e`` takes place
+during interval ``t``.  A :class:`Schedule` is a set of assignments with at
+most one assignment per event; it offers the per-interval views the paper's
+algorithms need (``E_t(S)``, ``t_e(S)``) in O(1).
+
+Schedules are index-based: events and intervals are referred to by their
+position in the owning :class:`~repro.core.instance.SESInstance`.  This keeps
+the inner loops of the schedulers free of string lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.core.errors import ScheduleError
+
+
+@dataclass(frozen=True, order=True)
+class Assignment:
+    """An event-to-interval assignment ``α_e^t`` (by instance indices)."""
+
+    event_index: int
+    interval_index: int
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """Return ``(event_index, interval_index)``."""
+        return (self.event_index, self.interval_index)
+
+
+class Schedule:
+    """A set of assignments with at most one interval per event.
+
+    The class is a plain container: it enforces only the structural rule
+    "no event is assigned twice".  Location and resource feasibility are
+    checked by :mod:`repro.core.constraints` (they need the instance data).
+    """
+
+    __slots__ = ("_interval_of_event", "_events_by_interval")
+
+    def __init__(self) -> None:
+        self._interval_of_event: Dict[int, int] = {}
+        self._events_by_interval: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, event_index: int, interval_index: int) -> Assignment:
+        """Assign ``event_index`` to ``interval_index``.
+
+        Raises
+        ------
+        ScheduleError
+            If the event already has an assignment or an index is negative.
+        """
+        if event_index < 0 or interval_index < 0:
+            raise ScheduleError(
+                f"indices must be non-negative, got event={event_index}, "
+                f"interval={interval_index}"
+            )
+        if event_index in self._interval_of_event:
+            raise ScheduleError(
+                f"event {event_index} is already assigned to interval "
+                f"{self._interval_of_event[event_index]}"
+            )
+        self._interval_of_event[event_index] = interval_index
+        self._events_by_interval.setdefault(interval_index, set()).add(event_index)
+        return Assignment(event_index, interval_index)
+
+    def remove(self, event_index: int) -> None:
+        """Remove the assignment of ``event_index``.
+
+        Raises
+        ------
+        ScheduleError
+            If the event is not scheduled.
+        """
+        if event_index not in self._interval_of_event:
+            raise ScheduleError(f"event {event_index} is not scheduled")
+        interval_index = self._interval_of_event.pop(event_index)
+        events = self._events_by_interval[interval_index]
+        events.discard(event_index)
+        if not events:
+            del self._events_by_interval[interval_index]
+
+    def clear(self) -> None:
+        """Remove every assignment."""
+        self._interval_of_event.clear()
+        self._events_by_interval.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def is_scheduled(self, event_index: int) -> bool:
+        """``True`` if the event has an assignment (``e ∈ E(S)``)."""
+        return event_index in self._interval_of_event
+
+    def interval_of(self, event_index: int) -> int:
+        """The interval the event is assigned to (``t_e(S)``).
+
+        Raises
+        ------
+        ScheduleError
+            If the event is not scheduled.
+        """
+        try:
+            return self._interval_of_event[event_index]
+        except KeyError:
+            raise ScheduleError(f"event {event_index} is not scheduled") from None
+
+    def events_at(self, interval_index: int) -> Set[int]:
+        """The events scheduled in an interval (``E_t(S)``), as a new set."""
+        return set(self._events_by_interval.get(interval_index, ()))
+
+    def num_events_at(self, interval_index: int) -> int:
+        """``|E_t(S)|`` without copying the underlying set."""
+        return len(self._events_by_interval.get(interval_index, ()))
+
+    def scheduled_events(self) -> Set[int]:
+        """All scheduled event indices (``E(S)``), as a new set."""
+        return set(self._interval_of_event)
+
+    def used_intervals(self) -> Set[int]:
+        """Intervals that host at least one event."""
+        return set(self._events_by_interval)
+
+    def assignments(self) -> List[Assignment]:
+        """All assignments sorted by (interval, event) for deterministic output."""
+        return sorted(
+            (Assignment(event, interval) for event, interval in self._interval_of_event.items()),
+            key=lambda a: (a.interval_index, a.event_index),
+        )
+
+    def as_dict(self) -> Dict[int, int]:
+        """Return a ``{event_index: interval_index}`` copy."""
+        return dict(self._interval_of_event)
+
+    def copy(self) -> "Schedule":
+        """Deep copy of the schedule."""
+        clone = Schedule()
+        for event_index, interval_index in self._interval_of_event.items():
+            clone._interval_of_event[event_index] = interval_index
+            clone._events_by_interval.setdefault(interval_index, set()).add(event_index)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._interval_of_event)
+
+    def __iter__(self) -> Iterator[Assignment]:
+        return iter(self.assignments())
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Assignment):
+            return self._interval_of_event.get(item.event_index) == item.interval_index
+        if isinstance(item, tuple) and len(item) == 2:
+            event_index, interval_index = item
+            return self._interval_of_event.get(int(event_index)) == int(interval_index)
+        if isinstance(item, int):
+            return item in self._interval_of_event
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._interval_of_event == other._interval_of_event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"e{event}->t{interval}" for event, interval in sorted(self._interval_of_event.items())
+        )
+        return f"Schedule({parts})"
+
+    @classmethod
+    def from_pairs(cls, pairs: Dict[int, int] | List[Tuple[int, int]]) -> "Schedule":
+        """Build a schedule from ``{event: interval}`` or ``[(event, interval), ...]``."""
+        schedule = cls()
+        items = pairs.items() if isinstance(pairs, dict) else pairs
+        for event_index, interval_index in items:
+            schedule.add(int(event_index), int(interval_index))
+        return schedule

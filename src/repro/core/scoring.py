@@ -1,0 +1,290 @@
+"""The attendance model and scoring engine (paper Eq. 1–4).
+
+The probability that user ``u`` attends candidate event ``e`` scheduled at
+interval ``t`` follows Luce's choice model (Eq. 1):
+
+.. math::
+
+    ρ_{u,e}^t = σ_u^t · \\frac{µ_{u,e}}
+        {\\sum_{c ∈ C_t} µ_{u,c} + \\sum_{p ∈ E_t(S)} µ_{u,p}}
+
+The expected attendance of the event is the sum of these probabilities over
+users (Eq. 2), the utility of a schedule is the sum of expected attendances of
+its scheduled events (Eq. 3), and the *assignment score* of adding ``α_e^t``
+to a schedule is the resulting gain in interval utility (Eq. 4).
+
+:class:`ScoringEngine` maintains, per interval, the per-user sums needed to
+evaluate a score in a single vectorised pass over the users, and reports every
+evaluation to a :class:`~repro.core.counters.ComputationCounter` so that the
+paper's "number of computations" metric (``|U|`` per score) can be reproduced
+exactly.
+
+The engine also supports the §2.1 extensions: per-user weights (applied to σ)
+and per-event value multipliers / organisation costs (profit-oriented SES).
+With the default entity values these reduce exactly to the paper's equations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.counters import ComputationCounter
+from repro.core.errors import ScheduleError
+from repro.core.instance import SESInstance
+from repro.core.schedule import Schedule
+
+
+class ScoringEngine:
+    """Incremental evaluator of interval utilities and assignment scores.
+
+    The engine holds, for every interval ``t``:
+
+    * ``comp[:, t]`` — the per-user competing-interest sums (static),
+    * ``A[t]`` — the per-user sums of interest over events currently scheduled
+      at ``t`` (updated by :meth:`apply`),
+    * ``V[t]`` — the value-weighted variant of ``A[t]`` (identical when all
+      event values are 1.0),
+    * the interval's current utility.
+
+    Every call to :meth:`assignment_score` costs one pass over the users and
+    is counted as one score computation (``|U|`` user computations), matching
+    the paper's metric.
+    """
+
+    def __init__(
+        self,
+        instance: SESInstance,
+        counter: Optional[ComputationCounter] = None,
+    ) -> None:
+        self._instance = instance
+        self._counter = counter if counter is not None else ComputationCounter()
+        if self._counter.num_users == 0:
+            self._counter.num_users = instance.num_users
+
+        self._mu = instance.interest.values
+        self._comp = instance.competing_sums
+        weights = instance.user_weights
+        self._sigma = instance.activity * weights[:, np.newaxis]
+        self._values = instance.event_values()
+        self._costs = instance.event_costs()
+
+        num_intervals = instance.num_intervals
+        num_users = instance.num_users
+        self._scheduled_interest = np.zeros((num_intervals, num_users), dtype=np.float64)
+        self._scheduled_value_interest = np.zeros((num_intervals, num_users), dtype=np.float64)
+        self._interval_utility = np.zeros(num_intervals, dtype=np.float64)
+        self._applied_cost = 0.0
+        self._events_applied: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def instance(self) -> SESInstance:
+        """The instance the engine evaluates."""
+        return self._instance
+
+    @property
+    def counter(self) -> ComputationCounter:
+        """The counter receiving score-computation events."""
+        return self._counter
+
+    # ------------------------------------------------------------------ #
+    # State management
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Forget every applied assignment (counters are *not* reset)."""
+        self._scheduled_interest.fill(0.0)
+        self._scheduled_value_interest.fill(0.0)
+        self._interval_utility.fill(0.0)
+        self._applied_cost = 0.0
+        self._events_applied.clear()
+
+    def apply(self, event_index: int, interval_index: int, score: Optional[float] = None) -> float:
+        """Add event ``event_index`` to interval ``interval_index``.
+
+        Parameters
+        ----------
+        score:
+            The previously computed assignment score for this pair.  When
+            given, the interval utility is advanced by it without recomputing
+            (this mirrors how the paper's algorithms reuse the score of the
+            selected assignment); otherwise the score is computed (and
+            counted) first.
+
+        Returns
+        -------
+        float
+            The gain in total utility caused by the assignment.
+        """
+        if event_index in self._events_applied:
+            raise ScheduleError(
+                f"event {event_index} was already applied to interval "
+                f"{self._events_applied[event_index]}"
+            )
+        if score is None:
+            score = self.assignment_score(event_index, interval_index)
+        column = self._mu[:, event_index]
+        self._scheduled_interest[interval_index] += column
+        self._scheduled_value_interest[interval_index] += self._values[event_index] * column
+        self._interval_utility[interval_index] += score
+        self._applied_cost += self._costs[event_index]
+        self._events_applied[event_index] = interval_index
+        return score
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def _interval_utility_of(
+        self,
+        interval_index: int,
+        scheduled_interest: np.ndarray,
+        scheduled_value_interest: np.ndarray,
+    ) -> float:
+        """Utility of one interval for given per-user scheduled-interest sums."""
+        denominator = self._comp[:, interval_index] + scheduled_interest
+        numerator = self._sigma[:, interval_index] * scheduled_value_interest
+        with np.errstate(divide="ignore", invalid="ignore"):
+            contributions = np.divide(
+                numerator,
+                denominator,
+                out=np.zeros_like(numerator),
+                where=denominator > 0.0,
+            )
+        return float(contributions.sum())
+
+    def assignment_score(
+        self,
+        event_index: int,
+        interval_index: int,
+        *,
+        initial: bool = False,
+        count: bool = True,
+    ) -> float:
+        """Assignment score (Eq. 4): utility gain of adding ``α_e^t`` now.
+
+        Parameters
+        ----------
+        initial:
+            Whether the computation belongs to the initial assignment
+            generation phase (kept separate in the counters).
+        count:
+            Set to ``False`` for evaluations that should not affect the
+            paper's computation metric (e.g. reporting).
+        """
+        if count:
+            self._counter.count_score(initial=initial)
+        column = self._mu[:, event_index]
+        new_interest = self._scheduled_interest[interval_index] + column
+        new_value_interest = (
+            self._scheduled_value_interest[interval_index] + self._values[event_index] * column
+        )
+        new_utility = self._interval_utility_of(interval_index, new_interest, new_value_interest)
+        return new_utility - self._interval_utility[interval_index]
+
+    def interval_utility(self, interval_index: int) -> float:
+        """Current utility of one interval."""
+        return float(self._interval_utility[interval_index])
+
+    def total_utility(self, *, include_costs: bool = False) -> float:
+        """Current total utility Ω (optionally net of organisation costs)."""
+        total = float(self._interval_utility.sum())
+        if include_costs:
+            total -= self._applied_cost
+        return total
+
+    def expected_attendance(self, event_index: int, *, count: bool = False) -> float:
+        """Expected attendance ω of an already-applied event under the current state."""
+        if event_index not in self._events_applied:
+            raise ScheduleError(f"event {event_index} has not been applied")
+        interval_index = self._events_applied[event_index]
+        denominator = self._comp[:, interval_index] + self._scheduled_interest[interval_index]
+        numerator = self._sigma[:, interval_index] * self._mu[:, event_index]
+        if count:
+            self._counter.count_score()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            probabilities = np.divide(
+                numerator,
+                denominator,
+                out=np.zeros_like(numerator),
+                where=denominator > 0.0,
+            )
+        return float(probabilities.sum()) * float(self._values[event_index])
+
+    def attendance_probabilities(self, event_index: int) -> np.ndarray:
+        """Per-user attendance probabilities ρ of an already-applied event (Eq. 1)."""
+        if event_index not in self._events_applied:
+            raise ScheduleError(f"event {event_index} has not been applied")
+        interval_index = self._events_applied[event_index]
+        denominator = self._comp[:, interval_index] + self._scheduled_interest[interval_index]
+        numerator = self._sigma[:, interval_index] * self._mu[:, event_index]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.divide(
+                numerator,
+                denominator,
+                out=np.zeros_like(numerator),
+                where=denominator > 0.0,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Stateless schedule evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_schedule(
+        self, schedule: Schedule, *, include_costs: bool = False, count: bool = False
+    ) -> float:
+        """Utility Ω(S) of an arbitrary schedule, independent of the engine state.
+
+        This is used by the exact solver, the RAND baseline and the tests to
+        evaluate schedules without mutating the incremental state.
+        """
+        total = 0.0
+        cost = 0.0
+        for interval_index in schedule.used_intervals():
+            events_here = sorted(schedule.events_at(interval_index))
+            interest_sum = np.zeros(self._instance.num_users, dtype=np.float64)
+            value_sum = np.zeros(self._instance.num_users, dtype=np.float64)
+            for event_index in events_here:
+                column = self._mu[:, event_index]
+                interest_sum += column
+                value_sum += self._values[event_index] * column
+                cost += self._costs[event_index]
+                if count:
+                    self._counter.count_score()
+            total += self._interval_utility_of(interval_index, interest_sum, value_sum)
+        if include_costs:
+            total -= cost
+        return total
+
+    def per_event_attendance(self, schedule: Schedule) -> Dict[int, float]:
+        """Expected attendance ω of every scheduled event of an arbitrary schedule."""
+        attendance: Dict[int, float] = {}
+        for interval_index in schedule.used_intervals():
+            events_here = sorted(schedule.events_at(interval_index))
+            interest_sum = np.zeros(self._instance.num_users, dtype=np.float64)
+            for event_index in events_here:
+                interest_sum += self._mu[:, event_index]
+            denominator = self._comp[:, interval_index] + interest_sum
+            sigma = self._sigma[:, interval_index]
+            for event_index in events_here:
+                numerator = sigma * self._mu[:, event_index]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    probabilities = np.divide(
+                        numerator,
+                        denominator,
+                        out=np.zeros_like(numerator),
+                        where=denominator > 0.0,
+                    )
+                attendance[event_index] = float(probabilities.sum()) * float(
+                    self._values[event_index]
+                )
+        return attendance
+
+
+def utility_of_schedule(
+    instance: SESInstance, schedule: Schedule, *, include_costs: bool = False
+) -> float:
+    """Convenience wrapper: evaluate Ω(S) for a schedule on a fresh engine."""
+    engine = ScoringEngine(instance)
+    return engine.evaluate_schedule(schedule, include_costs=include_costs)

@@ -1,0 +1,108 @@
+"""Cross-cutting validation helpers for instances, schedules and results.
+
+:mod:`repro.core.instance` validates structural consistency at construction
+time; this module adds *semantic* checks used by tests, the CLI and the
+experiment harness:
+
+* :func:`validate_solution` — verify that a scheduler's output respects the
+  requested ``k``, the feasibility constraints and the claimed utility.
+* :func:`instance_report` — a dictionary of sanity statistics useful when
+  debugging dataset generators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.core.constraints import violations
+from repro.core.errors import InstanceValidationError
+from repro.core.instance import SESInstance
+from repro.core.schedule import Schedule
+from repro.core.scoring import utility_of_schedule
+
+
+def validate_solution(
+    instance: SESInstance,
+    schedule: Schedule,
+    *,
+    k: int,
+    claimed_utility: float | None = None,
+    utility_tolerance: float = 1e-6,
+) -> List[str]:
+    """Return a list of problems with a scheduler's output (empty when OK).
+
+    Checks performed:
+
+    * at most ``k`` events are scheduled, and every index is in range;
+    * the schedule respects the location and resources constraints;
+    * when ``claimed_utility`` is given, it matches a from-scratch evaluation
+      of the schedule within ``utility_tolerance`` (relative).
+    """
+    problems: List[str] = []
+    if len(schedule) > k:
+        problems.append(f"schedule contains {len(schedule)} assignments but k={k}")
+    indices_ok = True
+    for assignment in schedule.assignments():
+        if not (0 <= assignment.event_index < instance.num_events):
+            problems.append(f"event index {assignment.event_index} out of range")
+            indices_ok = False
+        if not (0 <= assignment.interval_index < instance.num_intervals):
+            problems.append(f"interval index {assignment.interval_index} out of range")
+            indices_ok = False
+    if not indices_ok:
+        # Constraint and utility checks would index out of bounds.
+        return problems
+    problems.extend(violations(instance, schedule))
+    if claimed_utility is not None:
+        actual = utility_of_schedule(instance, schedule)
+        scale = max(1.0, abs(actual))
+        if not math.isclose(claimed_utility, actual, rel_tol=utility_tolerance, abs_tol=1e-9 * scale):
+            problems.append(
+                f"claimed utility {claimed_utility:.6f} differs from recomputed "
+                f"utility {actual:.6f}"
+            )
+    return problems
+
+
+def assert_valid_solution(
+    instance: SESInstance,
+    schedule: Schedule,
+    *,
+    k: int,
+    claimed_utility: float | None = None,
+) -> None:
+    """Raise :class:`InstanceValidationError` when :func:`validate_solution` finds problems."""
+    problems = validate_solution(instance, schedule, k=k, claimed_utility=claimed_utility)
+    if problems:
+        raise InstanceValidationError("; ".join(problems))
+
+
+def instance_report(instance: SESInstance) -> Dict[str, object]:
+    """Sanity statistics for a problem instance.
+
+    Includes the :meth:`~repro.core.instance.SESInstance.describe` summary plus
+    derived quantities that matter for the algorithms' behaviour (how many
+    events fit in an interval given θ, average competing pressure, …).
+    """
+    report: Dict[str, object] = dict(instance.describe())
+    resources = instance.event_required_resources()
+    theta = instance.available_resources
+    if len(resources) and resources.max() > 0 and math.isfinite(theta):
+        report["max_events_per_interval_by_resources"] = int(theta // max(resources.min(), 1e-9))
+        report["mean_required_resources"] = float(resources.mean())
+    else:
+        report["max_events_per_interval_by_resources"] = None
+        report["mean_required_resources"] = float(resources.mean()) if len(resources) else 0.0
+    competing_per_interval = [
+        len(instance.competing_events_at(t)) for t in range(instance.num_intervals)
+    ]
+    report["mean_competing_per_interval"] = (
+        sum(competing_per_interval) / len(competing_per_interval) if competing_per_interval else 0.0
+    )
+    report["max_competing_per_interval"] = max(competing_per_interval, default=0)
+    location_counts: Dict[str, int] = {}
+    for location in instance.event_locations():
+        location_counts[location] = location_counts.get(location, 0) + 1
+    report["max_events_sharing_location"] = max(location_counts.values(), default=0)
+    return report

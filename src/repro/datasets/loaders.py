@@ -1,0 +1,109 @@
+"""Persistence for SES instances.
+
+Two formats are supported:
+
+* **JSON** (``.json``) — fully self-contained, human-inspectable, suitable for
+  small instances and golden-file tests.
+* **NPZ bundle** (``.npz``) — the numeric matrices stored as compressed NumPy
+  arrays with the entity lists embedded as a JSON string; the right choice
+  for benchmark-scale instances.
+
+Both round-trip through :meth:`repro.core.instance.SESInstance.to_dict` /
+``from_dict`` so they stay in sync with the instance schema automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.errors import DatasetError
+from repro.core.instance import SESInstance
+
+PathLike = Union[str, Path]
+
+
+def save_instance(instance: SESInstance, path: PathLike) -> Path:
+    """Save an instance; the format is chosen from the file extension.
+
+    Returns the resolved path written to.
+    """
+    target = Path(path)
+    if target.suffix == ".json":
+        _save_json(instance, target)
+    elif target.suffix == ".npz":
+        _save_npz(instance, target)
+    else:
+        raise DatasetError(
+            f"unsupported instance format {target.suffix!r}; use '.json' or '.npz'"
+        )
+    return target
+
+
+def load_instance(path: PathLike) -> SESInstance:
+    """Load an instance previously written by :func:`save_instance`."""
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"instance file not found: {source}")
+    if source.suffix == ".json":
+        return _load_json(source)
+    if source.suffix == ".npz":
+        return _load_npz(source)
+    raise DatasetError(f"unsupported instance format {source.suffix!r}; use '.json' or '.npz'")
+
+
+# --------------------------------------------------------------------------- #
+# JSON
+# --------------------------------------------------------------------------- #
+def _save_json(instance: SESInstance, target: Path) -> None:
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = instance.to_dict()
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def _load_json(source: Path) -> SESInstance:
+    with source.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return SESInstance.from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# NPZ
+# --------------------------------------------------------------------------- #
+def _save_npz(instance: SESInstance, target: Path) -> None:
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = instance.to_dict()
+    # Strip the heavy numeric parts out of the JSON payload; they go into
+    # dedicated compressed arrays instead.
+    entities: Dict[str, object] = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("interest", "competing_interest", "activity")
+    }
+    np.savez_compressed(
+        target,
+        interest=instance.interest.values,
+        competing_interest=instance.competing_interest.values,
+        activity=instance.activity,
+        entities=np.frombuffer(json.dumps(entities, sort_keys=True).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def _load_npz(source: Path) -> SESInstance:
+    with np.load(source, allow_pickle=False) as bundle:
+        entities = json.loads(bytes(bundle["entities"].tobytes()).decode("utf-8"))
+        interest = np.asarray(bundle["interest"], dtype=np.float64)
+        competing_interest = np.asarray(bundle["competing_interest"], dtype=np.float64)
+        activity = np.asarray(bundle["activity"], dtype=np.float64)
+    payload = dict(entities)
+    payload["interest"] = {"shape": list(interest.shape), "values": interest.tolist()}
+    payload["competing_interest"] = {
+        "shape": list(competing_interest.shape),
+        "values": competing_interest.tolist(),
+    }
+    payload["activity"] = activity.tolist()
+    return SESInstance.from_dict(payload)

@@ -1,0 +1,55 @@
+"""Event-Based Social Network (EBSN) substrate.
+
+The paper's "Meetup" dataset is a dump of an event-based social network:
+members join interest groups, groups organise events tagged with topics, and
+members RSVP / check in.  User-event interest and per-slot social-activity
+probabilities are then *derived* from this behavioural data (the same recipe
+as the event-participant planning literature the paper cites).
+
+Because the original dump is not redistributable, this subpackage implements
+the substrate itself:
+
+* :mod:`repro.ebsn.tags` — a topic taxonomy (categories and topics).
+* :mod:`repro.ebsn.network` — the in-memory EBSN data model (members, groups,
+  events, RSVPs, check-ins) with a co-membership social graph.
+* :mod:`repro.ebsn.generator` — a configurable synthetic network generator.
+* :mod:`repro.ebsn.interest_model` — interest (affinity) derivation from topic
+  overlap, group membership and friend co-attendance.
+* :mod:`repro.ebsn.activity_model` — social-activity probabilities derived
+  from per-slot check-in histories.
+
+:mod:`repro.datasets.meetup` assembles these pieces into an SES instance.
+"""
+
+from repro.ebsn.network import (
+    CheckIn,
+    EventBasedSocialNetwork,
+    Group,
+    Member,
+    Rsvp,
+    SocialEvent,
+)
+from repro.ebsn.generator import EBSNConfig, generate_network
+from repro.ebsn.interest_model import (
+    derive_interest_matrix,
+    topic_overlap_interest,
+)
+from repro.ebsn.activity_model import derive_activity_matrix
+from repro.ebsn.tags import CATEGORIES, all_topics, topics_in_category
+
+__all__ = [
+    "CheckIn",
+    "EventBasedSocialNetwork",
+    "Group",
+    "Member",
+    "Rsvp",
+    "SocialEvent",
+    "EBSNConfig",
+    "generate_network",
+    "derive_interest_matrix",
+    "topic_overlap_interest",
+    "derive_activity_matrix",
+    "CATEGORIES",
+    "all_topics",
+    "topics_in_category",
+]

@@ -1,0 +1,90 @@
+"""Social-activity probability derivation from check-in histories.
+
+The paper estimates σ_u^t — the probability that user ``u`` participates in
+*some* social activity during interval ``t`` — from the user's past behaviour
+("e.g., number of check-ins").  The model here maps each candidate interval to
+one of the EBSN's weekly slots and converts a member's per-slot check-in
+counts into probabilities with additive smoothing:
+
+.. math::
+
+    σ_u^t = \\frac{\\text{checkins}_u[\\text{slot}(t)] + λ}
+                  {\\max_s \\text{checkins}_u[s] + λ}
+            · a_u
+
+where ``a_u`` is the member's overall activity level (their total check-ins
+relative to the most active member, floored so that even inactive members
+keep a small participation probability).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import DatasetError
+from repro.ebsn.network import EventBasedSocialNetwork
+
+
+def derive_activity_matrix(
+    network: EventBasedSocialNetwork,
+    interval_slots: Sequence[int],
+    *,
+    smoothing: float = 1.0,
+    min_overall_activity: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+    noise_scale: float = 0.02,
+) -> np.ndarray:
+    """Activity-probability matrix (members × intervals).
+
+    Parameters
+    ----------
+    network:
+        The EBSN providing per-member check-in histories.
+    interval_slots:
+        Weekly slot index of each candidate interval (length = number of
+        intervals).  Slots must be valid for the network.
+    smoothing:
+        Additive smoothing λ, so members with no check-ins in a slot still
+        have a non-zero probability.
+    min_overall_activity:
+        Floor of the per-member overall activity multiplier.
+    noise_scale, rng:
+        Small Gaussian perturbation to avoid artificial ties.
+    """
+    if smoothing < 0:
+        raise DatasetError("smoothing must be non-negative")
+    if not (0.0 <= min_overall_activity <= 1.0):
+        raise DatasetError("min_overall_activity must lie in [0, 1]")
+    for slot in interval_slots:
+        if not (0 <= int(slot) < network.num_weekly_slots):
+            raise DatasetError(
+                f"interval slot {slot} outside [0, {network.num_weekly_slots})"
+            )
+    rng = rng if rng is not None else np.random.default_rng(1)
+
+    members = network.members()
+    counts = np.array([network.checkin_counts(member.id) for member in members], dtype=np.float64)
+    if counts.size == 0:
+        return np.zeros((0, len(interval_slots)), dtype=np.float64)
+
+    per_slot_max = counts.max(axis=1, keepdims=True)
+    slot_probability = (counts + smoothing) / (per_slot_max + smoothing)
+
+    totals = counts.sum(axis=1)
+    busiest = totals.max() if totals.max() > 0 else 1.0
+    overall = np.maximum(min_overall_activity, totals / busiest)
+
+    slot_indices = np.array([int(slot) for slot in interval_slots], dtype=np.intp)
+    matrix = slot_probability[:, slot_indices] * overall[:, np.newaxis]
+    if noise_scale > 0:
+        matrix += rng.normal(0.0, noise_scale, size=matrix.shape)
+    return np.clip(matrix, 0.0, 1.0)
+
+
+def weekly_slot_for_interval(interval_index: int, num_weekly_slots: int) -> int:
+    """Default mapping of candidate intervals onto weekly slots (round robin)."""
+    if num_weekly_slots < 1:
+        raise DatasetError("num_weekly_slots must be positive")
+    return interval_index % num_weekly_slots

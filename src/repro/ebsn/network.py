@@ -1,0 +1,275 @@
+"""In-memory data model of an Event-Based Social Network.
+
+The model captures the pieces of Meetup-like platforms that the interest and
+activity derivation needs:
+
+* :class:`Member` — a platform user with declared interest topics.
+* :class:`Group` — an interest group under a category, with member ids.
+* :class:`SocialEvent` — a past event organised by a group, tagged with
+  topics, held at a venue during a weekly time slot.
+* :class:`Rsvp` — a member's positive/negative RSVP to a past event.
+* :class:`CheckIn` — a member's attendance record at a weekly time slot.
+
+:class:`EventBasedSocialNetwork` is the container, offering the lookups the
+interest / activity models need plus an optional NetworkX co-membership
+social graph for analyses and the friend-boost term of the interest model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Member:
+    """A platform member with declared topics of interest."""
+
+    id: str
+    topics: Tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class Group:
+    """An interest group (category + topics) with a set of members."""
+
+    id: str
+    category: str
+    topics: Tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class SocialEvent:
+    """A past event organised by a group at a venue during a weekly slot."""
+
+    id: str
+    group_id: str
+    topics: Tuple[str, ...] = field(default_factory=tuple)
+    slot: int = 0
+    venue: str = "venue0"
+
+
+@dataclass(frozen=True)
+class Rsvp:
+    """A member's RSVP to a past event (``True`` = "yes")."""
+
+    member_id: str
+    event_id: str
+    attending: bool = True
+
+
+@dataclass(frozen=True)
+class CheckIn:
+    """A member's recorded attendance at a weekly time slot."""
+
+    member_id: str
+    slot: int
+
+
+class EventBasedSocialNetwork:
+    """Container of members, groups, past events, RSVPs and check-ins."""
+
+    def __init__(self, *, num_weekly_slots: int = 21) -> None:
+        if num_weekly_slots < 1:
+            raise DatasetError("num_weekly_slots must be positive")
+        self._num_weekly_slots = num_weekly_slots
+        self._members: Dict[str, Member] = {}
+        self._groups: Dict[str, Group] = {}
+        self._events: Dict[str, SocialEvent] = {}
+        self._memberships: Dict[str, Set[str]] = defaultdict(set)       # group -> members
+        self._groups_of_member: Dict[str, Set[str]] = defaultdict(set)  # member -> groups
+        self._rsvps_by_event: Dict[str, List[Rsvp]] = defaultdict(list)
+        self._rsvps_by_member: Dict[str, List[Rsvp]] = defaultdict(list)
+        self._checkins_by_member: Dict[str, List[CheckIn]] = defaultdict(list)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @property
+    def num_weekly_slots(self) -> int:
+        """Number of weekly time slots check-ins are bucketed into."""
+        return self._num_weekly_slots
+
+    def add_member(self, member: Member) -> None:
+        """Register a member (ids must be unique)."""
+        if member.id in self._members:
+            raise DatasetError(f"duplicate member id {member.id!r}")
+        self._members[member.id] = member
+
+    def add_group(self, group: Group) -> None:
+        """Register a group (ids must be unique)."""
+        if group.id in self._groups:
+            raise DatasetError(f"duplicate group id {group.id!r}")
+        self._groups[group.id] = group
+
+    def add_membership(self, member_id: str, group_id: str) -> None:
+        """Record that a member belongs to a group."""
+        self._require_member(member_id)
+        self._require_group(group_id)
+        self._memberships[group_id].add(member_id)
+        self._groups_of_member[member_id].add(group_id)
+
+    def add_event(self, event: SocialEvent) -> None:
+        """Register a past event (its group must exist, its slot must be valid)."""
+        if event.id in self._events:
+            raise DatasetError(f"duplicate event id {event.id!r}")
+        self._require_group(event.group_id)
+        if not (0 <= event.slot < self._num_weekly_slots):
+            raise DatasetError(
+                f"event {event.id!r}: slot {event.slot} outside [0, {self._num_weekly_slots})"
+            )
+        self._events[event.id] = event
+
+    def add_rsvp(self, rsvp: Rsvp) -> None:
+        """Record an RSVP (member and event must exist)."""
+        self._require_member(rsvp.member_id)
+        if rsvp.event_id not in self._events:
+            raise DatasetError(f"unknown event id {rsvp.event_id!r}")
+        self._rsvps_by_event[rsvp.event_id].append(rsvp)
+        self._rsvps_by_member[rsvp.member_id].append(rsvp)
+
+    def add_checkin(self, checkin: CheckIn) -> None:
+        """Record a check-in (member must exist, slot must be valid)."""
+        self._require_member(checkin.member_id)
+        if not (0 <= checkin.slot < self._num_weekly_slots):
+            raise DatasetError(
+                f"check-in slot {checkin.slot} outside [0, {self._num_weekly_slots})"
+            )
+        self._checkins_by_member[checkin.member_id].append(checkin)
+
+    def _require_member(self, member_id: str) -> None:
+        if member_id not in self._members:
+            raise DatasetError(f"unknown member id {member_id!r}")
+
+    def _require_group(self, group_id: str) -> None:
+        if group_id not in self._groups:
+            raise DatasetError(f"unknown group id {group_id!r}")
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def members(self) -> List[Member]:
+        """All members in insertion order."""
+        return list(self._members.values())
+
+    def groups(self) -> List[Group]:
+        """All groups in insertion order."""
+        return list(self._groups.values())
+
+    def events(self) -> List[SocialEvent]:
+        """All past events in insertion order."""
+        return list(self._events.values())
+
+    def member(self, member_id: str) -> Member:
+        """One member by id."""
+        self._require_member(member_id)
+        return self._members[member_id]
+
+    def group(self, group_id: str) -> Group:
+        """One group by id."""
+        self._require_group(group_id)
+        return self._groups[group_id]
+
+    def members_of_group(self, group_id: str) -> Set[str]:
+        """Member ids of a group."""
+        self._require_group(group_id)
+        return set(self._memberships.get(group_id, set()))
+
+    def groups_of_member(self, member_id: str) -> Set[str]:
+        """Group ids a member belongs to."""
+        self._require_member(member_id)
+        return set(self._groups_of_member.get(member_id, set()))
+
+    def rsvps_for_event(self, event_id: str) -> List[Rsvp]:
+        """All RSVPs recorded for a past event."""
+        return list(self._rsvps_by_event.get(event_id, ()))
+
+    def rsvps_of_member(self, member_id: str) -> List[Rsvp]:
+        """All RSVPs a member made."""
+        return list(self._rsvps_by_member.get(member_id, ()))
+
+    def checkins_of_member(self, member_id: str) -> List[CheckIn]:
+        """All check-ins of a member."""
+        return list(self._checkins_by_member.get(member_id, ()))
+
+    def checkin_counts(self, member_id: str) -> List[int]:
+        """Per-slot check-in counts of a member (length ``num_weekly_slots``)."""
+        counts = [0] * self._num_weekly_slots
+        for checkin in self._checkins_by_member.get(member_id, ()):
+            counts[checkin.slot] += 1
+        return counts
+
+    def attended_topics(self, member_id: str) -> Dict[str, int]:
+        """Topic → count over the past events the member RSVPed "yes" to."""
+        counts: Dict[str, int] = defaultdict(int)
+        for rsvp in self._rsvps_by_member.get(member_id, ()):
+            if not rsvp.attending:
+                continue
+            for topic in self._events[rsvp.event_id].topics:
+                counts[topic] += 1
+        return dict(counts)
+
+    # ------------------------------------------------------------------ #
+    # Social graph
+    # ------------------------------------------------------------------ #
+    def co_membership_graph(self, *, min_shared_groups: int = 1):
+        """NetworkX graph linking members that share at least ``min_shared_groups`` groups.
+
+        NetworkX is an optional dependency; a :class:`DatasetError` is raised
+        when it is unavailable.
+        """
+        try:
+            import networkx as nx
+        except ImportError:  # pragma: no cover - networkx is installed in CI
+            raise DatasetError("networkx is required for the co-membership graph") from None
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self._members)
+        shared: Dict[Tuple[str, str], int] = defaultdict(int)
+        for member_ids in self._memberships.values():
+            ordered = sorted(member_ids)
+            for i, first in enumerate(ordered):
+                for second in ordered[i + 1 :]:
+                    shared[(first, second)] += 1
+        for (first, second), count in shared.items():
+            if count >= min_shared_groups:
+                graph.add_edge(first, second, shared_groups=count)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, object]:
+        """Headline statistics of the network."""
+        num_rsvps = sum(len(rsvps) for rsvps in self._rsvps_by_event.values())
+        num_checkins = sum(len(checkins) for checkins in self._checkins_by_member.values())
+        return {
+            "members": len(self._members),
+            "groups": len(self._groups),
+            "events": len(self._events),
+            "rsvps": num_rsvps,
+            "checkins": num_checkins,
+            "weekly_slots": self._num_weekly_slots,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.summary()
+        return (
+            "EventBasedSocialNetwork("
+            f"members={stats['members']}, groups={stats['groups']}, events={stats['events']})"
+        )
+
+
+def merge_topic_sets(topic_sets: Iterable[Iterable[str]], *, limit: Optional[int] = None) -> Tuple[str, ...]:
+    """Union of several topic iterables, order-stable, optionally truncated."""
+    seen: List[str] = []
+    for topics in topic_sets:
+        for topic in topics:
+            if topic not in seen:
+                seen.append(topic)
+    if limit is not None:
+        seen = seen[:limit]
+    return tuple(seen)

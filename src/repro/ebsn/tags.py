@@ -1,0 +1,73 @@
+"""Topic taxonomy used by the EBSN simulator.
+
+Meetup organises groups under broad categories ("Tech", "Music", "Outdoors",
+…), each with finer topics.  The simulator mirrors this two-level structure:
+a member's interests and an event's tags are sets of *topics*, and topic
+overlap (weighted so that same-category topics are "close") drives the
+derived interest values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.errors import DatasetError
+
+#: Category → topics, loosely modelled on Meetup's taxonomy.
+CATEGORIES: Dict[str, Tuple[str, ...]] = {
+    "tech": ("programming", "data-science", "web-dev", "robotics", "security"),
+    "music": ("rock", "jazz", "classical", "electronic", "hip-hop"),
+    "arts": ("painting", "photography", "theatre", "crafts"),
+    "fitness": ("running", "yoga", "cycling", "climbing"),
+    "food": ("cooking", "wine-tasting", "street-food"),
+    "games": ("board-games", "video-games", "role-playing"),
+    "outdoors": ("hiking", "camping", "kayaking"),
+    "career": ("networking", "entrepreneurship", "public-speaking"),
+    "language": ("spanish", "mandarin", "french"),
+    "wellness": ("meditation", "nutrition"),
+    "fashion": ("runway", "design", "vintage"),
+    "film": ("documentary", "indie-cinema"),
+}
+
+
+def all_topics() -> List[str]:
+    """Every topic in the taxonomy, in a stable order."""
+    topics: List[str] = []
+    for category in sorted(CATEGORIES):
+        topics.extend(CATEGORIES[category])
+    return topics
+
+
+def topics_in_category(category: str) -> Tuple[str, ...]:
+    """Topics of one category.
+
+    Raises
+    ------
+    DatasetError
+        If the category is unknown.
+    """
+    try:
+        return CATEGORIES[category]
+    except KeyError:
+        raise DatasetError(
+            f"unknown category {category!r}; known: {', '.join(sorted(CATEGORIES))}"
+        ) from None
+
+
+def category_of(topic: str) -> str:
+    """Category a topic belongs to.
+
+    Raises
+    ------
+    DatasetError
+        If the topic is not part of the taxonomy.
+    """
+    for category, topics in CATEGORIES.items():
+        if topic in topics:
+            return category
+    raise DatasetError(f"unknown topic {topic!r}")
+
+
+def same_category(first: str, second: str) -> bool:
+    """``True`` when two topics belong to the same category."""
+    return category_of(first) == category_of(second)

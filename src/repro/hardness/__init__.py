@@ -1,0 +1,40 @@
+"""Approximation-hardness machinery (paper §2.2, Theorem 1).
+
+The paper proves that SES is NP-hard to approximate within a factor larger
+than ``1 − ε`` by reduction from 3-Bounded 3-Dimensional Matching (3DM-3).
+This subpackage implements both sides of that reduction so the construction
+can be exercised and verified programmatically:
+
+* :mod:`repro.hardness.three_dm` — 3DM-3 instances, matching verification,
+  a greedy matching heuristic and a small exact matcher.
+* :mod:`repro.hardness.reduction` — the construction of the restricted SES
+  instance from a 3DM-3 instance (interest values 0.25 / 0.75 / the δ-scaled
+  competing interests of the proof) and helpers that translate matchings into
+  schedules and verify the utility correspondence used in the proof sketch.
+"""
+
+from repro.hardness.three_dm import (
+    ThreeDMInstance,
+    exact_maximum_matching,
+    greedy_matching,
+    is_matching,
+    random_3dm3_instance,
+)
+from repro.hardness.reduction import (
+    ReductionArtifacts,
+    reduce_to_ses,
+    schedule_from_matching,
+    utility_of_matching_schedule,
+)
+
+__all__ = [
+    "ThreeDMInstance",
+    "exact_maximum_matching",
+    "greedy_matching",
+    "is_matching",
+    "random_3dm3_instance",
+    "ReductionArtifacts",
+    "reduce_to_ses",
+    "schedule_from_matching",
+    "utility_of_matching_schedule",
+]

@@ -1,0 +1,219 @@
+"""The 3DM-3 → SES reduction of Theorem 1 (paper §2.2).
+
+The proof maps a 3-bounded 3-dimensional matching instance onto a highly
+restricted SES instance:
+
+* every triple (edge) ``g_t`` becomes a candidate **time interval** with a
+  single competing event;
+* every element of ``X ∪ Y ∪ Z`` becomes a candidate event of set ``E1`` with
+  resource requirement ξ = 1, and ``m − n`` filler events ``E2`` with ξ = 3
+  are added; the organiser owns θ = 3 resources, so an interval hosts either
+  the three elements of "its" triple or one filler event;
+* each ``E1`` event is liked by exactly one dedicated user (µ = 0.25), each
+  ``E2`` event by one dedicated user (µ = 0.75);
+* the dedicated user of an element ``p`` has interest
+  ``0.25·(0.75 − δ)/(0.25 + δ)`` in the competing event of every interval
+  whose triple contains ``p``, and 0.75 otherwise (δ < 1/12);
+* ``E2`` users have zero interest in every competing event;
+* the social activity probability is 1 everywhere.
+
+With this construction, packing the three elements of a matched triple into
+its interval yields interval utility ``3·(0.25 + δ)``, and a filler event
+alone in an interval yields utility 1 — which is what ties the SES utility to
+the 3DM-3 matching size and yields the inapproximability bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.entities import CompetingEvent, Event, Organizer, TimeInterval, User
+from repro.core.instance import SESInstance
+from repro.core.interest import InterestMatrix
+from repro.core.schedule import Schedule
+from repro.hardness.three_dm import HardnessError, ThreeDMInstance, is_matching
+
+#: Names of the three element dimensions, used to build readable ids.
+DIMENSIONS = ("x", "y", "z")
+
+
+@dataclass
+class ReductionArtifacts:
+    """The SES instance produced by the reduction plus the index bookkeeping."""
+
+    instance: SESInstance
+    source: ThreeDMInstance
+    delta: float
+    #: (dimension, element) → candidate-event index of the E1 event.
+    element_event_index: Dict[Tuple[int, int], int]
+    #: Candidate-event indices of the E2 filler events.
+    filler_event_indices: List[int]
+    #: Triple index → interval index (identity, kept for clarity).
+    triple_interval_index: Dict[int, int]
+    #: The k used when solving the reduced instance (= 3n + |E2|).
+    k: int
+
+    @property
+    def matched_interval_utility(self) -> float:
+        """Utility contributed by an interval hosting a fully matched triple."""
+        return 3.0 * (0.25 + self.delta)
+
+    @property
+    def filler_interval_utility(self) -> float:
+        """Utility contributed by an interval hosting one filler (E2) event."""
+        return 1.0
+
+    def expected_utility(self, matching_size: int) -> float:
+        """Utility of the canonical schedule built from a matching of the given size."""
+        return matching_size * self.matched_interval_utility + len(self.filler_event_indices)
+
+
+def reduce_to_ses(source: ThreeDMInstance, *, delta: float = 0.05) -> ReductionArtifacts:
+    """Construct the restricted SES instance of Theorem 1 from a 3DM-3 instance.
+
+    Parameters
+    ----------
+    source:
+        The 3DM-3 instance (n elements per dimension, m triples).
+    delta:
+        The positive constant δ < 1/12 of the proof.
+    """
+    if not (0.0 < delta < 1.0 / 12.0):
+        raise HardnessError(f"delta must lie in (0, 1/12), got {delta}")
+    n = source.n
+    m = source.num_triples
+    num_fillers = max(0, m - n)
+
+    # ---------------------------------------------------------------- events
+    events: List[Event] = []
+    element_event_index: Dict[Tuple[int, int], int] = {}
+    for dimension in range(3):
+        for element in range(n):
+            element_event_index[(dimension, element)] = len(events)
+            events.append(
+                Event(
+                    id=f"{DIMENSIONS[dimension]}{element}",
+                    location=f"loc-{DIMENSIONS[dimension]}{element}",  # unique → no location constraint
+                    required_resources=1.0,
+                )
+            )
+    filler_event_indices: List[int] = []
+    for filler in range(num_fillers):
+        filler_event_indices.append(len(events))
+        events.append(
+            Event(id=f"f{filler}", location=f"loc-f{filler}", required_resources=3.0)
+        )
+
+    # -------------------------------------------------------------- intervals
+    intervals = [TimeInterval(id=f"g{index}", label=f"triple-{index}") for index in range(m)]
+    triple_interval_index = {index: index for index in range(m)}
+
+    # -------------------------------------------------- competing events (1/interval)
+    competing = [CompetingEvent(id=f"c{index}", interval_id=f"g{index}") for index in range(m)]
+
+    # ----------------------------------------------------------------- users
+    users: List[User] = []
+    for dimension in range(3):
+        for element in range(n):
+            users.append(User(id=f"u-{DIMENSIONS[dimension]}{element}"))
+    for filler in range(num_fillers):
+        users.append(User(id=f"u-f{filler}"))
+    num_users = len(users)
+    num_events = len(events)
+
+    # -------------------------------------------------------------- interest µ
+    interest = np.zeros((num_users, num_events), dtype=np.float64)
+    for dimension in range(3):
+        for element in range(n):
+            user_index = dimension * n + element
+            interest[user_index, element_event_index[(dimension, element)]] = 0.25
+    for filler in range(num_fillers):
+        user_index = 3 * n + filler
+        interest[user_index, filler_event_indices[filler]] = 0.75
+
+    # ------------------------------------------------- competing interest µ(u, c)
+    adjusted = 0.25 * (0.75 - delta) / (0.25 + delta)
+    competing_interest = np.zeros((num_users, m), dtype=np.float64)
+    for dimension in range(3):
+        for element in range(n):
+            user_index = dimension * n + element
+            for triple_index, triple in enumerate(source.triples):
+                in_triple = triple[dimension] == element
+                competing_interest[user_index, triple_index] = adjusted if in_triple else 0.75
+    # E2 users keep zero interest in every competing event.
+
+    activity = np.ones((num_users, m), dtype=np.float64)
+
+    instance = SESInstance(
+        events=events,
+        intervals=intervals,
+        competing_events=competing,
+        users=users,
+        interest=InterestMatrix(interest, copy=False),
+        competing_interest=InterestMatrix(competing_interest, copy=False),
+        activity=activity,
+        organizer=Organizer(name="reduction", available_resources=3.0),
+        name=f"3dm3-reduction-n{n}-m{m}",
+        metadata={"delta": delta, "n": n, "m": m},
+    )
+    return ReductionArtifacts(
+        instance=instance,
+        source=source,
+        delta=delta,
+        element_event_index=element_event_index,
+        filler_event_indices=filler_event_indices,
+        triple_interval_index=triple_interval_index,
+        k=3 * n + num_fillers,
+    )
+
+
+def schedule_from_matching(artifacts: ReductionArtifacts, matching: Sequence[int]) -> Schedule:
+    """Build the canonical SES schedule corresponding to a 3DM-3 matching.
+
+    The three element-events of every matched triple are assigned to the
+    triple's interval; the filler events are assigned, one each, to distinct
+    unmatched intervals.
+
+    Raises
+    ------
+    HardnessError
+        If the triple indices do not form a matching or there are not enough
+        unmatched intervals for the filler events.
+    """
+    source = artifacts.source
+    if not is_matching(source, matching):
+        raise HardnessError("the provided triple indices do not form a matching")
+
+    schedule = Schedule()
+    matched_intervals = set()
+    for triple_index in matching:
+        interval_index = artifacts.triple_interval_index[triple_index]
+        matched_intervals.add(interval_index)
+        triple = source.triples[triple_index]
+        for dimension, element in enumerate(triple):
+            event_index = artifacts.element_event_index[(dimension, element)]
+            schedule.add(event_index, interval_index)
+
+    free_intervals = [
+        interval_index
+        for interval_index in range(artifacts.instance.num_intervals)
+        if interval_index not in matched_intervals
+    ]
+    if len(free_intervals) < len(artifacts.filler_event_indices):
+        raise HardnessError(
+            "not enough unmatched intervals to place the filler events "
+            f"({len(free_intervals)} free, {len(artifacts.filler_event_indices)} fillers)"
+        )
+    for filler_event_index, interval_index in zip(artifacts.filler_event_indices, free_intervals):
+        schedule.add(filler_event_index, interval_index)
+    return schedule
+
+
+def utility_of_matching_schedule(artifacts: ReductionArtifacts, matching: Sequence[int]) -> float:
+    """Closed-form utility of the canonical schedule of a matching (proof sketch value)."""
+    if not is_matching(artifacts.source, matching):
+        raise HardnessError("the provided triple indices do not form a matching")
+    return artifacts.expected_utility(len(list(matching)))

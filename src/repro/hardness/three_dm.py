@@ -1,0 +1,170 @@
+"""3-Bounded 3-Dimensional Matching (3DM-3) instances and matchers.
+
+An instance consists of three disjoint element sets ``X``, ``Y``, ``Z`` of
+equal size ``n`` and a set of triples ``T ⊆ X × Y × Z``; in the 3-bounded
+variant every element appears in at most three triples.  A *matching* is a
+subset of triples in which no element appears twice.  Deciding whether a
+perfect matching (size ``n``) exists is NP-complete, and maximising the
+matching size is APX-hard — the property the SES reduction relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ReproError
+
+Triple = Tuple[int, int, int]
+
+
+class HardnessError(ReproError):
+    """Invalid 3DM-3 instance or matching."""
+
+
+@dataclass(frozen=True)
+class ThreeDMInstance:
+    """A 3-bounded 3-dimensional matching instance.
+
+    Elements of each dimension are the integers ``0 … n−1``; triples are
+    ``(x, y, z)`` index tuples.
+    """
+
+    n: int
+    triples: Tuple[Triple, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise HardnessError("n must be positive")
+        if not self.triples:
+            raise HardnessError("a 3DM instance needs at least one triple")
+        occurrences = {dimension: [0] * self.n for dimension in range(3)}
+        for triple in self.triples:
+            if len(triple) != 3:
+                raise HardnessError(f"triples must have three coordinates, got {triple!r}")
+            for dimension, element in enumerate(triple):
+                if not (0 <= element < self.n):
+                    raise HardnessError(
+                        f"element {element} of triple {triple!r} outside [0, {self.n})"
+                    )
+                occurrences[dimension][element] += 1
+        for dimension, counts in occurrences.items():
+            worst = max(counts)
+            if worst > 3:
+                raise HardnessError(
+                    f"3-bounded violation: an element of dimension {dimension} appears "
+                    f"{worst} times (max allowed is 3)"
+                )
+
+    @property
+    def num_triples(self) -> int:
+        """``m = |T|``."""
+        return len(self.triples)
+
+
+def is_matching(instance: ThreeDMInstance, selected: Sequence[int]) -> bool:
+    """``True`` when the selected triple indices form a matching."""
+    seen_x: set[int] = set()
+    seen_y: set[int] = set()
+    seen_z: set[int] = set()
+    for index in selected:
+        if not (0 <= index < instance.num_triples):
+            return False
+        x, y, z = instance.triples[index]
+        if x in seen_x or y in seen_y or z in seen_z:
+            return False
+        seen_x.add(x)
+        seen_y.add(y)
+        seen_z.add(z)
+    return len(set(selected)) == len(list(selected))
+
+
+def greedy_matching(instance: ThreeDMInstance) -> List[int]:
+    """Greedy maximal matching (triples taken in index order)."""
+    chosen: List[int] = []
+    seen_x: set[int] = set()
+    seen_y: set[int] = set()
+    seen_z: set[int] = set()
+    for index, (x, y, z) in enumerate(instance.triples):
+        if x in seen_x or y in seen_y or z in seen_z:
+            continue
+        chosen.append(index)
+        seen_x.add(x)
+        seen_y.add(y)
+        seen_z.add(z)
+    return chosen
+
+
+def exact_maximum_matching(instance: ThreeDMInstance, *, limit: int = 2_000_000) -> List[int]:
+    """Maximum matching by exhaustive search (tiny instances only).
+
+    The search enumerates subsets in decreasing size order and stops at the
+    first matching found, so the worst case is ``2^m`` subsets; the ``limit``
+    guards against accidental use on large inputs.
+    """
+    m = instance.num_triples
+    if 2 ** m > limit:
+        raise HardnessError(
+            f"instance too large for exact matching: 2^{m} subsets exceed the limit {limit}"
+        )
+    best: List[int] = []
+    for size in range(min(instance.n, m), 0, -1):
+        for subset in itertools.combinations(range(m), size):
+            if is_matching(instance, subset):
+                return list(subset)
+        if best:
+            break
+    return best
+
+
+def random_3dm3_instance(
+    n: int,
+    *,
+    num_triples: Optional[int] = None,
+    seed: Optional[int] = None,
+    ensure_perfect: bool = True,
+) -> ThreeDMInstance:
+    """Generate a random 3-bounded 3DM instance.
+
+    When ``ensure_perfect`` is True the instance contains a hidden perfect
+    matching (the identity triples under a random permutation), plus random
+    extra triples subject to the 3-bounded constraint.
+    """
+    rng = np.random.default_rng(seed)
+    target = num_triples if num_triples is not None else 2 * n
+    if target < n and ensure_perfect:
+        raise HardnessError("num_triples must be at least n when ensure_perfect is set")
+
+    triples: List[Triple] = []
+    occurrences = {dimension: [0] * n for dimension in range(3)}
+
+    def can_add(triple: Triple) -> bool:
+        return all(occurrences[dim][element] < 3 for dim, element in enumerate(triple))
+
+    def add(triple: Triple) -> None:
+        triples.append(triple)
+        for dim, element in enumerate(triple):
+            occurrences[dim][element] += 1
+
+    if ensure_perfect:
+        permutation_y = rng.permutation(n)
+        permutation_z = rng.permutation(n)
+        for x in range(n):
+            add((x, int(permutation_y[x]), int(permutation_z[x])))
+
+    attempts = 0
+    while len(triples) < target and attempts < 50 * target:
+        attempts += 1
+        candidate: Triple = (
+            int(rng.integers(0, n)),
+            int(rng.integers(0, n)),
+            int(rng.integers(0, n)),
+        )
+        if candidate in triples or not can_add(candidate):
+            continue
+        add(candidate)
+
+    return ThreeDMInstance(n=n, triples=tuple(triples))

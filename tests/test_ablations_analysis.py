@@ -1,0 +1,148 @@
+"""Tests for the ablation schedulers and the §3 complexity models."""
+
+import pytest
+
+from repro.algorithms.ablations import AlgOrganizedScheduler, IncUpdatesOnlyScheduler
+from repro.algorithms.alg import AlgScheduler
+from repro.algorithms.hor import HorScheduler
+from repro.algorithms.inc import IncScheduler
+from repro.analysis.complexity import (
+    forecast,
+    hor_performs_fewer_computations,
+    predicted_alg_score_computations,
+    predicted_hor_rounds,
+    predicted_hor_score_computations,
+    predicted_initial_computations,
+    worst_case_k,
+)
+from repro.core.errors import ExperimentError
+from tests.conftest import make_random_instance
+
+
+def unconstrained_instance(num_events=18, num_intervals=5, seed=41):
+    """Distinct locations and unlimited resources: the paper's counting setting."""
+    return make_random_instance(
+        seed=seed,
+        num_users=40,
+        num_events=num_events,
+        num_intervals=num_intervals,
+        num_locations=num_events,
+        available_resources=1e9,
+    )
+
+
+class TestAblationEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [3, 8, 11])
+    def test_both_ablations_match_alg(self, seed, k):
+        instance = make_random_instance(seed=seed, num_events=16, num_intervals=5)
+        alg = AlgScheduler(instance).schedule(k)
+        updates_only = IncUpdatesOnlyScheduler(instance).schedule(k)
+        organized = AlgOrganizedScheduler(instance).schedule(k)
+        assert updates_only.schedule == alg.schedule
+        assert organized.schedule == alg.schedule
+
+    def test_ablations_match_alg_under_ties(self):
+        instance = make_random_instance(seed=2, interest_scale=0.0)
+        alg = AlgScheduler(instance).schedule(6)
+        assert IncUpdatesOnlyScheduler(instance).schedule(6).schedule == alg.schedule
+        assert AlgOrganizedScheduler(instance).schedule(6).schedule == alg.schedule
+
+
+class TestAblationCounters:
+    """Each scheme saves exactly the resource it is designed to save."""
+
+    def test_incremental_updates_save_score_computations(self):
+        instance = unconstrained_instance()
+        alg = AlgScheduler(instance).schedule(12)
+        updates_only = IncUpdatesOnlyScheduler(instance).schedule(12)
+        inc = IncScheduler(instance).schedule(12)
+        assert updates_only.score_computations <= alg.score_computations
+        # The update scheme alone achieves (almost) the full saving of INC.
+        assert updates_only.score_computations <= inc.score_computations * 1.1
+
+    def test_organisation_saves_examinations_not_computations(self):
+        instance = unconstrained_instance()
+        alg = AlgScheduler(instance).schedule(12)
+        organized = AlgOrganizedScheduler(instance).schedule(12)
+        assert organized.score_computations == alg.score_computations
+        assert organized.assignments_examined < alg.assignments_examined
+
+    def test_updates_only_examines_as_much_as_alg(self):
+        instance = unconstrained_instance()
+        alg = AlgScheduler(instance).schedule(10)
+        updates_only = IncUpdatesOnlyScheduler(instance).schedule(10)
+        # No interval organisation: the full table is still scanned every step.
+        assert updates_only.assignments_examined >= 0.8 * alg.assignments_examined
+
+    def test_full_inc_combines_both_savings(self):
+        instance = unconstrained_instance()
+        alg = AlgScheduler(instance).schedule(12)
+        inc = IncScheduler(instance).schedule(12)
+        assert inc.score_computations <= alg.score_computations
+        assert inc.assignments_examined < alg.assignments_examined
+
+
+class TestComplexityModels:
+    def test_initial_computations(self):
+        assert predicted_initial_computations(300, 150) == 45_000
+        with pytest.raises(ExperimentError):
+            predicted_initial_computations(0, 5)
+
+    def test_alg_prediction_matches_measurement(self):
+        instance = unconstrained_instance(num_events=18, num_intervals=5)
+        for k in (3, 5, 10):
+            measured = AlgScheduler(instance).schedule(k).score_computations
+            assert measured == predicted_alg_score_computations(18, 5, k)
+
+    def test_hor_prediction_matches_measurement(self):
+        instance = unconstrained_instance(num_events=18, num_intervals=5)
+        for k in (3, 5, 11, 16):
+            measured = HorScheduler(instance).schedule(k).score_computations
+            assert measured == predicted_hor_score_computations(18, 5, k)
+
+    def test_hor_rounds(self):
+        assert predicted_hor_rounds(10, 10) == 1
+        assert predicted_hor_rounds(10, 11) == 2
+        assert predicted_hor_rounds(10, 20) == 2
+        assert predicted_hor_rounds(10, 21) == 3
+
+    def test_proposition4_condition(self):
+        # k ≤ |T| always favours HOR.
+        assert hor_performs_fewer_computations(300, 150, 100)
+        # The paper's example: |T| = 10, k = 20 needs |E| ≥ 310 for ALG to win.
+        assert hor_performs_fewer_computations(301, 10, 20)
+        assert not hor_performs_fewer_computations(400, 10, 20)
+
+    def test_proposition4_agrees_with_measurements(self):
+        configs = [(18, 5, 4), (18, 5, 12), (18, 2, 16)]
+        for num_events, num_intervals, k in configs:
+            instance = unconstrained_instance(num_events=num_events, num_intervals=num_intervals)
+            alg = AlgScheduler(instance).schedule(k).score_computations
+            hor = HorScheduler(instance).schedule(k).score_computations
+            assert (hor <= alg) == hor_performs_fewer_computations(num_events, num_intervals, k) or (
+                hor == alg
+            )
+
+    def test_worst_case_k(self):
+        assert worst_case_k(10) == 11
+        assert worst_case_k(10, minimum_k=25) == 31
+        assert worst_case_k(99, minimum_k=100) == 100
+        with pytest.raises(ExperimentError):
+            worst_case_k(0)
+
+    def test_forecast_bundle(self):
+        bundle = forecast(36, 18, 24)
+        assert bundle.initial == 648
+        assert bundle.alg_total == predicted_alg_score_computations(36, 18, 24)
+        assert bundle.hor_total == predicted_hor_score_computations(36, 18, 24)
+        assert bundle.hor_rounds == 2
+        row = bundle.as_row()
+        assert row["hor_wins"] == bundle.hor_wins
+
+    def test_registry_exposes_ablation_methods(self):
+        from repro.algorithms.registry import available_schedulers
+
+        names = available_schedulers()
+        assert "INC-U" in names
+        assert "ALG-O" in names

@@ -1,0 +1,122 @@
+"""Tests for the prior-work greedy algorithm ALG (repro.algorithms.alg)."""
+
+import pytest
+
+from repro.algorithms.alg import AlgScheduler
+from repro.core.constraints import is_schedule_feasible
+from repro.core.errors import SolverError
+from repro.core.scoring import utility_of_schedule
+from tests.conftest import make_random_instance
+
+
+class TestRunningExample:
+    """Example 2 of the paper: ALG selects e4@t2, then e1@t1, then e2@t2."""
+
+    def test_selected_schedule_matches_example2(self, running_example):
+        result = AlgScheduler(running_example).schedule(3)
+        expected = {
+            running_example.event_index("e4"): running_example.interval_index("t2"),
+            running_example.event_index("e1"): running_example.interval_index("t1"),
+            running_example.event_index("e2"): running_example.interval_index("t2"),
+        }
+        assert result.schedule.as_dict() == expected
+
+    def test_utility_of_example_schedule(self, running_example):
+        result = AlgScheduler(running_example).schedule(3)
+        # 0.66 (e4@t2) + 0.59 (e1@t1) + 0.16 (e2@t2 after the update) ≈ 1.41
+        assert result.utility == pytest.approx(1.41, abs=0.01)
+        assert result.utility == pytest.approx(
+            utility_of_schedule(running_example, result.schedule), rel=1e-9
+        )
+
+    def test_location_constraint_blocks_e2_at_t1(self, running_example):
+        """e1 and e2 share Stage 1, so after e1@t1 the pair e2@t1 is infeasible."""
+        result = AlgScheduler(running_example).schedule(4)
+        schedule = result.schedule.as_dict()
+        e2 = running_example.event_index("e2")
+        e1 = running_example.event_index("e1")
+        if e1 in schedule and e2 in schedule:
+            assert schedule[e1] != schedule[e2]
+
+    def test_k_one_selects_global_top(self, running_example):
+        result = AlgScheduler(running_example).schedule(1)
+        assert result.schedule.as_dict() == {
+            running_example.event_index("e4"): running_example.interval_index("t2")
+        }
+        assert result.utility == pytest.approx(0.66, abs=0.005)
+
+
+class TestGeneralBehaviour:
+    def test_schedules_exactly_k_when_possible(self, medium_instance):
+        result = AlgScheduler(medium_instance).schedule(6)
+        assert result.num_scheduled == 6
+        assert result.k == 6
+
+    def test_feasible_output(self, medium_instance):
+        result = AlgScheduler(medium_instance).schedule(10)
+        assert is_schedule_feasible(medium_instance, result.schedule)
+
+    def test_k_larger_than_events_is_capped(self, small_instance):
+        result = AlgScheduler(small_instance).schedule(10_000)
+        assert result.num_scheduled <= small_instance.num_events
+
+    def test_invalid_k_rejected(self, small_instance):
+        with pytest.raises(SolverError):
+            AlgScheduler(small_instance).schedule(0)
+        with pytest.raises(SolverError):
+            AlgScheduler(small_instance).schedule(-3)
+        with pytest.raises(SolverError):
+            AlgScheduler(small_instance).schedule(2.5)  # type: ignore[arg-type]
+
+    def test_utility_monotone_in_k(self, medium_instance):
+        utilities = [AlgScheduler(medium_instance).schedule(k).utility for k in (1, 3, 6, 10)]
+        assert utilities == sorted(utilities)
+
+    def test_counters_reported(self, medium_instance):
+        result = AlgScheduler(medium_instance).schedule(5)
+        expected_initial = medium_instance.num_events * medium_instance.num_intervals
+        assert result.counters["initial_computations"] == expected_initial
+        assert result.score_computations >= expected_initial
+        assert result.user_computations == result.score_computations * medium_instance.num_users
+        assert result.assignments_examined > 0
+        assert result.counters["selections"] == result.num_scheduled
+
+    def test_greedy_selects_best_first(self, medium_instance):
+        """The first selection of ALG has the largest initial score."""
+        from repro.core.scoring import ScoringEngine
+
+        engine = ScoringEngine(medium_instance)
+        best = max(
+            (
+                engine.assignment_score(event, interval, count=False),
+                -event,
+                -interval,
+            )
+            for event in range(medium_instance.num_events)
+            for interval in range(medium_instance.num_intervals)
+        )
+        first_gain = AlgScheduler(medium_instance).schedule(1).utility
+        assert first_gain == pytest.approx(best[0], rel=1e-9)
+
+    def test_resources_limit_events_per_interval(self):
+        instance = make_random_instance(
+            seed=13,
+            num_events=10,
+            num_intervals=1,
+            available_resources=6.0,
+            resource_high=3.0,
+        )
+        result = AlgScheduler(instance).schedule(10)
+        total = sum(
+            instance.events[event].required_resources
+            for event in result.schedule.events_at(0)
+        )
+        assert total <= instance.available_resources + 1e-9
+
+    def test_stops_when_no_valid_assignment_left(self):
+        instance = make_random_instance(
+            seed=14, num_events=8, num_intervals=1, num_locations=2, available_resources=1e9
+        )
+        result = AlgScheduler(instance).schedule(8)
+        # Only one event per location fits into the single interval.
+        assert result.num_scheduled == 2

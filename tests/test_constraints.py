@@ -1,0 +1,119 @@
+"""Unit tests for feasibility constraints (repro.core.constraints)."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    ConstraintChecker,
+    assert_schedule_feasible,
+    is_assignment_feasible,
+    is_assignment_valid,
+    is_schedule_feasible,
+    violations,
+)
+from repro.core.errors import InfeasibleAssignmentError
+from repro.core.instance import SESInstance
+from repro.core.schedule import Schedule
+
+
+@pytest.fixture
+def constrained_instance() -> SESInstance:
+    """Four events: e0/e1 share a location; resources are tight (θ = 5)."""
+    return SESInstance.from_arrays(
+        interest=np.full((3, 4), 0.5),
+        activity=np.full((3, 2), 0.5),
+        locations=["hall", "hall", "stage", "garden"],
+        required_resources=[2.0, 2.0, 3.0, 4.0],
+        available_resources=5.0,
+    )
+
+
+class TestStatelessChecks:
+    def test_location_conflict_detected(self, constrained_instance):
+        schedule = Schedule.from_pairs({0: 0})
+        assert not is_assignment_feasible(constrained_instance, schedule, 1, 0)
+        assert is_assignment_feasible(constrained_instance, schedule, 1, 1)
+        assert is_assignment_feasible(constrained_instance, schedule, 2, 0)
+
+    def test_resource_overflow_detected(self, constrained_instance):
+        schedule = Schedule.from_pairs({0: 0, 2: 0})  # 2 + 3 = 5 = θ
+        assert not is_assignment_feasible(constrained_instance, schedule, 3, 0)
+        assert is_assignment_feasible(constrained_instance, schedule, 3, 1)
+
+    def test_validity_requires_unscheduled_event(self, constrained_instance):
+        schedule = Schedule.from_pairs({0: 0})
+        assert not is_assignment_valid(constrained_instance, schedule, 0, 1)
+        assert is_assignment_valid(constrained_instance, schedule, 2, 1)
+
+    def test_schedule_feasibility(self, constrained_instance):
+        good = Schedule.from_pairs({0: 0, 2: 0, 1: 1})
+        assert is_schedule_feasible(constrained_instance, good)
+        bad_location = Schedule.from_pairs({0: 0, 1: 0})
+        assert not is_schedule_feasible(constrained_instance, bad_location)
+        bad_resources = Schedule.from_pairs({2: 0, 3: 0})
+        assert not is_schedule_feasible(constrained_instance, bad_resources)
+
+    def test_violations_messages(self, constrained_instance):
+        bad = Schedule.from_pairs({0: 0, 1: 0, 3: 0})
+        messages = list(violations(constrained_instance, bad))
+        assert any("share location" in message for message in messages)
+        assert any("exceed" in message for message in messages)
+
+    def test_assert_schedule_feasible(self, constrained_instance):
+        assert_schedule_feasible(constrained_instance, Schedule.from_pairs({0: 0}))
+        with pytest.raises(InfeasibleAssignmentError):
+            assert_schedule_feasible(constrained_instance, Schedule.from_pairs({0: 0, 1: 0}))
+
+
+class TestConstraintChecker:
+    def test_commit_and_feasibility(self, constrained_instance):
+        checker = ConstraintChecker(constrained_instance)
+        assert checker.is_feasible(0, 0)
+        checker.commit(0, 0)
+        assert not checker.is_feasible(1, 0)       # location conflict
+        assert checker.is_feasible(2, 0)            # 2 + 3 = 5 fits exactly
+        checker.commit(2, 0)
+        assert not checker.is_feasible(3, 0)        # resources exhausted
+        assert checker.remaining_resources(0) == pytest.approx(0.0)
+        assert checker.used_locations(0) == {"hall", "stage"}
+
+    def test_commit_infeasible_raises(self, constrained_instance):
+        checker = ConstraintChecker(constrained_instance)
+        checker.commit(0, 0)
+        with pytest.raises(InfeasibleAssignmentError):
+            checker.commit(1, 0)
+
+    def test_release_restores_capacity(self, constrained_instance):
+        checker = ConstraintChecker(constrained_instance)
+        checker.commit(0, 0)
+        checker.release(0, 0)
+        assert checker.is_feasible(1, 0)
+        assert checker.remaining_resources(0) == pytest.approx(5.0)
+
+    def test_reset(self, constrained_instance):
+        checker = ConstraintChecker(constrained_instance)
+        checker.commit(3, 1)
+        checker.reset()
+        assert checker.is_feasible(3, 1)
+        assert checker.used_locations(1) == set()
+
+    def test_intervals_are_independent(self, constrained_instance):
+        checker = ConstraintChecker(constrained_instance)
+        checker.commit(0, 0)
+        assert checker.is_feasible(1, 1)
+        assert checker.remaining_resources(1) == pytest.approx(5.0)
+
+    def test_agreement_with_stateless_checks(self, small_instance):
+        checker = ConstraintChecker(small_instance)
+        schedule = Schedule()
+        for event_index in range(small_instance.num_events):
+            for interval_index in range(small_instance.num_intervals):
+                assert checker.is_feasible(event_index, interval_index) == is_assignment_feasible(
+                    small_instance, schedule, event_index, interval_index
+                )
+        checker.commit(0, 0)
+        schedule.add(0, 0)
+        for event_index in range(1, small_instance.num_events):
+            assert checker.is_feasible(event_index, 0) == is_assignment_feasible(
+                small_instance, schedule, event_index, 0
+            )

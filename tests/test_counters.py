@@ -1,0 +1,68 @@
+"""Unit tests for the computation counters (repro.core.counters)."""
+
+from repro.core.counters import ComputationCounter
+
+
+class TestCounting:
+    def test_count_score_default_users(self):
+        counter = ComputationCounter(num_users=50)
+        counter.count_score(initial=True)
+        counter.count_score()
+        assert counter.score_computations == 2
+        assert counter.user_computations == 100
+        assert counter.initial_computations == 1
+        assert counter.update_computations == 1
+
+    def test_count_score_explicit_users(self):
+        counter = ComputationCounter(num_users=10)
+        counter.count_score(num_users=7)
+        assert counter.user_computations == 7
+
+    def test_examined_generated_selection(self):
+        counter = ComputationCounter()
+        counter.count_examined(3)
+        counter.count_examined()
+        counter.count_generated(2)
+        counter.count_selection()
+        assert counter.assignments_examined == 4
+        assert counter.assignments_generated == 2
+        assert counter.selections == 1
+
+    def test_bump_named_counter(self):
+        counter = ComputationCounter()
+        counter.bump("rounds")
+        counter.bump("rounds", 4)
+        assert counter.extra["rounds"] == 5
+
+    def test_reset_preserves_num_users(self):
+        counter = ComputationCounter(num_users=9)
+        counter.count_score()
+        counter.bump("x")
+        counter.reset()
+        assert counter.score_computations == 0
+        assert counter.user_computations == 0
+        assert counter.extra == {}
+        assert counter.num_users == 9
+
+    def test_snapshot_flattens_extra(self):
+        counter = ComputationCounter(num_users=5)
+        counter.count_score()
+        counter.bump("rounds", 2)
+        snapshot = counter.snapshot()
+        assert snapshot["score_computations"] == 1
+        assert snapshot["extra.rounds"] == 2
+        assert "extra" not in snapshot
+
+    def test_merge(self):
+        first = ComputationCounter(num_users=5)
+        first.count_score()
+        first.bump("rounds", 1)
+        second = ComputationCounter(num_users=5)
+        second.count_score(initial=True)
+        second.count_examined(4)
+        second.bump("rounds", 2)
+        first.merge(second)
+        assert first.score_computations == 2
+        assert first.user_computations == 10
+        assert first.assignments_examined == 4
+        assert first.extra["rounds"] == 3

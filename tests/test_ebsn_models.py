@@ -1,0 +1,175 @@
+"""Tests for the EBSN generator and the interest / activity derivation models."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.ebsn.activity_model import derive_activity_matrix, weekly_slot_for_interval
+from repro.ebsn.generator import EBSNConfig, generate_network, sample_event_topics
+from repro.ebsn.interest_model import (
+    behavioural_interest,
+    derive_interest_matrix,
+    topic_overlap_interest,
+)
+from repro.ebsn.network import EventBasedSocialNetwork, Member
+
+
+def small_network() -> EventBasedSocialNetwork:
+    config = EBSNConfig(
+        num_members=60,
+        num_groups=10,
+        num_past_events=40,
+        num_weekly_slots=14,
+        seed=5,
+    )
+    return generate_network(config)
+
+
+class TestGenerator:
+    def test_config_validation(self):
+        with pytest.raises(DatasetError):
+            EBSNConfig(num_members=0)
+        with pytest.raises(DatasetError):
+            EBSNConfig(rsvp_probability=1.5)
+        with pytest.raises(DatasetError):
+            EBSNConfig(groups_per_member_range=(4, 2))
+
+    def test_network_sizes(self):
+        network = small_network()
+        summary = network.summary()
+        assert summary["members"] == 60
+        assert summary["groups"] == 10
+        assert summary["events"] == 40
+        assert summary["rsvps"] > 0
+        assert summary["checkins"] > 0
+
+    def test_members_have_topics(self):
+        network = small_network()
+        assert all(member.topics for member in network.members())
+
+    def test_events_reference_valid_groups_and_slots(self):
+        network = small_network()
+        group_ids = {group.id for group in network.groups()}
+        for event in network.events():
+            assert event.group_id in group_ids
+            assert 0 <= event.slot < network.num_weekly_slots
+            assert event.topics
+
+    def test_reproducible(self):
+        first = generate_network(EBSNConfig(num_members=30, num_groups=6, num_past_events=10, seed=9))
+        second = generate_network(EBSNConfig(num_members=30, num_groups=6, num_past_events=10, seed=9))
+        assert [m.topics for m in first.members()] == [m.topics for m in second.members()]
+        assert first.summary() == second.summary()
+
+    def test_overrides_form(self):
+        network = generate_network(num_members=10, num_groups=3, num_past_events=5, seed=1)
+        assert network.summary()["members"] == 10
+        with pytest.raises(DatasetError, match="not both"):
+            generate_network(EBSNConfig(), num_members=5)
+
+    def test_sample_event_topics(self):
+        rng = np.random.default_rng(0)
+        topics = sample_event_topics(rng, 15, topics_per_event=(1, 3))
+        assert len(topics) == 15
+        assert all(1 <= len(t) <= 3 for t in topics)
+        biased = sample_event_topics(rng, 10, category_bias=["music"])
+        from repro.ebsn.tags import topics_in_category
+
+        music = set(topics_in_category("music"))
+        assert all(set(t) <= music for t in biased)
+
+
+class TestInterestModel:
+    def test_topic_overlap_exact_match(self):
+        assert topic_overlap_interest(("rock", "jazz"), ("rock",)) == pytest.approx(1.0)
+
+    def test_topic_overlap_same_category(self):
+        value = topic_overlap_interest(("rock",), ("jazz",))
+        assert value == pytest.approx(0.35)
+
+    def test_topic_overlap_unrelated(self):
+        assert topic_overlap_interest(("rock",), ("hiking",)) == 0.0
+        assert topic_overlap_interest((), ("rock",)) == 0.0
+        assert topic_overlap_interest(("rock",), ()) == 0.0
+
+    def test_behavioural_interest_squashing(self):
+        assert behavioural_interest({"rock": 0}, ("rock",)) == 0.0
+        assert behavioural_interest({"rock": 2}, ("rock",)) == pytest.approx(0.5)
+        assert behavioural_interest({"rock": 100}, ("rock",)) > 0.9
+
+    def test_matrix_shape_and_bounds(self):
+        network = small_network()
+        topics = sample_event_topics(np.random.default_rng(1), 12)
+        matrix = derive_interest_matrix(network, topics)
+        assert matrix.shape == (60, 12)
+        assert matrix.min() >= 0.0
+        assert matrix.max() <= 1.0
+
+    def test_matrix_agrees_with_scalar_model_without_noise(self):
+        """The vectorised derivation must match the per-pair scalar functions."""
+        network = small_network()
+        topics = sample_event_topics(np.random.default_rng(2), 6)
+        matrix = derive_interest_matrix(network, topics, noise_scale=0.0)
+        members = network.members()
+        for member_index in (0, 7, 23):
+            attended = network.attended_topics(members[member_index].id)
+            for event_index in (0, 3, 5):
+                expected = 0.55 * topic_overlap_interest(
+                    members[member_index].topics, topics[event_index]
+                ) + 0.35 * behavioural_interest(attended, topics[event_index])
+                assert matrix[member_index, event_index] == pytest.approx(
+                    min(1.0, expected), rel=1e-9, abs=1e-9
+                )
+
+    def test_matching_topics_score_higher(self):
+        network = EventBasedSocialNetwork(num_weekly_slots=3)
+        network.add_member(Member(id="rocker", topics=("rock",)))
+        network.add_member(Member(id="hiker", topics=("hiking",)))
+        matrix = derive_interest_matrix(network, [("rock",)], noise_scale=0.0)
+        assert matrix[0, 0] > matrix[1, 0]
+
+    def test_invalid_weights_rejected(self):
+        network = small_network()
+        with pytest.raises(DatasetError, match="at most 1.0"):
+            derive_interest_matrix(network, [("rock",)], topic_weight=0.9, behaviour_weight=0.5)
+
+    def test_empty_inputs(self):
+        network = small_network()
+        assert derive_interest_matrix(network, []).shape == (60, 0)
+
+
+class TestActivityModel:
+    def test_shape_and_bounds(self):
+        network = small_network()
+        slots = [weekly_slot_for_interval(i, network.num_weekly_slots) for i in range(10)]
+        matrix = derive_activity_matrix(network, slots)
+        assert matrix.shape == (60, 10)
+        assert matrix.min() >= 0.0
+        assert matrix.max() <= 1.0
+
+    def test_preferred_slots_have_higher_probability(self):
+        network = EventBasedSocialNetwork(num_weekly_slots=4)
+        network.add_member(Member(id="m0"))
+        from repro.ebsn.network import CheckIn
+
+        for _ in range(9):
+            network.add_checkin(CheckIn(member_id="m0", slot=1))
+        network.add_checkin(CheckIn(member_id="m0", slot=3))
+        matrix = derive_activity_matrix(network, [0, 1, 2, 3], noise_scale=0.0)
+        assert matrix[0, 1] > matrix[0, 0]
+        assert matrix[0, 1] > matrix[0, 3]
+
+    def test_invalid_inputs(self):
+        network = small_network()
+        with pytest.raises(DatasetError, match="slot"):
+            derive_activity_matrix(network, [999])
+        with pytest.raises(DatasetError, match="smoothing"):
+            derive_activity_matrix(network, [0], smoothing=-1.0)
+        with pytest.raises(DatasetError, match="min_overall_activity"):
+            derive_activity_matrix(network, [0], min_overall_activity=2.0)
+
+    def test_weekly_slot_mapping(self):
+        assert weekly_slot_for_interval(0, 7) == 0
+        assert weekly_slot_for_interval(9, 7) == 2
+        with pytest.raises(DatasetError):
+            weekly_slot_for_interval(1, 0)

@@ -1,0 +1,138 @@
+"""Tests for the EBSN data model (repro.ebsn.network) and topic taxonomy."""
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.ebsn.network import (
+    CheckIn,
+    EventBasedSocialNetwork,
+    Group,
+    Member,
+    Rsvp,
+    SocialEvent,
+    merge_topic_sets,
+)
+from repro.ebsn.tags import CATEGORIES, all_topics, category_of, same_category, topics_in_category
+
+
+class TestTags:
+    def test_all_topics_unique_and_stable(self):
+        topics = all_topics()
+        assert len(topics) == len(set(topics))
+        assert topics == all_topics()
+
+    def test_topics_in_category(self):
+        assert "rock" in topics_in_category("music")
+        with pytest.raises(DatasetError, match="unknown category"):
+            topics_in_category("astrology")
+
+    def test_category_of(self):
+        assert category_of("rock") == "music"
+        assert category_of("hiking") == "outdoors"
+        with pytest.raises(DatasetError, match="unknown topic"):
+            category_of("quantum-knitting")
+
+    def test_same_category(self):
+        assert same_category("rock", "jazz")
+        assert not same_category("rock", "hiking")
+
+    def test_every_category_has_topics(self):
+        for category, topics in CATEGORIES.items():
+            assert topics, f"category {category} is empty"
+
+
+def build_small_network() -> EventBasedSocialNetwork:
+    network = EventBasedSocialNetwork(num_weekly_slots=7)
+    network.add_member(Member(id="alice", topics=("rock", "painting")))
+    network.add_member(Member(id="bob", topics=("jazz",)))
+    network.add_group(Group(id="g-music", category="music", topics=("rock", "jazz")))
+    network.add_group(Group(id="g-arts", category="arts", topics=("painting",)))
+    network.add_membership("alice", "g-music")
+    network.add_membership("alice", "g-arts")
+    network.add_membership("bob", "g-music")
+    network.add_event(SocialEvent(id="ev1", group_id="g-music", topics=("rock",), slot=2))
+    network.add_event(SocialEvent(id="ev2", group_id="g-arts", topics=("painting",), slot=5))
+    network.add_rsvp(Rsvp(member_id="alice", event_id="ev1"))
+    network.add_rsvp(Rsvp(member_id="alice", event_id="ev2"))
+    network.add_rsvp(Rsvp(member_id="bob", event_id="ev1", attending=False))
+    network.add_checkin(CheckIn(member_id="alice", slot=2))
+    network.add_checkin(CheckIn(member_id="alice", slot=2))
+    network.add_checkin(CheckIn(member_id="bob", slot=6))
+    return network
+
+
+class TestNetworkConstruction:
+    def test_duplicate_ids_rejected(self):
+        network = build_small_network()
+        with pytest.raises(DatasetError, match="duplicate member"):
+            network.add_member(Member(id="alice"))
+        with pytest.raises(DatasetError, match="duplicate group"):
+            network.add_group(Group(id="g-music", category="music"))
+        with pytest.raises(DatasetError, match="duplicate event"):
+            network.add_event(SocialEvent(id="ev1", group_id="g-music"))
+
+    def test_references_must_exist(self):
+        network = build_small_network()
+        with pytest.raises(DatasetError, match="unknown member"):
+            network.add_membership("carol", "g-music")
+        with pytest.raises(DatasetError, match="unknown group"):
+            network.add_membership("alice", "g-missing")
+        with pytest.raises(DatasetError, match="unknown event"):
+            network.add_rsvp(Rsvp(member_id="alice", event_id="missing"))
+        with pytest.raises(DatasetError, match="unknown member"):
+            network.add_checkin(CheckIn(member_id="carol", slot=1))
+
+    def test_slot_bounds_checked(self):
+        network = build_small_network()
+        with pytest.raises(DatasetError, match="slot"):
+            network.add_event(SocialEvent(id="ev3", group_id="g-music", slot=99))
+        with pytest.raises(DatasetError, match="slot"):
+            network.add_checkin(CheckIn(member_id="alice", slot=7))
+
+    def test_invalid_slot_count_rejected(self):
+        with pytest.raises(DatasetError, match="num_weekly_slots"):
+            EventBasedSocialNetwork(num_weekly_slots=0)
+
+
+class TestNetworkQueries:
+    def test_membership_queries(self):
+        network = build_small_network()
+        assert network.members_of_group("g-music") == {"alice", "bob"}
+        assert network.groups_of_member("alice") == {"g-music", "g-arts"}
+        assert network.groups_of_member("bob") == {"g-music"}
+
+    def test_rsvp_queries(self):
+        network = build_small_network()
+        assert len(network.rsvps_for_event("ev1")) == 2
+        assert len(network.rsvps_of_member("alice")) == 2
+
+    def test_checkin_counts(self):
+        network = build_small_network()
+        assert network.checkin_counts("alice") == [0, 0, 2, 0, 0, 0, 0]
+        assert network.checkin_counts("bob") == [0, 0, 0, 0, 0, 0, 1]
+
+    def test_attended_topics_counts_only_positive_rsvps(self):
+        network = build_small_network()
+        assert network.attended_topics("alice") == {"rock": 1, "painting": 1}
+        assert network.attended_topics("bob") == {}
+
+    def test_summary(self):
+        summary = build_small_network().summary()
+        assert summary["members"] == 2
+        assert summary["groups"] == 2
+        assert summary["events"] == 2
+        assert summary["rsvps"] == 3
+        assert summary["checkins"] == 3
+
+    def test_co_membership_graph(self):
+        graph = build_small_network().co_membership_graph()
+        assert graph.number_of_nodes() == 2
+        assert graph.has_edge("alice", "bob")
+        assert graph.edges["alice", "bob"]["shared_groups"] == 1
+        strict = build_small_network().co_membership_graph(min_shared_groups=2)
+        assert strict.number_of_edges() == 0
+
+    def test_merge_topic_sets(self):
+        merged = merge_topic_sets([("a", "b"), ("b", "c"), ("d",)])
+        assert merged == ("a", "b", "c", "d")
+        assert merge_topic_sets([("a", "b", "c")], limit=2) == ("a", "b")

@@ -1,0 +1,85 @@
+"""Unit tests for the problem entities (repro.core.entities)."""
+
+import pytest
+
+from repro.core.entities import CompetingEvent, Event, Organizer, TimeInterval, User
+
+
+class TestEvent:
+    def test_defaults(self):
+        event = Event(id="e1", location="stage")
+        assert event.required_resources == 0.0
+        assert event.value == 1.0
+        assert event.cost == 0.0
+        assert event.tags == ()
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ValueError, match="required_resources"):
+            Event(id="e1", location="stage", required_resources=-1.0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError, match="value"):
+            Event(id="e1", location="stage", value=-0.5)
+
+    def test_is_frozen(self):
+        event = Event(id="e1", location="stage")
+        with pytest.raises(AttributeError):
+            event.location = "other"  # type: ignore[misc]
+
+    def test_tags_preserved(self):
+        event = Event(id="e1", location="stage", tags=("rock", "live"))
+        assert event.tags == ("rock", "live")
+
+    def test_equality_by_value(self):
+        assert Event(id="e1", location="stage") == Event(id="e1", location="stage")
+        assert Event(id="e1", location="stage") != Event(id="e1", location="hall")
+
+
+class TestTimeInterval:
+    def test_duration(self):
+        interval = TimeInterval(id="t1", start=19.0, end=22.0)
+        assert interval.duration == pytest.approx(3.0)
+
+    def test_duration_unknown_when_missing_bounds(self):
+        assert TimeInterval(id="t1").duration is None
+        assert TimeInterval(id="t1", start=5.0).duration is None
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="precedes"):
+            TimeInterval(id="t1", start=10.0, end=9.0)
+
+    def test_zero_length_interval_allowed(self):
+        assert TimeInterval(id="t1", start=4.0, end=4.0).duration == 0.0
+
+
+class TestCompetingEvent:
+    def test_fields(self):
+        comp = CompetingEvent(id="c1", interval_id="t2", tags=("rock",))
+        assert comp.interval_id == "t2"
+        assert comp.tags == ("rock",)
+
+
+class TestUser:
+    def test_default_weight(self):
+        assert User(id="u1").weight == 1.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            User(id="u1", weight=-1.0)
+
+    def test_zero_weight_allowed(self):
+        assert User(id="u1", weight=0.0).weight == 0.0
+
+
+class TestOrganizer:
+    def test_default_is_unbounded(self):
+        assert Organizer().available_resources == float("inf")
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ValueError, match="available_resources"):
+            Organizer(available_resources=-3.0)
+
+    def test_named_organizer(self):
+        organizer = Organizer(name="acme", available_resources=10.0)
+        assert organizer.name == "acme"
+        assert organizer.available_resources == 10.0

@@ -1,0 +1,98 @@
+"""Tests for the Horizontal Assignment algorithm HOR (repro.algorithms.hor)."""
+
+import pytest
+
+from repro.algorithms.alg import AlgScheduler
+from repro.algorithms.hor import HorScheduler
+from repro.core.constraints import is_schedule_feasible
+from tests.conftest import make_random_instance
+
+
+class TestRunningExample:
+    def test_same_schedule_as_alg_in_example4(self, running_example):
+        """Example 4: HOR finds the same schedule as ALG on the running example."""
+        hor = HorScheduler(running_example).schedule(3)
+        alg = AlgScheduler(running_example).schedule(3)
+        assert hor.schedule == alg.schedule
+        assert hor.utility == pytest.approx(alg.utility, rel=1e-12)
+
+    def test_one_event_per_interval_per_round(self, running_example):
+        """With k = |T| = 2 a single round suffices: one event in each interval."""
+        result = HorScheduler(running_example).schedule(2)
+        assert result.extras["rounds"] == 1
+        intervals = [a.interval_index for a in result.schedule.assignments()]
+        assert sorted(intervals) == [0, 1]
+
+    def test_rounds_follow_ceil_k_over_T(self, running_example):
+        result = HorScheduler(running_example).schedule(3)
+        # k=3, |T|=2 -> 2 rounds.
+        assert result.extras["rounds"] == 2
+
+
+class TestHorizontalPolicy:
+    def test_layers_of_assignments(self):
+        """With no binding constraints, round r assigns exactly one event per interval."""
+        instance = make_random_instance(
+            seed=17, num_events=20, num_intervals=4, num_locations=20, available_resources=1e9
+        )
+        result = HorScheduler(instance).schedule(8)
+        per_interval = [result.schedule.num_events_at(t) for t in range(4)]
+        assert per_interval == [2, 2, 2, 2]
+
+    def test_last_partial_round(self):
+        instance = make_random_instance(
+            seed=18, num_events=20, num_intervals=4, num_locations=20, available_resources=1e9
+        )
+        result = HorScheduler(instance).schedule(6)
+        per_interval = sorted(result.schedule.num_events_at(t) for t in range(4))
+        # 6 = 4 + 2: two intervals get a second event.
+        assert per_interval == [1, 1, 2, 2]
+
+    def test_no_updates_when_k_at_most_T(self, medium_instance):
+        """Proposition 4's easy case: k ≤ |T| needs only the initial computations."""
+        k = medium_instance.num_intervals
+        result = HorScheduler(medium_instance).schedule(k)
+        assert result.counters["update_computations"] == 0
+        assert result.extras["rounds"] == 1
+
+    def test_fewer_computations_than_alg_in_typical_settings(self):
+        for seed in range(4):
+            instance = make_random_instance(seed=seed, num_events=24, num_intervals=8)
+            alg = AlgScheduler(instance).schedule(12)
+            hor = HorScheduler(instance).schedule(12)
+            assert hor.score_computations <= alg.score_computations
+
+
+class TestGeneralBehaviour:
+    def test_feasible_output(self, medium_instance):
+        result = HorScheduler(medium_instance).schedule(14)
+        assert is_schedule_feasible(medium_instance, result.schedule)
+
+    def test_schedules_exactly_k_when_possible(self, medium_instance):
+        result = HorScheduler(medium_instance).schedule(9)
+        assert result.num_scheduled == 9
+
+    def test_utility_close_to_alg(self):
+        """The paper reports tiny utility gaps between HOR and ALG."""
+        gaps = []
+        for seed in range(6):
+            instance = make_random_instance(seed=seed, num_events=30, num_intervals=10)
+            alg = AlgScheduler(instance).schedule(8)     # k < |T|: the common regime
+            hor = HorScheduler(instance).schedule(8)
+            gaps.append(abs(alg.utility - hor.utility) / max(alg.utility, 1e-12))
+        assert max(gaps) < 0.05
+        assert sum(gaps) / len(gaps) < 0.01
+
+    def test_stops_when_no_valid_assignment_left(self):
+        instance = make_random_instance(
+            seed=19, num_events=10, num_intervals=2, num_locations=1, available_resources=1e9
+        )
+        result = HorScheduler(instance).schedule(10)
+        # One location only: at most one event per interval.
+        assert result.num_scheduled == 2
+
+    def test_counts_selections_and_rounds(self, medium_instance):
+        result = HorScheduler(medium_instance).schedule(11)
+        assert result.counters["selections"] == result.num_scheduled
+        expected_rounds = -(-11 // medium_instance.num_intervals)  # ceil division
+        assert result.extras["rounds"] == expected_rounds

@@ -1,0 +1,88 @@
+"""Tests for Horizontal Assignment with Incremental Updating HOR-I (repro.algorithms.hor_i)."""
+
+import pytest
+
+from repro.algorithms.hor import HorScheduler
+from repro.algorithms.hor_i import HorIScheduler
+from repro.core.constraints import is_schedule_feasible
+from tests.conftest import make_random_instance
+
+
+class TestRunningExample:
+    def test_same_schedule_as_hor(self, running_example):
+        hor_i = HorIScheduler(running_example).schedule(3)
+        hor = HorScheduler(running_example).schedule(3)
+        assert hor_i.schedule == hor.schedule
+        assert hor_i.utility == pytest.approx(hor.utility, rel=1e-12)
+
+    def test_example5_fewer_updates_than_hor(self, running_example):
+        """Example 5: HOR-I performs two of the three updates HOR performs."""
+        hor_i = HorIScheduler(running_example).schedule(3)
+        hor = HorScheduler(running_example).schedule(3)
+        assert hor_i.counters["update_computations"] < hor.counters["update_computations"]
+        assert hor.counters["update_computations"] == 3
+        assert hor_i.counters["update_computations"] == 2
+
+
+class TestEquivalenceWithHor:
+    """Proposition 6: HOR-I and HOR always return the same solution."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 4, 9, 14])
+    def test_same_solution_random_instances(self, seed, k):
+        instance = make_random_instance(seed=seed, num_events=18, num_intervals=5)
+        hor = HorScheduler(instance).schedule(k)
+        hor_i = HorIScheduler(instance).schedule(k)
+        assert hor_i.schedule == hor.schedule
+        assert hor_i.utility == pytest.approx(hor.utility, rel=1e-12)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_solution_with_tight_constraints(self, seed):
+        instance = make_random_instance(
+            seed=seed, num_locations=2, available_resources=6.0, resource_high=4.0
+        )
+        hor = HorScheduler(instance).schedule(9)
+        hor_i = HorIScheduler(instance).schedule(9)
+        assert hor_i.schedule == hor.schedule
+
+    def test_same_solution_with_ties(self):
+        instance = make_random_instance(seed=1, interest_scale=0.0)
+        hor = HorScheduler(instance).schedule(7)
+        hor_i = HorIScheduler(instance).schedule(7)
+        assert hor_i.schedule == hor.schedule
+
+    def test_identical_to_hor_when_single_round(self, medium_instance):
+        """When k ≤ |T| only one round runs, so HOR-I degenerates to HOR exactly."""
+        k = medium_instance.num_intervals - 1
+        hor = HorScheduler(medium_instance).schedule(k)
+        hor_i = HorIScheduler(medium_instance).schedule(k)
+        assert hor_i.schedule == hor.schedule
+        assert hor_i.score_computations == hor.score_computations
+        assert hor_i.counters["update_computations"] == 0
+
+
+class TestEfficiency:
+    def test_never_more_score_computations_than_hor(self):
+        for seed in range(5):
+            instance = make_random_instance(seed=seed, num_events=24, num_intervals=5)
+            hor = HorScheduler(instance).schedule(15)
+            hor_i = HorIScheduler(instance).schedule(15)
+            assert hor_i.score_computations <= hor.score_computations
+
+    def test_feasible_output(self, medium_instance):
+        result = HorIScheduler(medium_instance).schedule(14)
+        assert is_schedule_feasible(medium_instance, result.schedule)
+
+    def test_rounds_reported(self, medium_instance):
+        result = HorIScheduler(medium_instance).schedule(medium_instance.num_intervals * 2)
+        assert result.extras["rounds"] >= 2
+
+    def test_worst_case_k_mod_T_equals_one(self):
+        """Propositions 5/7: k mod |T| = 1 maximises the wasted end-of-run computations."""
+        instance = make_random_instance(
+            seed=25, num_events=24, num_intervals=5, num_locations=24, available_resources=1e9
+        )
+        worst = HorIScheduler(instance).schedule(6)    # 6 mod 5 == 1
+        aligned = HorIScheduler(instance).schedule(5)  # exactly one round
+        # The worst case needs a second full round of (incremental) updates for one selection.
+        assert worst.score_computations > aligned.score_computations

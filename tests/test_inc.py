@@ -1,0 +1,89 @@
+"""Tests for the Incremental Updating algorithm INC (repro.algorithms.inc)."""
+
+import pytest
+
+from repro.algorithms.alg import AlgScheduler
+from repro.algorithms.inc import IncScheduler
+from repro.core.constraints import is_schedule_feasible
+from tests.conftest import make_random_instance
+
+
+class TestRunningExample:
+    def test_same_schedule_as_alg(self, running_example):
+        inc = IncScheduler(running_example).schedule(3)
+        alg = AlgScheduler(running_example).schedule(3)
+        assert inc.schedule == alg.schedule
+        assert inc.utility == pytest.approx(alg.utility, rel=1e-12)
+
+    def test_fewer_updates_than_alg(self, running_example):
+        """Example 3: the incremental scheme performs 1 update where ALG performs 4."""
+        inc = IncScheduler(running_example).schedule(3)
+        alg = AlgScheduler(running_example).schedule(3)
+        assert inc.counters["update_computations"] < alg.counters["update_computations"]
+        # Both compute the same 8 initial scores.
+        assert inc.counters["initial_computations"] == alg.counters["initial_computations"] == 8
+
+
+class TestEquivalenceWithAlg:
+    """Proposition 3: INC and ALG always return the same solution."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 3, 7, 12])
+    def test_same_solution_random_instances(self, seed, k):
+        instance = make_random_instance(seed=seed)
+        alg = AlgScheduler(instance).schedule(k)
+        inc = IncScheduler(instance).schedule(k)
+        assert inc.schedule == alg.schedule
+        assert inc.utility == pytest.approx(alg.utility, rel=1e-12)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_solution_with_tight_constraints(self, seed):
+        instance = make_random_instance(
+            seed=seed, num_locations=2, available_resources=6.0, resource_high=4.0
+        )
+        alg = AlgScheduler(instance).schedule(8)
+        inc = IncScheduler(instance).schedule(8)
+        assert inc.schedule == alg.schedule
+
+    def test_same_solution_with_ties(self):
+        """Constant interest values make every score tie; outputs must still agree."""
+        instance = make_random_instance(seed=0, interest_scale=0.0)
+        alg = AlgScheduler(instance).schedule(6)
+        inc = IncScheduler(instance).schedule(6)
+        assert inc.schedule == alg.schedule
+
+
+class TestEfficiency:
+    def test_never_more_score_computations_than_alg(self):
+        for seed in range(5):
+            instance = make_random_instance(seed=seed, num_events=20, num_intervals=6)
+            alg = AlgScheduler(instance).schedule(10)
+            inc = IncScheduler(instance).schedule(10)
+            assert inc.score_computations <= alg.score_computations
+
+    def test_examines_fewer_assignments_than_alg(self, medium_instance):
+        alg = AlgScheduler(medium_instance).schedule(10)
+        inc = IncScheduler(medium_instance).schedule(10)
+        assert inc.assignments_examined < alg.assignments_examined
+
+    def test_feasible_output(self, medium_instance):
+        result = IncScheduler(medium_instance).schedule(12)
+        assert is_schedule_feasible(medium_instance, result.schedule)
+
+    def test_counts_selections(self, medium_instance):
+        result = IncScheduler(medium_instance).schedule(5)
+        assert result.counters["selections"] == result.num_scheduled == 5
+
+    def test_skewed_scores_prune_more_than_uniform(self):
+        """Bound pruning saves more updates when scores are spread out (Zipf-like)."""
+        uniform = make_random_instance(seed=6, num_events=24, num_intervals=6)
+        skewed = make_random_instance(seed=6, num_events=24, num_intervals=6, interest_scale=1.0)
+        # Make the skewed instance's interest strongly concentrated on a few events.
+        skewed.interest.values[:, 4:] *= 0.05
+        alg_u = AlgScheduler(uniform).schedule(12)
+        inc_u = IncScheduler(uniform).schedule(12)
+        alg_s = AlgScheduler(skewed).schedule(12)
+        inc_s = IncScheduler(skewed).schedule(12)
+        savings_uniform = 1.0 - inc_u.score_computations / alg_u.score_computations
+        savings_skewed = 1.0 - inc_s.score_computations / alg_s.score_computations
+        assert savings_skewed >= savings_uniform

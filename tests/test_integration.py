@@ -1,0 +1,101 @@
+"""End-to-end integration tests spanning datasets, algorithms and the harness."""
+
+import pytest
+
+from repro.algorithms.registry import PAPER_METHODS, run_scheduler
+from repro.core.constraints import is_schedule_feasible
+from repro.core.validation import assert_valid_solution
+from repro.datasets.builders import build_dataset
+from repro.datasets.loaders import load_instance, save_instance
+from repro.experiments.harness import run_algorithms
+from repro.experiments.sweeps import summarize_records
+
+
+DATASET_OVERRIDES = dict(num_users=120, num_events=24, num_intervals=9, seed=5)
+
+
+@pytest.mark.parametrize("dataset", ["Meetup", "Concerts", "Unf", "Zip"])
+class TestAllDatasetsAllAlgorithms:
+    def test_every_algorithm_solves_every_dataset(self, dataset):
+        instance = build_dataset(dataset, **DATASET_OVERRIDES)
+        for name in PAPER_METHODS:
+            result = run_scheduler(name, instance, 8, seed=0)
+            assert_valid_solution(instance, result.schedule, k=8, claimed_utility=result.utility)
+            assert result.num_scheduled == 8
+
+    def test_equivalence_propositions_on_real_like_data(self, dataset):
+        instance = build_dataset(dataset, **DATASET_OVERRIDES)
+        for k in (5, 12):
+            alg = run_scheduler("ALG", instance, k)
+            inc = run_scheduler("INC", instance, k)
+            hor = run_scheduler("HOR", instance, k)
+            hor_i = run_scheduler("HOR-I", instance, k)
+            assert alg.schedule == inc.schedule
+            assert hor.schedule == hor_i.schedule
+            assert inc.score_computations <= alg.score_computations
+            assert hor_i.score_computations <= hor.score_computations
+
+    def test_paper_ranking_of_baselines(self, dataset):
+        """Greedy methods beat TOP and RAND on every dataset (the paper's headline shape)."""
+        instance = build_dataset(dataset, **DATASET_OVERRIDES)
+        records = {r.algorithm: r for r in run_algorithms(instance, 12, seed=1)}
+        assert records["ALG"].utility >= records["TOP"].utility - 1e-9
+        assert records["ALG"].utility >= records["RAND"].utility - 1e-9
+        assert records["HOR"].utility >= 0.9 * records["ALG"].utility
+
+
+class TestRoundTripThenSolve:
+    def test_saved_instance_gives_identical_schedules(self, tmp_path):
+        instance = build_dataset("Zip", **DATASET_OVERRIDES)
+        path = save_instance(instance, tmp_path / "zip.npz")
+        reloaded = load_instance(path)
+        for name in ("ALG", "HOR-I"):
+            original = run_scheduler(name, instance, 10)
+            restored = run_scheduler(name, reloaded, 10)
+            assert original.schedule == restored.schedule
+            assert original.utility == pytest.approx(restored.utility, rel=1e-12)
+
+
+class TestSummaryClaims:
+    def test_section_428_claims_at_small_scale(self):
+        """The §4.2.8 aggregate claims hold qualitatively on the scaled datasets."""
+        records = []
+        for dataset in ("Meetup", "Zip"):
+            instance = build_dataset(dataset, **DATASET_OVERRIDES)
+            for k in (6, 12, 18):
+                records.extend(
+                    run_algorithms(
+                        instance,
+                        k,
+                        algorithms=("ALG", "INC", "HOR", "HOR-I"),
+                        experiment_id="claims",
+                        params={"k": k},
+                    )
+                )
+        stats = summarize_records(records)
+        assert stats.num_points == 6
+        assert stats.inc_always_equal_to_alg
+        assert stats.hor_i_always_equal_to_hor
+        # HOR's utility is essentially ALG's utility.
+        assert stats.hor_mean_relative_gap < 0.05
+        # The contributed methods never do more work than ALG.
+        for ratio in stats.mean_computation_ratio.values():
+            assert ratio <= 1.0 + 1e-9
+
+
+class TestFeasibilityUnderStress:
+    @pytest.mark.parametrize("theta", [5.0, 10.0, 1000.0])
+    @pytest.mark.parametrize("locations", [2, 6])
+    def test_constraints_respected_across_regimes(self, theta, locations):
+        instance = build_dataset(
+            "Unf",
+            num_users=60,
+            num_events=20,
+            num_intervals=5,
+            num_locations=locations,
+            available_resources=theta,
+            seed=9,
+        )
+        for name in ("ALG", "INC", "HOR", "HOR-I", "TOP", "RAND"):
+            result = run_scheduler(name, instance, 15, seed=2)
+            assert is_schedule_feasible(instance, result.schedule)

@@ -1,0 +1,103 @@
+"""Tests for the Table 1 parameter grids (repro.datasets.params)."""
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.datasets.params import (
+    PAPER_DEFAULTS,
+    PAPER_GRID,
+    REPRO_DEFAULTS,
+    REPRO_GRID,
+    default,
+    mean_of_range,
+    paper_values,
+    repro_values,
+    resolve_relative,
+)
+
+
+class TestPaperGrid:
+    """The grid must encode Table 1 of the paper verbatim."""
+
+    def test_paper_defaults_match_table1(self):
+        assert PAPER_DEFAULTS["k"] == 100
+        assert PAPER_DEFAULTS["num_candidate_events"] == 300          # 3k
+        assert PAPER_DEFAULTS["num_intervals"] == 150                 # 3k/2
+        assert PAPER_DEFAULTS["num_locations"] == 25
+        assert PAPER_DEFAULTS["available_resources"] == 30
+        assert PAPER_DEFAULTS["num_users"] == 100_000
+        assert PAPER_DEFAULTS["interest_distribution"] == "uniform"
+
+    def test_paper_k_values(self):
+        assert paper_values("k") == (50, 70, 100, 200, 500)
+
+    def test_paper_user_values(self):
+        assert paper_values("num_users") == (10_000, 50_000, 100_000, 500_000, 1_000_000)
+
+    def test_paper_competing_ranges(self):
+        ranges = paper_values("competing_per_interval_range")
+        assert (1, 16) in ranges
+        assert len(ranges) == 5
+
+    def test_paper_location_values(self):
+        assert paper_values("num_locations") == (5, 10, 25, 50, 70)
+
+    def test_default_competing_mean_close_to_measured(self):
+        """The paper picks the default range so its mean is ≈ 8.1 (measured on Meetup)."""
+        assert mean_of_range(PAPER_DEFAULTS["competing_per_interval_range"]) == pytest.approx(
+            8.5, abs=0.6
+        )
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(ExperimentError, match="unknown parameter"):
+            PAPER_GRID.default("nope")
+        with pytest.raises(ExperimentError, match="unknown parameter"):
+            paper_values("nope")
+
+
+class TestReproGrid:
+    def test_repro_ratios_match_paper(self):
+        """The scaled grid preserves the |E| = 3k and |T| = 3k/2 ratios."""
+        k = REPRO_DEFAULTS["k"]
+        assert REPRO_DEFAULTS["num_candidate_events"] == 3 * k
+        assert REPRO_DEFAULTS["num_intervals"] == (3 * k) // 2
+
+    def test_repro_values_available_for_every_paper_parameter(self):
+        assert set(REPRO_GRID.parameters()) == set(PAPER_GRID.parameters())
+        for parameter in PAPER_GRID.parameters():
+            assert len(repro_values(parameter)) >= 2
+
+    def test_default_helper(self):
+        assert default("k") == REPRO_DEFAULTS["k"]
+        assert default("k", paper=True) == 100
+
+
+class TestResolveRelative:
+    @pytest.mark.parametrize(
+        "expression, k, expected",
+        [
+            ("k", 100, 100),
+            ("2k", 100, 200),
+            ("3k", 50, 150),
+            ("k/5", 100, 20),
+            ("k/2", 100, 50),
+            ("3k/2", 100, 150),
+            ("10k", 24, 240),
+            (7, 100, 7),
+            (2.6, 100, 3),
+        ],
+    )
+    def test_expressions(self, expression, k, expected):
+        assert resolve_relative(expression, k) == expected
+
+    def test_never_returns_zero(self):
+        assert resolve_relative("k/5", 3) == 1
+
+    @pytest.mark.parametrize("expression", ["foo", "k/x", "k/0", True])
+    def test_invalid_expressions(self, expression):
+        with pytest.raises(ExperimentError):
+            resolve_relative(expression, 100)
+
+    def test_mean_of_range(self):
+        assert mean_of_range((1, 16)) == pytest.approx(8.5)
+        assert mean_of_range((2, 2)) == pytest.approx(2.0)

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for the core invariants of the library.
+
+The key properties mirrored from the paper:
+
+* Proposition 1 — assignment scores never increase when more events join an
+  interval (stale scores are upper bounds).
+* Proposition 3 — INC and ALG return identical schedules.
+* Proposition 6 — HOR-I and HOR return identical schedules.
+* Every scheduler always returns a feasible schedule of at most k events.
+* The schedule utility equals the sum of the per-event expected attendances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.alg import AlgScheduler
+from repro.algorithms.hor import HorScheduler
+from repro.algorithms.hor_i import HorIScheduler
+from repro.algorithms.inc import IncScheduler
+from repro.algorithms.rand import RandScheduler
+from repro.algorithms.top import TopScheduler
+from repro.core.constraints import is_schedule_feasible
+from repro.core.instance import SESInstance
+from repro.core.interest import InterestMatrix
+from repro.core.schedule import Schedule
+from repro.core.scoring import ScoringEngine, utility_of_schedule
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def ses_instances(draw) -> SESInstance:
+    """Random small SES instances with occasionally-binding constraints."""
+    num_users = draw(st.integers(min_value=1, max_value=12))
+    num_events = draw(st.integers(min_value=1, max_value=8))
+    num_intervals = draw(st.integers(min_value=1, max_value=4))
+    num_competing = draw(st.integers(min_value=0, max_value=5))
+    num_locations = draw(st.integers(min_value=1, max_value=4))
+    theta = draw(st.sampled_from([2.0, 5.0, 100.0]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    interest = rng.random((num_users, num_events))
+    activity = rng.random((num_users, num_intervals))
+    competing = rng.random((num_users, num_competing))
+    competing_intervals = rng.integers(0, num_intervals, num_competing)
+    locations = [f"loc{rng.integers(0, num_locations)}" for _ in range(num_events)]
+    required = rng.uniform(0.0, 3.0, num_events)
+    return SESInstance.from_arrays(
+        interest=interest,
+        activity=activity,
+        competing_interest=competing if num_competing else None,
+        competing_interval_indices=list(competing_intervals) if num_competing else None,
+        locations=locations,
+        required_resources=list(required),
+        available_resources=theta,
+        name="hypothesis",
+    )
+
+
+@st.composite
+def interest_matrices(draw) -> InterestMatrix:
+    rows = draw(st.integers(min_value=0, max_value=6))
+    cols = draw(st.integers(min_value=0, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    return InterestMatrix(rng.random((rows, cols)))
+
+
+class TestScoreProperties:
+    @SETTINGS
+    @given(instance=ses_instances(), data=st.data())
+    def test_scores_non_negative_and_monotone(self, instance, data):
+        """Scores are ≥ 0 and never increase as events are added to the interval."""
+        engine = ScoringEngine(instance)
+        interval = data.draw(st.integers(min_value=0, max_value=instance.num_intervals - 1))
+        events = list(range(instance.num_events))
+        target = data.draw(st.sampled_from(events))
+        previous = engine.assignment_score(target, interval)
+        assert previous >= -1e-12
+        for event in events:
+            if event == target:
+                continue
+            engine.apply(event, interval)
+            current = engine.assignment_score(target, interval)
+            assert current >= -1e-12
+            assert current <= previous + 1e-9
+            previous = current
+
+    @SETTINGS
+    @given(instance=ses_instances())
+    def test_total_utility_equals_sum_of_attendances(self, instance):
+        engine = ScoringEngine(instance)
+        schedule = Schedule()
+        rng = np.random.default_rng(0)
+        for event in range(instance.num_events):
+            interval = int(rng.integers(0, instance.num_intervals))
+            schedule.add(event, interval)
+        utility = engine.evaluate_schedule(schedule)
+        attendance = engine.per_event_attendance(schedule)
+        assert utility == pytest.approx(sum(attendance.values()), rel=1e-9, abs=1e-9)
+
+    @SETTINGS
+    @given(instance=ses_instances())
+    def test_attendance_probability_is_a_probability(self, instance):
+        engine = ScoringEngine(instance)
+        for event in range(min(3, instance.num_events)):
+            engine.apply(event, event % instance.num_intervals)
+        for event in range(min(3, instance.num_events)):
+            probabilities = engine.attendance_probabilities(event)
+            assert np.all(probabilities >= -1e-12)
+            assert np.all(probabilities <= 1.0 + 1e-9)
+
+
+class TestAlgorithmProperties:
+    @SETTINGS
+    @given(instance=ses_instances(), k=st.integers(min_value=1, max_value=10))
+    def test_inc_equals_alg(self, instance, k):
+        alg = AlgScheduler(instance).schedule(k)
+        inc = IncScheduler(instance).schedule(k)
+        assert inc.schedule == alg.schedule
+
+    @SETTINGS
+    @given(instance=ses_instances(), k=st.integers(min_value=1, max_value=10))
+    def test_hor_i_equals_hor(self, instance, k):
+        hor = HorScheduler(instance).schedule(k)
+        hor_i = HorIScheduler(instance).schedule(k)
+        assert hor_i.schedule == hor.schedule
+
+    @SETTINGS
+    @given(instance=ses_instances(), k=st.integers(min_value=1, max_value=10))
+    def test_all_schedulers_feasible_and_bounded(self, instance, k):
+        for scheduler_cls in (AlgScheduler, IncScheduler, HorScheduler, HorIScheduler, TopScheduler):
+            result = scheduler_cls(instance).schedule(k)
+            assert result.num_scheduled <= min(k, instance.num_events)
+            assert is_schedule_feasible(instance, result.schedule)
+            assert result.utility == pytest.approx(
+                utility_of_schedule(instance, result.schedule), rel=1e-9, abs=1e-9
+            )
+        rand = RandScheduler(instance, seed=0).schedule(k)
+        assert is_schedule_feasible(instance, rand.schedule)
+
+    @SETTINGS
+    @given(instance=ses_instances(), k=st.integers(min_value=1, max_value=10))
+    def test_incremental_schemes_never_cost_more(self, instance, k):
+        alg = AlgScheduler(instance).schedule(k)
+        inc = IncScheduler(instance).schedule(k)
+        hor = HorScheduler(instance).schedule(k)
+        hor_i = HorIScheduler(instance).schedule(k)
+        assert inc.score_computations <= alg.score_computations
+        assert hor_i.score_computations <= hor.score_computations
+
+    @SETTINGS
+    @given(instance=ses_instances())
+    def test_greedy_first_pick_is_globally_best(self, instance):
+        from repro.core.constraints import is_assignment_feasible
+
+        engine = ScoringEngine(instance)
+        empty = Schedule()
+        feasible_scores = [
+            engine.assignment_score(event, interval, count=False)
+            for event in range(instance.num_events)
+            for interval in range(instance.num_intervals)
+            if is_assignment_feasible(instance, empty, event, interval)
+        ]
+        result = AlgScheduler(instance).schedule(1)
+        if result.num_scheduled:
+            assert result.utility == pytest.approx(max(feasible_scores), rel=1e-9, abs=1e-9)
+        else:
+            assert not feasible_scores
+
+
+class TestSerializationProperties:
+    @SETTINGS
+    @given(matrix=interest_matrices())
+    def test_interest_round_trip(self, matrix):
+        assert InterestMatrix.from_serialized(matrix.to_dict()) == matrix
+
+    @SETTINGS
+    @given(instance=ses_instances())
+    def test_instance_round_trip_preserves_utility(self, instance):
+        restored = SESInstance.from_dict(instance.to_dict())
+        schedule = Schedule()
+        for event in range(min(3, instance.num_events)):
+            schedule.add(event, event % instance.num_intervals)
+        assert utility_of_schedule(restored, schedule) == pytest.approx(
+            utility_of_schedule(instance, schedule), rel=1e-12, abs=1e-12
+        )

@@ -1,0 +1,147 @@
+"""Tests for the Theorem 1 reduction (repro.hardness.reduction).
+
+The key check: evaluating the canonical schedule of a 3DM-3 matching with the
+*actual scoring engine* reproduces the closed-form utility used in the proof
+sketch — ``|M| · 3(0.25 + δ) + (m − n)``.
+"""
+
+import pytest
+
+from repro.algorithms.alg import AlgScheduler
+from repro.core.constraints import is_schedule_feasible
+from repro.core.scoring import utility_of_schedule
+from repro.hardness.reduction import (
+    reduce_to_ses,
+    schedule_from_matching,
+    utility_of_matching_schedule,
+)
+from repro.hardness.three_dm import (
+    HardnessError,
+    ThreeDMInstance,
+    exact_maximum_matching,
+    greedy_matching,
+    random_3dm3_instance,
+)
+
+
+@pytest.fixture
+def small_3dm():
+    return random_3dm3_instance(3, num_triples=6, seed=7)
+
+
+class TestConstruction:
+    def test_sizes(self, small_3dm):
+        artifacts = reduce_to_ses(small_3dm, delta=0.05)
+        instance = artifacts.instance
+        n, m = small_3dm.n, small_3dm.num_triples
+        assert instance.num_events == 3 * n + (m - n)
+        assert instance.num_intervals == m
+        assert instance.num_competing_events == m          # one per interval
+        assert instance.num_users == 3 * n + (m - n)
+        assert instance.available_resources == 3.0
+        assert artifacts.k == 3 * n + (m - n)
+
+    def test_one_competing_event_per_interval(self, small_3dm):
+        instance = reduce_to_ses(small_3dm).instance
+        for interval in range(instance.num_intervals):
+            assert len(instance.competing_events_at(interval)) == 1
+
+    def test_interest_structure(self, small_3dm):
+        artifacts = reduce_to_ses(small_3dm, delta=0.05)
+        interest = artifacts.instance.interest.values
+        # Every user likes exactly one candidate event.
+        assert ((interest > 0).sum(axis=1) == 1).all()
+        # E1 events are liked with 0.25, fillers with 0.75.
+        for (dimension, element), event_index in artifacts.element_event_index.items():
+            user_index = dimension * small_3dm.n + element
+            assert interest[user_index, event_index] == pytest.approx(0.25)
+        for filler_position, event_index in enumerate(artifacts.filler_event_indices):
+            user_index = 3 * small_3dm.n + filler_position
+            assert interest[user_index, event_index] == pytest.approx(0.75)
+
+    def test_competing_interest_values(self, small_3dm):
+        delta = 0.05
+        artifacts = reduce_to_ses(small_3dm, delta=delta)
+        competing = artifacts.instance.competing_interest.values
+        adjusted = 0.25 * (0.75 - delta) / (0.25 + delta)
+        for (dimension, element), _ in artifacts.element_event_index.items():
+            user_index = dimension * small_3dm.n + element
+            for triple_index, triple in enumerate(small_3dm.triples):
+                expected = adjusted if triple[dimension] == element else 0.75
+                assert competing[user_index, triple_index] == pytest.approx(expected)
+        # Filler users are indifferent to every competing event.
+        for filler_position in range(len(artifacts.filler_event_indices)):
+            user_index = 3 * small_3dm.n + filler_position
+            assert (competing[user_index] == 0).all()
+
+    def test_delta_bounds_enforced(self, small_3dm):
+        with pytest.raises(HardnessError, match="delta"):
+            reduce_to_ses(small_3dm, delta=0.2)
+        with pytest.raises(HardnessError, match="delta"):
+            reduce_to_ses(small_3dm, delta=0.0)
+
+
+class TestUtilityCorrespondence:
+    @pytest.mark.parametrize("delta", [0.01, 0.05, 0.08])
+    def test_matched_triple_contributes_3_quarter_plus_delta(self, delta):
+        source = ThreeDMInstance(n=1, triples=((0, 0, 0),))
+        artifacts = reduce_to_ses(source, delta=delta)
+        schedule = schedule_from_matching(artifacts, [0])
+        utility = utility_of_schedule(artifacts.instance, schedule)
+        assert utility == pytest.approx(3 * (0.25 + delta), rel=1e-9)
+
+    def test_engine_matches_closed_form(self, small_3dm):
+        artifacts = reduce_to_ses(small_3dm, delta=0.05)
+        for matching in (greedy_matching(small_3dm), exact_maximum_matching(small_3dm), []):
+            schedule = schedule_from_matching(artifacts, matching)
+            assert is_schedule_feasible(artifacts.instance, schedule)
+            measured = utility_of_schedule(artifacts.instance, schedule)
+            closed_form = utility_of_matching_schedule(artifacts, matching)
+            assert measured == pytest.approx(closed_form, rel=1e-9)
+
+    def test_larger_matchings_give_larger_utility(self, small_3dm):
+        artifacts = reduce_to_ses(small_3dm, delta=0.05)
+        exact = exact_maximum_matching(small_3dm)
+        assert utility_of_matching_schedule(artifacts, exact) >= utility_of_matching_schedule(
+            artifacts, exact[:1]
+        )
+
+    def test_perfect_matching_reaches_proof_value(self):
+        source = random_3dm3_instance(3, num_triples=6, seed=11, ensure_perfect=True)
+        artifacts = reduce_to_ses(source, delta=0.05)
+        perfect = exact_maximum_matching(source)
+        assert len(perfect) == source.n
+        utility = utility_of_matching_schedule(artifacts, perfect)
+        n, m = source.n, source.num_triples
+        assert utility == pytest.approx(3 * n * (0.25 + 0.05) + (m - n), rel=1e-9)
+
+    def test_invalid_matching_rejected(self, small_3dm):
+        artifacts = reduce_to_ses(small_3dm)
+        # Six triples cannot form a matching when each dimension only has three elements.
+        bad = [0, 1, 2, 3, 4, 5]
+        with pytest.raises(HardnessError, match="matching"):
+            schedule_from_matching(artifacts, bad)
+        with pytest.raises(HardnessError, match="matching"):
+            utility_of_matching_schedule(artifacts, bad)
+
+
+class TestSolversOnReducedInstance:
+    def test_greedy_respects_reduction_constraints(self, small_3dm):
+        artifacts = reduce_to_ses(small_3dm, delta=0.05)
+        result = AlgScheduler(artifacts.instance).schedule(artifacts.k)
+        assert is_schedule_feasible(artifacts.instance, result.schedule)
+        # θ = 3 with ξ = 1 / ξ = 3: an interval hosts at most three element events.
+        for interval in result.schedule.used_intervals():
+            assert result.schedule.num_events_at(interval) <= 3
+
+    def test_greedy_utility_bounded_by_matching_value(self, small_3dm):
+        """No schedule can beat the canonical schedule of a maximum matching by much.
+
+        (The proof's point is the correspondence; here we just sanity-check that
+        the greedy SES utility lands in the plausible range.)
+        """
+        artifacts = reduce_to_ses(small_3dm, delta=0.05)
+        best_matching = exact_maximum_matching(small_3dm)
+        upper = utility_of_matching_schedule(artifacts, best_matching)
+        greedy = AlgScheduler(artifacts.instance).schedule(artifacts.k)
+        assert greedy.utility <= upper + len(artifacts.filler_event_indices) + 3 * 0.35

@@ -1,0 +1,109 @@
+"""Unit tests for schedules and assignments (repro.core.schedule)."""
+
+import pytest
+
+from repro.core.errors import ScheduleError
+from repro.core.schedule import Assignment, Schedule
+
+
+class TestAssignment:
+    def test_tuple_view(self):
+        assert Assignment(3, 1).as_tuple() == (3, 1)
+
+    def test_ordering_and_equality(self):
+        assert Assignment(1, 2) == Assignment(1, 2)
+        assert Assignment(1, 2) < Assignment(2, 0)
+
+
+class TestScheduleMutation:
+    def test_add_and_query(self):
+        schedule = Schedule()
+        schedule.add(0, 2)
+        schedule.add(3, 2)
+        schedule.add(1, 0)
+        assert len(schedule) == 3
+        assert schedule.is_scheduled(0)
+        assert not schedule.is_scheduled(2)
+        assert schedule.interval_of(3) == 2
+        assert schedule.events_at(2) == {0, 3}
+        assert schedule.num_events_at(2) == 2
+        assert schedule.events_at(1) == set()
+        assert schedule.scheduled_events() == {0, 1, 3}
+        assert schedule.used_intervals() == {0, 2}
+
+    def test_double_assignment_rejected(self):
+        schedule = Schedule()
+        schedule.add(0, 1)
+        with pytest.raises(ScheduleError, match="already assigned"):
+            schedule.add(0, 2)
+
+    def test_negative_indices_rejected(self):
+        schedule = Schedule()
+        with pytest.raises(ScheduleError, match="non-negative"):
+            schedule.add(-1, 0)
+
+    def test_remove(self):
+        schedule = Schedule()
+        schedule.add(0, 1)
+        schedule.add(2, 1)
+        schedule.remove(0)
+        assert not schedule.is_scheduled(0)
+        assert schedule.events_at(1) == {2}
+        schedule.remove(2)
+        assert schedule.used_intervals() == set()
+
+    def test_remove_unscheduled_rejected(self):
+        with pytest.raises(ScheduleError, match="not scheduled"):
+            Schedule().remove(4)
+
+    def test_interval_of_unscheduled_rejected(self):
+        with pytest.raises(ScheduleError, match="not scheduled"):
+            Schedule().interval_of(4)
+
+    def test_clear(self):
+        schedule = Schedule.from_pairs({0: 1, 2: 3})
+        schedule.clear()
+        assert len(schedule) == 0
+
+
+class TestScheduleViews:
+    def test_assignments_sorted(self):
+        schedule = Schedule.from_pairs([(5, 1), (2, 0), (3, 1)])
+        assignments = schedule.assignments()
+        assert assignments == [Assignment(2, 0), Assignment(3, 1), Assignment(5, 1)]
+
+    def test_events_at_returns_copy(self):
+        schedule = Schedule.from_pairs({0: 1})
+        events = schedule.events_at(1)
+        events.add(99)
+        assert schedule.events_at(1) == {0}
+
+    def test_copy_is_independent(self):
+        schedule = Schedule.from_pairs({0: 1})
+        clone = schedule.copy()
+        clone.add(2, 1)
+        assert len(schedule) == 1
+        assert len(clone) == 2
+        assert schedule == Schedule.from_pairs({0: 1})
+
+    def test_contains_protocol(self):
+        schedule = Schedule.from_pairs({0: 1, 2: 3})
+        assert Assignment(0, 1) in schedule
+        assert (2, 3) in schedule
+        assert (2, 1) not in schedule
+        assert 0 in schedule
+        assert 5 not in schedule
+        assert "e0" not in schedule
+
+    def test_iteration(self):
+        schedule = Schedule.from_pairs({0: 1, 2: 0})
+        assert list(schedule) == [Assignment(2, 0), Assignment(0, 1)]
+
+    def test_equality(self):
+        assert Schedule.from_pairs({0: 1}) == Schedule.from_pairs([(0, 1)])
+        assert Schedule.from_pairs({0: 1}) != Schedule.from_pairs({0: 2})
+        assert Schedule.from_pairs({0: 1}) != "not a schedule"
+
+    def test_as_dict(self):
+        schedule = Schedule.from_pairs({4: 2})
+        assert schedule.as_dict() == {4: 2}

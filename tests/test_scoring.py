@@ -1,0 +1,222 @@
+"""Tests of the attendance model and scoring engine against the paper's equations.
+
+The golden values come from the running example of Figure 1/Figure 2: the
+initial assignment scores (0.59, 0.52, 0.10, 0.64, 0.53, 0.57, 0.09, 0.66) and
+the post-selection updates (0.16, 0.03, 0.05) follow directly from Eq. 1–4.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import ComputationCounter
+from repro.core.errors import ScheduleError
+from repro.core.schedule import Schedule
+from repro.core.scoring import ScoringEngine, utility_of_schedule
+from tests.conftest import RUNNING_EXAMPLE_INITIAL_SCORES, make_random_instance
+
+
+class TestRunningExampleScores:
+    """Figure 2's first row: the initial assignment scores."""
+
+    @pytest.mark.parametrize(
+        "event_id, interval_id, rounded",
+        [
+            ("e1", "t1", 0.59),
+            ("e2", "t1", 0.52),
+            ("e3", "t1", 0.10),
+            ("e4", "t1", 0.64),
+            ("e1", "t2", 0.53),
+            ("e2", "t2", 0.57),
+            ("e3", "t2", 0.09),
+            ("e4", "t2", 0.66),
+        ],
+    )
+    def test_initial_scores_match_figure2(self, running_example, event_id, interval_id, rounded):
+        engine = ScoringEngine(running_example)
+        score = engine.assignment_score(
+            running_example.event_index(event_id), running_example.interval_index(interval_id)
+        )
+        assert score == pytest.approx(rounded, abs=0.005)
+        exact = RUNNING_EXAMPLE_INITIAL_SCORES[(event_id, interval_id)]
+        assert score == pytest.approx(exact, rel=1e-12)
+
+    def test_update_after_selecting_e4_at_t2(self, running_example):
+        """Figure 2 row 2: after selecting e4@t2, the updated t2 scores."""
+        engine = ScoringEngine(running_example)
+        e4 = running_example.event_index("e4")
+        t2 = running_example.interval_index("t2")
+        initial = engine.assignment_score(e4, t2)
+        engine.apply(e4, t2, score=initial)
+        # Updated marginal gains (Eq. 4): e2 -> 0.16, e3 -> 0.03.
+        assert engine.assignment_score(running_example.event_index("e2"), t2) == pytest.approx(
+            0.16, abs=0.005
+        )
+        assert engine.assignment_score(running_example.event_index("e3"), t2) == pytest.approx(
+            0.03, abs=0.005
+        )
+
+    def test_update_after_selecting_e1_at_t1(self, running_example):
+        """Figure 2 row 3: after also selecting e1@t1, e3@t1 drops from 0.10 to 0.05."""
+        engine = ScoringEngine(running_example)
+        t1 = running_example.interval_index("t1")
+        e1 = running_example.event_index("e1")
+        engine.apply(e1, t1)
+        assert engine.assignment_score(running_example.event_index("e3"), t1) == pytest.approx(
+            0.05, abs=0.005
+        )
+
+
+class TestEngineStateManagement:
+    def test_apply_advances_interval_utility_by_score(self, small_instance):
+        engine = ScoringEngine(small_instance)
+        score = engine.assignment_score(0, 0)
+        engine.apply(0, 0, score=score)
+        assert engine.interval_utility(0) == pytest.approx(score)
+        assert engine.total_utility() == pytest.approx(score)
+
+    def test_apply_without_score_computes_it(self, small_instance):
+        engine = ScoringEngine(small_instance)
+        gain = engine.apply(2, 1)
+        assert gain > 0
+        assert engine.total_utility() == pytest.approx(gain)
+
+    def test_double_apply_rejected(self, small_instance):
+        engine = ScoringEngine(small_instance)
+        engine.apply(0, 0)
+        with pytest.raises(ScheduleError, match="already applied"):
+            engine.apply(0, 1)
+
+    def test_reset_clears_state_but_not_counters(self, small_instance):
+        counter = ComputationCounter()
+        engine = ScoringEngine(small_instance, counter=counter)
+        engine.apply(0, 0)
+        before = counter.score_computations
+        engine.reset()
+        assert engine.total_utility() == 0.0
+        assert counter.score_computations == before
+
+    def test_incremental_matches_stateless_evaluation(self, medium_instance):
+        engine = ScoringEngine(medium_instance)
+        schedule = Schedule()
+        for event_index, interval_index in [(0, 0), (3, 0), (5, 2), (7, 1)]:
+            score = engine.assignment_score(event_index, interval_index)
+            engine.apply(event_index, interval_index, score=score)
+            schedule.add(event_index, interval_index)
+        assert engine.total_utility() == pytest.approx(
+            engine.evaluate_schedule(schedule), rel=1e-9
+        )
+
+    def test_expected_attendance_of_applied_event(self, small_instance):
+        engine = ScoringEngine(small_instance)
+        engine.apply(0, 0)
+        attendance = engine.expected_attendance(0)
+        assert attendance == pytest.approx(engine.interval_utility(0), rel=1e-9)
+
+    def test_expected_attendance_requires_apply(self, small_instance):
+        engine = ScoringEngine(small_instance)
+        with pytest.raises(ScheduleError, match="has not been applied"):
+            engine.expected_attendance(0)
+
+    def test_attendance_probabilities_bounds(self, small_instance):
+        engine = ScoringEngine(small_instance)
+        engine.apply(1, 0)
+        probabilities = engine.attendance_probabilities(1)
+        assert probabilities.shape == (small_instance.num_users,)
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0 + 1e-12)
+
+
+class TestModelProperties:
+    def test_scores_are_non_negative(self, medium_instance):
+        engine = ScoringEngine(medium_instance)
+        engine.apply(0, 0)
+        engine.apply(1, 0)
+        for event_index in range(2, medium_instance.num_events):
+            assert engine.assignment_score(event_index, 0) >= -1e-12
+
+    def test_adding_events_never_increases_marginal_gain(self, medium_instance):
+        """Proposition 1's core fact: stale scores are upper bounds."""
+        engine = ScoringEngine(medium_instance)
+        before = engine.assignment_score(5, 1)
+        engine.apply(2, 1)
+        after = engine.assignment_score(5, 1)
+        assert after <= before + 1e-12
+
+    def test_competition_reduces_attendance(self):
+        base = make_random_instance(seed=11, num_competing=0)
+        competed = make_random_instance(seed=11, num_competing=10)
+        # The two instances share interest/activity matrices (same seed and
+        # shapes); only the competing events differ.
+        schedule = Schedule.from_pairs({0: 0})
+        assert utility_of_schedule(competed, schedule) <= utility_of_schedule(base, schedule)
+
+    def test_zero_interest_event_contributes_nothing(self):
+        instance = make_random_instance(seed=4, interest_scale=0.0)
+        schedule = Schedule.from_pairs({0: 0, 1: 1})
+        assert utility_of_schedule(instance, schedule) == pytest.approx(0.0)
+
+    def test_probabilities_sum_at_most_sigma(self, small_instance):
+        """Within an interval, a user's attendance probabilities sum to at most σ·weight."""
+        engine = ScoringEngine(small_instance)
+        for event_index in (0, 1, 2):
+            engine.apply(event_index, 0)
+        total = np.zeros(small_instance.num_users)
+        for event_index in (0, 1, 2):
+            total += engine.attendance_probabilities(event_index)
+        sigma = small_instance.activity[:, 0] * small_instance.user_weights
+        assert np.all(total <= sigma + 1e-9)
+
+    def test_empty_schedule_has_zero_utility(self, small_instance):
+        assert utility_of_schedule(small_instance, Schedule()) == 0.0
+
+
+class TestExtensions:
+    def test_user_weights_scale_utility(self):
+        unweighted = make_random_instance(seed=21)
+        weighted = make_random_instance(
+            seed=21, user_weights=[2.0] * unweighted.num_users
+        )
+        schedule = Schedule.from_pairs({0: 0, 4: 2})
+        assert utility_of_schedule(weighted, schedule) == pytest.approx(
+            2.0 * utility_of_schedule(unweighted, schedule), rel=1e-9
+        )
+
+    def test_event_values_scale_contributions(self):
+        base = make_random_instance(seed=22)
+        valued = make_random_instance(seed=22, event_values=[3.0] + [1.0] * (base.num_events - 1))
+        single = Schedule.from_pairs({0: 0})
+        assert utility_of_schedule(valued, single) == pytest.approx(
+            3.0 * utility_of_schedule(base, single), rel=1e-9
+        )
+
+    def test_event_costs_reduce_net_utility(self):
+        costed = make_random_instance(seed=23, event_costs=[1.5] * 12)
+        schedule = Schedule.from_pairs({0: 0, 1: 1})
+        gross = utility_of_schedule(costed, schedule)
+        net = utility_of_schedule(costed, schedule, include_costs=True)
+        assert net == pytest.approx(gross - 3.0, rel=1e-9)
+
+
+class TestCounting:
+    def test_each_score_costs_num_users(self, small_instance):
+        counter = ComputationCounter()
+        engine = ScoringEngine(small_instance, counter=counter)
+        engine.assignment_score(0, 0)
+        engine.assignment_score(1, 1, initial=True)
+        assert counter.score_computations == 2
+        assert counter.user_computations == 2 * small_instance.num_users
+        assert counter.initial_computations == 1
+        assert counter.update_computations == 1
+
+    def test_uncounted_evaluations(self, small_instance):
+        counter = ComputationCounter()
+        engine = ScoringEngine(small_instance, counter=counter)
+        engine.assignment_score(0, 0, count=False)
+        engine.evaluate_schedule(Schedule.from_pairs({0: 0}))
+        assert counter.score_computations == 0
+
+    def test_counted_schedule_evaluation(self, small_instance):
+        counter = ComputationCounter()
+        engine = ScoringEngine(small_instance, counter=counter)
+        engine.evaluate_schedule(Schedule.from_pairs({0: 0, 1: 1}), count=True)
+        assert counter.score_computations == 2

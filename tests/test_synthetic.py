@@ -1,0 +1,135 @@
+"""Tests for the synthetic dataset generator (repro.datasets.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_normal,
+    generate_synthetic,
+    generate_uniform,
+    generate_zipfian,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_users=80,
+        num_events=20,
+        num_intervals=8,
+        competing_per_interval_range=(1, 4),
+        num_locations=5,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return SyntheticConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(DatasetError):
+            small_config(num_users=0)
+        with pytest.raises(DatasetError):
+            small_config(num_events=0)
+        with pytest.raises(DatasetError):
+            small_config(num_locations=0)
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(DatasetError, match="interest distribution"):
+            small_config(interest_distribution="cauchy")
+        with pytest.raises(DatasetError, match="activity distribution"):
+            small_config(activity_distribution="zipfian")
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(DatasetError, match="competing_per_interval_range"):
+            small_config(competing_per_interval_range=(5, 2))
+        with pytest.raises(DatasetError, match="required_resources_range"):
+            small_config(required_resources_range=(3.0, 1.0))
+
+    def test_name_defaults_to_distribution(self):
+        assert small_config(interest_distribution="zipfian").name == "synthetic-zipfian"
+
+    def test_config_or_overrides_not_both(self):
+        with pytest.raises(DatasetError, match="not both"):
+            generate_synthetic(small_config(), num_users=5)
+
+
+class TestGeneratedInstances:
+    def test_shapes_match_config(self):
+        config = small_config()
+        instance = generate_synthetic(config)
+        assert instance.num_users == 80
+        assert instance.num_events == 20
+        assert instance.num_intervals == 8
+        assert instance.num_locations() <= 5
+        assert instance.available_resources == config.available_resources
+
+    def test_competing_events_per_interval_within_range(self):
+        instance = generate_synthetic(small_config(competing_per_interval_range=(2, 6)))
+        for interval_index in range(instance.num_intervals):
+            count = len(instance.competing_events_at(interval_index))
+            assert 2 <= count <= 6
+
+    def test_values_within_unit_interval(self):
+        instance = generate_synthetic(small_config(interest_distribution="normal"))
+        assert instance.interest.values.min() >= 0.0
+        assert instance.interest.values.max() <= 1.0
+        assert instance.activity.min() >= 0.0
+        assert instance.activity.max() <= 1.0
+
+    def test_reproducible_with_seed(self):
+        first = generate_synthetic(small_config(seed=11))
+        second = generate_synthetic(small_config(seed=11))
+        np.testing.assert_allclose(first.interest.values, second.interest.values)
+        np.testing.assert_allclose(first.activity, second.activity)
+
+    def test_different_seeds_differ(self):
+        first = generate_synthetic(small_config(seed=11))
+        second = generate_synthetic(small_config(seed=12))
+        assert not np.allclose(first.interest.values, second.interest.values)
+
+    def test_metadata_records_config(self):
+        instance = generate_synthetic(small_config())
+        assert instance.metadata["generator"] == "synthetic"
+        assert instance.metadata["config"]["num_users"] == 80
+
+    def test_required_resources_within_range(self):
+        instance = generate_synthetic(small_config(required_resources_range=(2.0, 4.0)))
+        resources = instance.event_required_resources()
+        assert resources.min() >= 2.0
+        assert resources.max() <= 4.0
+
+
+class TestDistributionShapes:
+    def test_uniform_mean_near_half(self):
+        instance = generate_uniform(num_users=200, num_events=30, num_intervals=8, seed=1)
+        assert instance.interest.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_normal_clipped_and_centered(self):
+        instance = generate_normal(num_users=200, num_events=30, num_intervals=8, seed=1)
+        assert instance.interest.mean() == pytest.approx(0.5, abs=0.05)
+        assert instance.interest.values.max() <= 1.0
+
+    def test_zipfian_is_skewed(self):
+        """Zipfian interest concentrates on a few events: the column means are spread out."""
+        zipf = generate_zipfian(num_users=200, num_events=30, num_intervals=8, seed=1)
+        unf = generate_uniform(num_users=200, num_events=30, num_intervals=8, seed=1)
+        zipf_column_means = zipf.interest.values.mean(axis=0)
+        unf_column_means = unf.interest.values.mean(axis=0)
+        assert zipf_column_means.std() > 3 * unf_column_means.std()
+        assert zipf.interest.mean() < unf.interest.mean()
+
+    def test_zipf_exponent_controls_skew(self):
+        mild = generate_zipfian(
+            num_users=150, num_events=30, num_intervals=6, zipf_exponent=1, seed=2
+        )
+        strong = generate_zipfian(
+            num_users=150, num_events=30, num_intervals=6, zipf_exponent=3, seed=2
+        )
+        assert strong.interest.mean() < mild.interest.mean()
+
+    def test_shorthand_names(self):
+        assert generate_uniform(num_users=10, num_events=4, num_intervals=2, seed=0).name == "Unf"
+        assert generate_normal(num_users=10, num_events=4, num_intervals=2, seed=0).name == "Nrm"
+        assert generate_zipfian(num_users=10, num_events=4, num_intervals=2, seed=0).name == "Zip"

@@ -1,0 +1,105 @@
+"""Tests for the 3DM-3 machinery (repro.hardness.three_dm)."""
+
+import pytest
+
+from repro.hardness.three_dm import (
+    HardnessError,
+    ThreeDMInstance,
+    exact_maximum_matching,
+    greedy_matching,
+    is_matching,
+    random_3dm3_instance,
+)
+
+
+class TestInstanceValidation:
+    def test_valid_instance(self):
+        instance = ThreeDMInstance(n=2, triples=((0, 0, 0), (1, 1, 1), (0, 1, 1)))
+        assert instance.num_triples == 3
+
+    def test_rejects_out_of_range_elements(self):
+        with pytest.raises(HardnessError, match="outside"):
+            ThreeDMInstance(n=2, triples=((0, 0, 5),))
+
+    def test_rejects_more_than_three_occurrences(self):
+        triples = ((0, 0, 0), (0, 1, 1), (0, 0, 1), (0, 1, 0))
+        with pytest.raises(HardnessError, match="3-bounded"):
+            ThreeDMInstance(n=2, triples=triples)
+
+    def test_rejects_empty_triples(self):
+        with pytest.raises(HardnessError, match="at least one triple"):
+            ThreeDMInstance(n=2, triples=())
+
+    def test_rejects_bad_arity(self):
+        with pytest.raises(HardnessError, match="three coordinates"):
+            ThreeDMInstance(n=2, triples=((0, 0),))  # type: ignore[arg-type]
+
+
+class TestMatching:
+    def test_is_matching_accepts_disjoint_triples(self):
+        instance = ThreeDMInstance(n=2, triples=((0, 0, 0), (1, 1, 1), (0, 1, 1)))
+        assert is_matching(instance, [0, 1])
+        assert is_matching(instance, [])
+
+    def test_is_matching_rejects_shared_elements(self):
+        instance = ThreeDMInstance(n=2, triples=((0, 0, 0), (0, 1, 1), (1, 1, 0)))
+        assert not is_matching(instance, [0, 1])      # share x = 0
+        assert not is_matching(instance, [1, 2])      # share y = 1
+
+    def test_is_matching_rejects_duplicates_and_bad_indices(self):
+        instance = ThreeDMInstance(n=2, triples=((0, 0, 0), (1, 1, 1)))
+        assert not is_matching(instance, [0, 0])
+        assert not is_matching(instance, [7])
+
+    def test_greedy_matching_is_valid_and_maximal(self):
+        instance = random_3dm3_instance(4, seed=0)
+        matching = greedy_matching(instance)
+        assert is_matching(instance, matching)
+        taken_x = {instance.triples[i][0] for i in matching}
+        taken_y = {instance.triples[i][1] for i in matching}
+        taken_z = {instance.triples[i][2] for i in matching}
+        for index, (x, y, z) in enumerate(instance.triples):
+            if index in matching:
+                continue
+            assert x in taken_x or y in taken_y or z in taken_z
+
+    def test_exact_matching_dominates_greedy(self):
+        instance = random_3dm3_instance(3, num_triples=6, seed=1)
+        exact = exact_maximum_matching(instance)
+        greedy = greedy_matching(instance)
+        assert is_matching(instance, exact)
+        assert len(exact) >= len(greedy)
+
+    def test_exact_matching_finds_planted_perfect_matching(self):
+        instance = random_3dm3_instance(3, num_triples=5, seed=2, ensure_perfect=True)
+        exact = exact_maximum_matching(instance)
+        assert len(exact) == 3
+
+    def test_exact_matching_guard(self):
+        instance = random_3dm3_instance(6, num_triples=18, seed=3)
+        with pytest.raises(HardnessError, match="too large"):
+            exact_maximum_matching(instance, limit=10)
+
+
+class TestRandomGenerator:
+    def test_three_bounded_respected(self):
+        for seed in range(5):
+            instance = random_3dm3_instance(5, seed=seed)
+            # Construction would have raised otherwise; double-check anyway.
+            for dimension in range(3):
+                counts = [0] * instance.n
+                for triple in instance.triples:
+                    counts[triple[dimension]] += 1
+                assert max(counts) <= 3
+
+    def test_ensure_perfect_plants_matching(self):
+        instance = random_3dm3_instance(4, num_triples=8, seed=4, ensure_perfect=True)
+        # The first n triples are the planted perfect matching.
+        assert is_matching(instance, list(range(4)))
+
+    def test_num_triples_validation(self):
+        with pytest.raises(HardnessError, match="at least n"):
+            random_3dm3_instance(4, num_triples=2, ensure_perfect=True)
+
+    def test_reproducible(self):
+        assert random_3dm3_instance(3, seed=9).triples == random_3dm3_instance(3, seed=9).triples

@@ -1,0 +1,63 @@
+"""Unit tests for solution validation helpers (repro.core.validation)."""
+
+import pytest
+
+from repro.core.errors import InstanceValidationError
+from repro.core.schedule import Schedule
+from repro.core.scoring import utility_of_schedule
+from repro.core.validation import assert_valid_solution, instance_report, validate_solution
+from tests.conftest import make_random_instance
+
+
+class TestValidateSolution:
+    def test_valid_solution_passes(self, small_instance):
+        schedule = Schedule.from_pairs({0: 0, 4: 1})
+        utility = utility_of_schedule(small_instance, schedule)
+        assert validate_solution(small_instance, schedule, k=3, claimed_utility=utility) == []
+
+    def test_too_many_assignments_flagged(self, small_instance):
+        schedule = Schedule.from_pairs({0: 0, 4: 1, 6: 2})
+        problems = validate_solution(small_instance, schedule, k=2)
+        assert any("k=2" in problem for problem in problems)
+
+    def test_out_of_range_indices_flagged(self, small_instance):
+        schedule = Schedule.from_pairs({999: 0})
+        problems = validate_solution(small_instance, schedule, k=2)
+        assert any("out of range" in problem for problem in problems)
+
+    def test_constraint_violations_flagged(self):
+        instance = make_random_instance(seed=8, num_locations=1, available_resources=1000.0)
+        schedule = Schedule.from_pairs({0: 0, 1: 0})  # same location, same interval
+        problems = validate_solution(instance, schedule, k=5)
+        assert any("share location" in problem for problem in problems)
+
+    def test_wrong_utility_flagged(self, small_instance):
+        schedule = Schedule.from_pairs({0: 0})
+        problems = validate_solution(small_instance, schedule, k=1, claimed_utility=12345.0)
+        assert any("differs" in problem for problem in problems)
+
+    def test_assert_valid_solution_raises(self, small_instance):
+        with pytest.raises(InstanceValidationError):
+            assert_valid_solution(
+                small_instance, Schedule.from_pairs({0: 0}), k=1, claimed_utility=-5.0
+            )
+
+    def test_assert_valid_solution_passes(self, small_instance):
+        assert_valid_solution(small_instance, Schedule.from_pairs({0: 0}), k=1)
+
+
+class TestInstanceReport:
+    def test_report_fields(self, small_instance):
+        report = instance_report(small_instance)
+        assert report["num_events"] == small_instance.num_events
+        assert report["mean_competing_per_interval"] >= 0
+        assert report["max_events_sharing_location"] >= 1
+        assert report["max_events_per_interval_by_resources"] is None or isinstance(
+            report["max_events_per_interval_by_resources"], int
+        )
+
+    def test_report_without_competing_events(self):
+        instance = make_random_instance(seed=3, num_competing=0)
+        report = instance_report(instance)
+        assert report["mean_competing_per_interval"] == 0.0
+        assert report["max_competing_per_interval"] == 0
