@@ -1,0 +1,112 @@
+"""Scalar vs. batch scoring backend on a Fig. 10-scale instance.
+
+HOR's initial round evaluates every feasible (event, interval) pair once, so
+with ``k = |T|`` a full HOR run *is* the initial round — the purest measure of
+raw score-evaluation throughput.  This benchmark runs that round under both
+backends on an unconstrained instance (every pair feasible, the worst case),
+checks that schedules, utilities and counters are identical, and asserts the
+batch backend's wall-clock speedup.
+
+Scales (``REPRO_BENCH_SCALE``):
+
+* ``tiny``  — 120 events × 12 intervals × 60 users (CI quick mode);
+* ``small`` — 500 events × 50 intervals × 200 users (the acceptance-criteria
+  size, default);
+* ``default`` — 900 events × 90 intervals × 400 users.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.hor import HorScheduler
+from repro.core.instance import SESInstance
+
+from benchmarks.conftest import persist_rows, run_once
+
+#: (num_events, num_intervals, num_users, minimum accepted speedup).
+SPEEDUP_SCALES = {
+    "tiny": (120, 12, 60, 2.0),
+    "small": (500, 50, 200, 3.0),
+    "default": (900, 90, 400, 3.0),
+}
+
+
+def build_instance(num_events: int, num_intervals: int, num_users: int) -> SESInstance:
+    rng = np.random.default_rng(7)
+    return SESInstance.from_arrays(
+        interest=rng.random((num_users, num_events)),
+        activity=rng.random((num_users, num_intervals)),
+        name=f"speedup-{num_events}x{num_intervals}",
+    )
+
+
+def time_hor_initial_round(instance: SESInstance, backend: str, repetitions: int = 1):
+    """Best-of-N timing of a one-round HOR run (k = |T|) under one backend.
+
+    The minimum over repetitions is the standard robust estimator on noisy
+    shared machines — every source of interference only ever adds time.
+    """
+    best_elapsed, result = float("inf"), None
+    for _ in range(repetitions):
+        scheduler = HorScheduler(instance, backend=backend)
+        started = time.perf_counter()
+        result = scheduler.schedule(instance.num_intervals)
+        best_elapsed = min(best_elapsed, time.perf_counter() - started)
+    return best_elapsed, result
+
+
+def compare_backends(scale: str):
+    num_events, num_intervals, num_users, _ = SPEEDUP_SCALES[scale]
+    # Warm-up on a minute instance so one-time costs (lazy imports, allocator
+    # warm-up) don't pollute the first timed backend.
+    warmup = build_instance(10, 3, 8)
+    for backend in ("scalar", "batch"):
+        time_hor_initial_round(warmup, backend)
+    instance = build_instance(num_events, num_intervals, num_users)
+    rows = []
+    results = {}
+    timings = {}
+    for backend in ("scalar", "batch"):
+        elapsed, result = time_hor_initial_round(instance, backend, repetitions=3)
+        results[backend] = result
+        timings[backend] = elapsed
+        rows.append(
+            {
+                "scale": scale,
+                "backend": backend,
+                "events": num_events,
+                "intervals": num_intervals,
+                "users": num_users,
+                "time_sec": round(elapsed, 4),
+                "utility": round(result.utility, 4),
+                "score_computations": result.score_computations,
+            }
+        )
+    # Ratios come from the raw timings — rounding is for display only.
+    for row in rows:
+        row["speedup_vs_scalar"] = round(
+            timings["scalar"] / max(timings[row["backend"]], 1e-9), 2
+        )
+    speedup = timings["scalar"] / max(timings["batch"], 1e-9)
+    return rows, results, speedup
+
+
+def test_backend_speedup(benchmark, bench_scale, results_dir):
+    scale = bench_scale if bench_scale in SPEEDUP_SCALES else "small"
+    rows, results, speedup = run_once(benchmark, compare_backends, scale)
+    text = persist_rows("backend_speedup", rows, results_dir)
+    print("\n" + text)
+    print(f"batch speedup over scalar: {speedup:.2f}x")
+
+    # Backends must be observationally identical …
+    assert results["scalar"].schedule.as_dict() == results["batch"].schedule.as_dict()
+    assert abs(results["scalar"].utility - results["batch"].utility) <= 1e-9
+    assert results["scalar"].counters == results["batch"].counters
+    # … and the batch backend must actually be faster.
+    minimum = SPEEDUP_SCALES[scale][3]
+    assert speedup >= minimum, (
+        f"batch backend speedup {speedup:.2f}x below the {minimum}x floor at scale {scale!r}"
+    )

@@ -32,7 +32,7 @@ from repro.core.errors import (
 )
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
-from repro.core.scoring import ScoringEngine
+from repro.core.scoring import DEFAULT_BACKEND, SCORING_BACKENDS, ScoringEngine
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import available_schedulers, get_scheduler
 from repro.algorithms.alg import AlgScheduler
@@ -59,6 +59,8 @@ __all__ = [
     "Assignment",
     "Schedule",
     "ScoringEngine",
+    "SCORING_BACKENDS",
+    "DEFAULT_BACKEND",
     "SchedulerResult",
     "available_schedulers",
     "get_scheduler",

@@ -49,12 +49,12 @@ class IncUpdatesOnlyScheduler(BaseScheduler):
         counter = self.counter
         schedule = Schedule()
 
-        entries: List[AssignmentEntry] = []
-        for event_index in range(instance.num_events):
-            for interval_index in range(instance.num_intervals):
-                score = engine.assignment_score(event_index, interval_index, initial=True)
-                counter.count_generated()
-                entries.append(AssignmentEntry(event_index, interval_index, score))
+        score_grid = self._initial_score_grid()
+        entries: List[AssignmentEntry] = [
+            AssignmentEntry(event_index, interval_index, float(score_grid[event_index, interval_index]))
+            for event_index in range(instance.num_events)
+            for interval_index in range(instance.num_intervals)
+        ]
 
         while len(schedule) < k:
             # Pass 1 (full scan, like ALG): the best *exact* valid score is the bound Φ.

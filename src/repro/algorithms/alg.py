@@ -35,13 +35,13 @@ class AlgScheduler(BaseScheduler):
         counter = self.counter
         schedule = Schedule()
 
-        # Initial generation: scores for all pairs of events and intervals.
-        scores: Dict[Tuple[int, int], float] = {}
-        for event_index in range(instance.num_events):
-            for interval_index in range(instance.num_intervals):
-                score = engine.assignment_score(event_index, interval_index, initial=True)
-                counter.count_generated()
-                scores[(event_index, interval_index)] = score
+        # Initial generation: the full |E|×|T| score matrix in one bulk call.
+        score_grid = self._initial_score_grid()
+        scores: Dict[Tuple[int, int], float] = {
+            (event_index, interval_index): float(score_grid[event_index, interval_index])
+            for event_index in range(instance.num_events)
+            for interval_index in range(instance.num_intervals)
+        }
 
         iterations = 0
         while len(schedule) < k:
@@ -65,14 +65,20 @@ class AlgScheduler(BaseScheduler):
             for other_interval in range(instance.num_intervals):
                 scores.pop((event_index, other_interval), None)
 
-            # Update: recompute the scores of the selected interval from scratch.
+            # Update: recompute the scores of the selected interval from scratch
+            # (one batched evaluation of every surviving event of the interval).
             stale_pairs = [pair for pair in scores if pair[1] == interval_index]
+            refresh_events = []
             for pair in stale_pairs:
                 counter.count_examined()
                 if not checker.is_feasible(pair[0], interval_index):
                     del scores[pair]
                     continue
-                scores[pair] = engine.assignment_score(pair[0], interval_index)
+                refresh_events.append(pair[0])
+            if refresh_events:
+                refreshed = engine.interval_scores(interval_index, refresh_events)
+                for refreshed_event, score in zip(refresh_events, refreshed):
+                    scores[(refreshed_event, interval_index)] = float(score)
 
         self.note("iterations", iterations)
         return schedule

@@ -24,7 +24,7 @@ from repro.core.counters import ComputationCounter
 from repro.core.errors import SolverError
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
-from repro.core.scoring import ScoringEngine
+from repro.core.scoring import ScoringEngine, resolve_backend
 
 
 @dataclass
@@ -155,6 +155,11 @@ class BaseScheduler(ABC):
         a fresh one is created when omitted.
     seed:
         Seed for the randomised schedulers (ignored by the deterministic ones).
+    backend:
+        Scoring backend (``"scalar"`` or ``"batch"``) forwarded to the
+        :class:`~repro.core.scoring.ScoringEngine`; ``None`` selects the
+        library default.  Both backends produce identical schedules, utilities
+        and counter totals.
     """
 
     #: Registry name; subclasses override.
@@ -166,12 +171,14 @@ class BaseScheduler(ABC):
         *,
         counter: Optional[ComputationCounter] = None,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self._instance = instance
         self._counter = counter if counter is not None else ComputationCounter()
         if self._counter.num_users == 0:
             self._counter.num_users = instance.num_users
         self._seed = seed
+        self._backend = resolve_backend(backend)
         self._engine: Optional[ScoringEngine] = None
         self._checker: Optional[ConstraintChecker] = None
 
@@ -188,6 +195,11 @@ class BaseScheduler(ABC):
         """The counter recording this scheduler's work."""
         return self._counter
 
+    @property
+    def backend(self) -> str:
+        """The scoring backend the scheduler's engine will use."""
+        return self._backend
+
     def schedule(self, k: int) -> SchedulerResult:
         """Produce a feasible schedule of (up to) ``k`` events.
 
@@ -200,7 +212,7 @@ class BaseScheduler(ABC):
             raise SolverError(f"k must be a positive integer, got {k!r}")
         effective_k = min(k, self._instance.num_events)
 
-        self._engine = ScoringEngine(self._instance, counter=self._counter)
+        self._engine = ScoringEngine(self._instance, counter=self._counter, backend=self._backend)
         self._checker = ConstraintChecker(self._instance)
         self._extras: Dict[str, object] = {}
 
@@ -258,6 +270,17 @@ class BaseScheduler(ABC):
         self.engine.apply(event_index, interval_index, score=score)
         self._counter.count_selection()
 
+    def _initial_score_grid(self):
+        """The full |E|×|T| initial score matrix, counted as generated assignments.
+
+        One bulk evaluation per interval under the active backend; every
+        (event, interval) pair is recorded as one generated assignment and one
+        initial score computation, as in per-pair generation.
+        """
+        grid = self.engine.score_matrix(initial=True)
+        self._counter.count_generated(int(grid.size))
+        return grid
+
     def _generate_all_entries(
         self, *, initial: bool = True, only_valid: bool = False, schedule: Optional[Schedule] = None
     ) -> List[List[AssignmentEntry]]:
@@ -266,21 +289,43 @@ class BaseScheduler(ABC):
         ``only_valid`` restricts generation to assignments that are currently
         valid (event unscheduled and feasible) — HOR's per-round regeneration —
         while the default generates everything (ALG/INC initialisation).
+
+        Scores are obtained from the engine's bulk API (one
+        :meth:`~repro.core.scoring.ScoringEngine.interval_scores` call per
+        interval), so the active backend evaluates each interval's candidates
+        in a single vectorised pass; the counter still records one score
+        computation per generated (event, interval) pair.
         """
-        per_interval: List[List[AssignmentEntry]] = [
-            [] for _ in range(self._instance.num_intervals)
+        num_intervals = self._instance.num_intervals
+        num_events = self._instance.num_events
+        per_interval: List[List[AssignmentEntry]] = [[] for _ in range(num_intervals)]
+        candidate_events = [
+            event_index
+            for event_index in range(num_events)
+            if not (
+                only_valid and schedule is not None and schedule.is_scheduled(event_index)
+            )
         ]
-        for event_index in range(self._instance.num_events):
-            if only_valid and schedule is not None and schedule.is_scheduled(event_index):
+        for interval_index in range(num_intervals):
+            if only_valid:
+                events = [
+                    event_index
+                    for event_index in candidate_events
+                    if self.checker.is_feasible(event_index, interval_index)
+                ]
+            else:
+                events = candidate_events
+            if not events:
                 continue
-            for interval_index in range(self._instance.num_intervals):
-                if only_valid and not self.checker.is_feasible(event_index, interval_index):
-                    continue
-                score = self.engine.assignment_score(event_index, interval_index, initial=initial)
-                self._counter.count_generated()
-                per_interval[interval_index].append(
-                    AssignmentEntry(event_index, interval_index, score)
-                )
+            # Passing None lets the engine score its precomputed full event
+            # set without materialising a per-interval index copy.
+            selector = None if len(events) == num_events else events
+            scores = self.engine.interval_scores(interval_index, selector, initial=initial)
+            self._counter.count_generated(len(events))
+            per_interval[interval_index] = [
+                AssignmentEntry(event_index, interval_index, float(score))
+                for event_index, score in zip(events, scores)
+            ]
         for entries in per_interval:
             entries.sort(key=AssignmentEntry.sort_key)
         return per_interval

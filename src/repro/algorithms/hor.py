@@ -31,8 +31,6 @@ class HorScheduler(BaseScheduler):
 
     def _run(self, k: int) -> Schedule:
         instance = self.instance
-        engine = self.engine
-        checker = self.checker
         counter = self.counter
         schedule = Schedule()
 
@@ -43,23 +41,11 @@ class HorScheduler(BaseScheduler):
             rounds += 1
             initial_round = rounds == 1
 
-            # Recompute the scores of every valid assignment for this round.
-            lists: List[List[AssignmentEntry]] = [[] for _ in range(num_intervals)]
-            for event_index in range(instance.num_events):
-                if schedule.is_scheduled(event_index):
-                    continue
-                for interval_index in range(num_intervals):
-                    if not checker.is_feasible(event_index, interval_index):
-                        continue
-                    score = engine.assignment_score(
-                        event_index, interval_index, initial=initial_round
-                    )
-                    counter.count_generated()
-                    lists[interval_index].append(
-                        AssignmentEntry(event_index, interval_index, score)
-                    )
-            for entries in lists:
-                entries.sort(key=AssignmentEntry.sort_key)
+            # Recompute the scores of every valid assignment for this round
+            # (one batched evaluation per interval over its feasible events).
+            lists = self._generate_all_entries(
+                initial=initial_round, only_valid=True, schedule=schedule
+            )
 
             # M: per-interval cursor into the sorted list (the interval's current top).
             cursors = [0] * num_intervals

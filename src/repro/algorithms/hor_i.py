@@ -39,8 +39,6 @@ class HorIScheduler(BaseScheduler):
 
     def _run(self, k: int) -> Schedule:
         instance = self.instance
-        engine = self.engine
-        checker = self.checker
         counter = self.counter
         schedule = Schedule()
 
@@ -54,18 +52,11 @@ class HorIScheduler(BaseScheduler):
             rounds += 1
 
             if rounds == 1:
-                # First round: generate and score every valid assignment (like HOR).
-                for event_index in range(instance.num_events):
-                    for interval_index in range(num_intervals):
-                        if not checker.is_feasible(event_index, interval_index):
-                            continue
-                        score = engine.assignment_score(event_index, interval_index, initial=True)
-                        counter.count_generated()
-                        lists[interval_index].append(
-                            AssignmentEntry(event_index, interval_index, score)
-                        )
-                for entries in lists:
-                    entries.sort(key=AssignmentEntry.sort_key)
+                # First round: generate and score every valid assignment (like
+                # HOR) — one batched evaluation per interval.
+                lists = self._generate_all_entries(
+                    initial=True, only_valid=True, schedule=schedule
+                )
             else:
                 # Later rounds: refresh only the intervals whose scores went stale,
                 # and within them only the entries that can still be the top.

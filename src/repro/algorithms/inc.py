@@ -40,24 +40,16 @@ class IncScheduler(BaseScheduler):
 
     def _run(self, k: int) -> Schedule:
         instance = self.instance
-        engine = self.engine
-        checker = self.checker
         counter = self.counter
         schedule = Schedule()
 
         num_intervals = instance.num_intervals
 
         # ------------------------------------------------------------------
-        # Initialisation: generate all assignments, grouped and sorted per interval.
+        # Initialisation: generate all assignments (one batched evaluation per
+        # interval), grouped and sorted per interval.
         # ------------------------------------------------------------------
-        lists: List[List[AssignmentEntry]] = [[] for _ in range(num_intervals)]
-        for event_index in range(instance.num_events):
-            for interval_index in range(num_intervals):
-                score = engine.assignment_score(event_index, interval_index, initial=True)
-                counter.count_generated()
-                lists[interval_index].append(AssignmentEntry(event_index, interval_index, score))
-        for entries in lists:
-            entries.sort(key=AssignmentEntry.sort_key)
+        lists = self._generate_all_entries(initial=True)
 
         # has_stale[i] — interval i contains at least one not-updated assignment.
         has_stale = [False] * num_intervals

@@ -83,8 +83,13 @@ def run_scheduler(
     *,
     seed: Optional[int] = None,
     counter: Optional[ComputationCounter] = None,
+    backend: Optional[str] = None,
 ) -> SchedulerResult:
-    """Instantiate and run a scheduler by name (one-call convenience helper)."""
+    """Instantiate and run a scheduler by name (one-call convenience helper).
+
+    ``backend`` selects the scoring backend (``"scalar"`` or ``"batch"``);
+    ``None`` uses the library default.
+    """
     scheduler_cls = get_scheduler(name)
-    scheduler = scheduler_cls(instance, counter=counter, seed=seed)
+    scheduler = scheduler_cls(instance, counter=counter, seed=seed, backend=backend)
     return scheduler.schedule(k)

@@ -21,17 +21,16 @@ class TopScheduler(BaseScheduler):
 
     def _run(self, k: int) -> Schedule:
         instance = self.instance
-        engine = self.engine
         checker = self.checker
         counter = self.counter
         schedule = Schedule()
 
-        entries = []
-        for event_index in range(instance.num_events):
-            for interval_index in range(instance.num_intervals):
-                score = engine.assignment_score(event_index, interval_index, initial=True)
-                counter.count_generated()
-                entries.append(AssignmentEntry(event_index, interval_index, score))
+        score_grid = self._initial_score_grid()
+        entries = [
+            AssignmentEntry(event_index, interval_index, float(score_grid[event_index, interval_index]))
+            for event_index in range(instance.num_events)
+            for interval_index in range(instance.num_intervals)
+        ]
         entries.sort(key=AssignmentEntry.sort_key)
 
         for entry in entries:

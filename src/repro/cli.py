@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 from repro._version import __version__
 from repro.algorithms.registry import PAPER_METHODS, available_schedulers, run_scheduler
 from repro.core.errors import ReproError
+from repro.core.scoring import DEFAULT_BACKEND, SCORING_BACKENDS
 from repro.core.validation import instance_report
 from repro.datasets.builders import build_dataset, dataset_names
 from repro.datasets.loaders import load_instance, save_instance
@@ -69,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--events", type=int, default=None, help="events when generating on the fly")
     solve.add_argument("--intervals", type=int, default=None, help="intervals when generating on the fly")
     solve.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
+    solve.add_argument(
+        "--backend",
+        choices=list(SCORING_BACKENDS),
+        default=DEFAULT_BACKEND,
+        help="scoring backend: 'batch' evaluates whole intervals in vectorised "
+        "NumPy passes, 'scalar' scores one (event, interval) pair at a time "
+        "(identical results, different speed)",
+    )
     solve.add_argument("--show-schedule", action="store_true", help="print the assignments")
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
@@ -123,11 +132,12 @@ def _command_solve(args: argparse.Namespace) -> int:
         algorithms=args.algorithms,
         experiment_id="cli",
         seed=args.seed,
+        backend=args.backend,
     )
     print(format_records(records))
     if args.show_schedule:
         for name in args.algorithms:
-            result = run_scheduler(name, instance, args.k, seed=args.seed)
+            result = run_scheduler(name, instance, args.k, seed=args.seed, backend=args.backend)
             assignments = ", ".join(
                 f"{instance.events[a.event_index].id}@{instance.intervals[a.interval_index].id}"
                 for a in result.schedule.assignments()

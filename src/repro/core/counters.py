@@ -65,13 +65,25 @@ class ComputationCounter:
             Number of users involved; defaults to the counter's configured
             ``num_users``.
         """
+        self.count_scores(1, initial=initial, num_users=num_users)
+
+    def count_scores(
+        self, amount: int, *, initial: bool = False, num_users: int | None = None
+    ) -> None:
+        """Record ``amount`` assignment-score evaluations in one call.
+
+        Used by the batched scoring backend, which evaluates many assignments
+        in a single vectorised pass but must report exactly the same totals as
+        ``amount`` individual :meth:`count_score` calls, so the paper's
+        "number of computations" metric is backend-independent.
+        """
         users = self.num_users if num_users is None else num_users
-        self.score_computations += 1
-        self.user_computations += users
+        self.score_computations += amount
+        self.user_computations += amount * users
         if initial:
-            self.initial_computations += 1
+            self.initial_computations += amount
         else:
-            self.update_computations += 1
+            self.update_computations += amount
 
     def count_examined(self, amount: int = 1) -> None:
         """Record that ``amount`` assignment entries were examined."""

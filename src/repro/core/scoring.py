@@ -19,6 +19,21 @@ evaluation to a :class:`~repro.core.counters.ComputationCounter` so that the
 paper's "number of computations" metric (``|U|`` per score) can be reproduced
 exactly.
 
+The engine offers two *backends* for bulk evaluation:
+
+* ``"scalar"`` — the reference implementation: one pass over the users per
+  (event, interval) pair, exactly the per-pair arithmetic described above;
+* ``"batch"`` (the default) — :meth:`ScoringEngine.interval_scores` evaluates
+  *all* candidate events of one interval in a handful of NumPy matrix
+  operations, and :meth:`ScoringEngine.score_matrix` assembles the full
+  ``|E| × |T|`` score matrix from them.
+
+Both backends perform the same elementary operations in the same order per
+(user, event) element, so their scores agree to machine precision, and both
+report one score computation (``|U|`` user computations) per (event, interval)
+pair to the counter — the paper's metric is backend-independent by
+construction.
+
 The engine also supports the §2.1 extensions: per-user weights (applied to σ)
 and per-event value multipliers / organisation costs (profit-oriented SES).
 With the default entity values these reduce exactly to the paper's equations.
@@ -26,14 +41,48 @@ With the default entity values these reduce exactly to the paper's equations.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.counters import ComputationCounter
-from repro.core.errors import ScheduleError
+from repro.core.errors import ScheduleError, SolverError
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
+
+#: The available scoring backends (``DEFAULT_BACKEND`` is used when unset).
+SCORING_BACKENDS: Tuple[str, ...] = ("scalar", "batch")
+
+#: Backend used when none is requested explicitly.
+DEFAULT_BACKEND: str = "batch"
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate a backend name (``None`` means :data:`DEFAULT_BACKEND`)."""
+    if backend is None:
+        return DEFAULT_BACKEND
+    if backend not in SCORING_BACKENDS:
+        raise SolverError(
+            f"unknown scoring backend {backend!r}; available: {', '.join(SCORING_BACKENDS)}"
+        )
+    return backend
+
+
+def _guarded_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise ``numerator / denominator`` with zeros where the denominator is not positive.
+
+    This is the library's single division guard: every per-user attendance
+    term — scalar or batched — goes through it, so a user whose competing +
+    scheduled interest sums to zero contributes exactly 0.0 on every code
+    path.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(
+            numerator,
+            denominator,
+            out=np.zeros_like(numerator),
+            where=denominator > 0.0,
+        )
 
 
 class ScoringEngine:
@@ -50,18 +99,32 @@ class ScoringEngine:
 
     Every call to :meth:`assignment_score` costs one pass over the users and
     is counted as one score computation (``|U|`` user computations), matching
-    the paper's metric.
+    the paper's metric.  :meth:`interval_scores` and :meth:`score_matrix`
+    evaluate many assignments at once (vectorised over events when the
+    ``backend`` is ``"batch"``) and count one score computation per evaluated
+    pair, so counter totals are identical across backends.
+
+    Parameters
+    ----------
+    backend:
+        ``"scalar"`` or ``"batch"`` (``None`` selects :data:`DEFAULT_BACKEND`).
+        Only affects how :meth:`interval_scores` / :meth:`score_matrix`
+        compute their results — never the values, which agree to machine
+        precision.
     """
 
     def __init__(
         self,
         instance: SESInstance,
         counter: Optional[ComputationCounter] = None,
+        *,
+        backend: Optional[str] = None,
     ) -> None:
         self._instance = instance
         self._counter = counter if counter is not None else ComputationCounter()
         if self._counter.num_users == 0:
             self._counter.num_users = instance.num_users
+        self._backend = resolve_backend(backend)
 
         self._mu = instance.interest.values
         self._comp = instance.competing_sums
@@ -69,6 +132,17 @@ class ScoringEngine:
         self._sigma = instance.activity * weights[:, np.newaxis]
         self._values = instance.event_values()
         self._costs = instance.event_costs()
+
+        if self._backend == "batch":
+            # Event-major copies of µ and value·µ: each row is one event's
+            # per-user column, contiguous so that the per-row reductions in
+            # interval_scores() use the same pairwise summation as the scalar
+            # path's 1-D sums (keeping the backends bit-identical).
+            self._mu_rows = np.ascontiguousarray(self._mu.T)
+            self._value_mu_rows = self._values[:, np.newaxis] * self._mu_rows
+        else:
+            self._mu_rows = None
+            self._value_mu_rows = None
 
         num_intervals = instance.num_intervals
         num_users = instance.num_users
@@ -90,6 +164,11 @@ class ScoringEngine:
     def counter(self) -> ComputationCounter:
         """The counter receiving score-computation events."""
         return self._counter
+
+    @property
+    def backend(self) -> str:
+        """The active bulk-evaluation backend (``"scalar"`` or ``"batch"``)."""
+        return self._backend
 
     # ------------------------------------------------------------------ #
     # State management
@@ -146,13 +225,7 @@ class ScoringEngine:
         """Utility of one interval for given per-user scheduled-interest sums."""
         denominator = self._comp[:, interval_index] + scheduled_interest
         numerator = self._sigma[:, interval_index] * scheduled_value_interest
-        with np.errstate(divide="ignore", invalid="ignore"):
-            contributions = np.divide(
-                numerator,
-                denominator,
-                out=np.zeros_like(numerator),
-                where=denominator > 0.0,
-            )
+        contributions = _guarded_divide(numerator, denominator)
         return float(contributions.sum())
 
     def assignment_score(
@@ -176,6 +249,10 @@ class ScoringEngine:
         """
         if count:
             self._counter.count_score(initial=initial)
+        return self._pair_score(event_index, interval_index)
+
+    def _pair_score(self, event_index: int, interval_index: int) -> float:
+        """The scalar (reference) score computation of one (event, interval) pair."""
         column = self._mu[:, event_index]
         new_interest = self._scheduled_interest[interval_index] + column
         new_value_interest = (
@@ -183,6 +260,110 @@ class ScoringEngine:
         )
         new_utility = self._interval_utility_of(interval_index, new_interest, new_value_interest)
         return new_utility - self._interval_utility[interval_index]
+
+    def interval_scores(
+        self,
+        interval_index: int,
+        event_indices: Optional[Sequence[int]] = None,
+        *,
+        initial: bool = False,
+        count: bool = True,
+    ) -> np.ndarray:
+        """Assignment scores of many candidate events for one interval (Eq. 4, batched).
+
+        Parameters
+        ----------
+        event_indices:
+            Events to evaluate (defaults to every candidate event), in the
+            order the returned vector follows.
+        initial, count:
+            As in :meth:`assignment_score`; when counting, one score
+            computation is recorded per evaluated event, so the paper's
+            metric is identical to per-pair evaluation.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``scores[i]`` is the assignment score of
+            ``(event_indices[i], interval_index)`` against the current state.
+        """
+        all_events = event_indices is None
+        if all_events:
+            events = np.arange(self._instance.num_events, dtype=np.intp)
+        else:
+            events = np.asarray(event_indices, dtype=np.intp)
+        if count and events.size:
+            self._counter.count_scores(int(events.size), initial=initial)
+        if self._backend == "scalar":
+            return np.array(
+                [self._pair_score(int(event), interval_index) for event in events],
+                dtype=np.float64,
+            )
+        # Batch backend: evaluate every event's hypothetical interval state at
+        # once.  Rows are events, columns users; the per-element operation
+        # order matches _pair_score exactly (µ added to the scheduled sums
+        # first, competing sums last; value·µ added to the value sums before
+        # the σ product), so each element is bit-identical to the scalar path.
+        mu_rows, value_mu_rows = self._select_event_rows(None if all_events else events)
+        return self._batch_interval_scores(interval_index, mu_rows, value_mu_rows)
+
+    def _select_event_rows(self, events: Optional[np.ndarray]):
+        """Event-major µ and value·µ rows for a selection (``None`` = all events)."""
+        if events is None:
+            return self._mu_rows, self._value_mu_rows
+        return self._mu_rows[events], self._value_mu_rows[events]
+
+    def _batch_interval_scores(
+        self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
+    ) -> np.ndarray:
+        """The vectorised score evaluation of pre-selected event rows at one interval."""
+        denominator = self._comp[:, interval_index] + (
+            self._scheduled_interest[interval_index] + mu_rows
+        )
+        numerator = self._sigma[:, interval_index] * (
+            self._scheduled_value_interest[interval_index] + value_mu_rows
+        )
+        contributions = _guarded_divide(numerator, denominator)
+        return contributions.sum(axis=1) - self._interval_utility[interval_index]
+
+    def score_matrix(
+        self,
+        event_indices: Optional[Sequence[int]] = None,
+        *,
+        initial: bool = False,
+        count: bool = True,
+    ) -> np.ndarray:
+        """The full score matrix of the candidate bipartite space.
+
+        Returns an ``(len(event_indices), |T|)`` array whose ``[i, t]`` entry
+        is the assignment score of ``(event_indices[i], t)`` against the
+        current engine state (``event_indices`` defaults to all events).
+        Counts one score computation per (event, interval) pair.
+        """
+        if event_indices is None:
+            selector = None
+            num_selected = self._instance.num_events
+        else:
+            selector = np.asarray(event_indices, dtype=np.intp)
+            num_selected = int(selector.size)
+        num_intervals = self._instance.num_intervals
+        matrix = np.empty((num_selected, num_intervals), dtype=np.float64)
+        if self._backend == "batch":
+            # Hoist the event-row selection out of the per-interval loop: the
+            # selection is state-independent, so one copy serves every column.
+            mu_rows, value_mu_rows = self._select_event_rows(selector)
+            for interval_index in range(num_intervals):
+                if count and num_selected:
+                    self._counter.count_scores(num_selected, initial=initial)
+                matrix[:, interval_index] = self._batch_interval_scores(
+                    interval_index, mu_rows, value_mu_rows
+                )
+            return matrix
+        for interval_index in range(num_intervals):
+            matrix[:, interval_index] = self.interval_scores(
+                interval_index, selector, initial=initial, count=count
+            )
+        return matrix
 
     def interval_utility(self, interval_index: int) -> float:
         """Current utility of one interval."""
@@ -204,13 +385,7 @@ class ScoringEngine:
         numerator = self._sigma[:, interval_index] * self._mu[:, event_index]
         if count:
             self._counter.count_score()
-        with np.errstate(divide="ignore", invalid="ignore"):
-            probabilities = np.divide(
-                numerator,
-                denominator,
-                out=np.zeros_like(numerator),
-                where=denominator > 0.0,
-            )
+        probabilities = _guarded_divide(numerator, denominator)
         return float(probabilities.sum()) * float(self._values[event_index])
 
     def attendance_probabilities(self, event_index: int) -> np.ndarray:
@@ -220,13 +395,7 @@ class ScoringEngine:
         interval_index = self._events_applied[event_index]
         denominator = self._comp[:, interval_index] + self._scheduled_interest[interval_index]
         numerator = self._sigma[:, interval_index] * self._mu[:, event_index]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            return np.divide(
-                numerator,
-                denominator,
-                out=np.zeros_like(numerator),
-                where=denominator > 0.0,
-            )
+        return _guarded_divide(numerator, denominator)
 
     # ------------------------------------------------------------------ #
     # Stateless schedule evaluation
@@ -269,13 +438,7 @@ class ScoringEngine:
             sigma = self._sigma[:, interval_index]
             for event_index in events_here:
                 numerator = sigma * self._mu[:, event_index]
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    probabilities = np.divide(
-                        numerator,
-                        denominator,
-                        out=np.zeros_like(numerator),
-                        where=denominator > 0.0,
-                    )
+                probabilities = _guarded_divide(numerator, denominator)
                 attendance[event_index] = float(probabilities.sum()) * float(
                     self._values[event_index]
                 )

@@ -27,6 +27,7 @@ def run_algorithms(
     params: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = 0,
     validate: bool = True,
+    backend: Optional[str] = None,
 ) -> List[MetricRecord]:
     """Run a set of algorithms on one instance and return one record per run.
 
@@ -39,6 +40,10 @@ def run_algorithms(
         explicitly as the only horizontal method.
     validate:
         Re-check feasibility and the claimed utility of every schedule.
+    backend:
+        Scoring backend forwarded to every scheduler (``"scalar"`` or
+        ``"batch"``; ``None`` uses the library default).  The backends are
+        metric-equivalent, so records only differ in wall-clock time.
     """
     names = list(algorithms) if algorithms is not None else list(PAPER_METHODS)
     if not names:
@@ -47,7 +52,7 @@ def run_algorithms(
     records: List[MetricRecord] = []
     for name in names:
         scheduler_cls = get_scheduler(name)
-        scheduler = scheduler_cls(instance, seed=seed)
+        scheduler = scheduler_cls(instance, seed=seed, backend=backend)
         result = scheduler.schedule(k)
         if validate:
             problems = validate_solution(
@@ -79,6 +84,7 @@ def run_experiment_point(
     algorithms: Optional[Sequence[str]] = None,
     params: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = 0,
+    backend: Optional[str] = None,
 ) -> List[MetricRecord]:
     """Build a named dataset and run the algorithms on it (one sweep point).
 
@@ -95,4 +101,5 @@ def run_experiment_point(
         experiment_id=experiment_id,
         params=merged_params,
         seed=seed,
+        backend=backend,
     )

@@ -1,0 +1,252 @@
+"""Equivalence suite locking the batch scoring backend to the scalar reference.
+
+The batch backend evaluates whole intervals (and the full ``|E| × |T|``
+matrix) in vectorised NumPy passes; these tests pin it to the scalar per-pair
+path on ~20 randomized instances spanning different ``|U|``, ``|E|``, ``|T|``,
+``|C|``, user weights, event values and costs:
+
+* every batch score equals the scalar score to within 1e-12 (in practice the
+  two are bit-identical, because they perform the same elementary operations
+  in the same order);
+* every scheduler produces the identical schedule and utility under both
+  backends;
+* the shared division guard zeroes users whose competing + scheduled interest
+  sums to zero on both paths (the regression for the formerly inlined,
+  per-call-site guard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import run_scheduler
+from repro.core.errors import SolverError
+from repro.core.instance import SESInstance
+from repro.core.scoring import DEFAULT_BACKEND, SCORING_BACKENDS, ScoringEngine
+
+from tests.conftest import make_random_instance
+
+TOLERANCE = 1e-12
+
+#: The schedulers rewired onto the bulk scoring API.
+BATCHED_SCHEDULERS = ["ALG", "INC", "HOR", "HOR-I", "TOP", "INC-U", "ALG-O"]
+
+
+def _config(seed: int, **overrides) -> dict:
+    config = {"seed": seed}
+    config.update(overrides)
+    return config
+
+
+#: ~20 randomized instance shapes: |U| from 5 to 200, |E| from 4 to 24,
+#: |T| from 1 to 9, |C| from 0 to 24, with and without the §2.1 extensions.
+RANDOM_CONFIGS = [
+    _config(10),
+    _config(11, num_users=5, num_events=4, num_intervals=1, num_competing=0),
+    _config(12, num_users=9, num_events=6, num_intervals=2, num_competing=3),
+    _config(13, num_users=25, num_events=8, num_intervals=3, num_competing=1),
+    _config(14, num_users=40, num_events=10, num_intervals=4, num_competing=24),
+    _config(15, num_users=80, num_events=20, num_intervals=6, num_competing=5),
+    _config(16, num_users=200, num_events=6, num_intervals=3, num_competing=2),
+    _config(17, num_users=30, num_events=24, num_intervals=9, num_competing=4),
+    _config(18, num_locations=1),  # every event shares one location
+    _config(19, num_locations=12),
+    _config(20, available_resources=3.0, resource_high=4.0),  # tight resources
+    _config(21, available_resources=1e9),
+    _config(22, interest_scale=0.05),  # near-zero interests
+    _config(23, interest_scale=1.0, num_users=15, num_events=12, num_intervals=5),
+    _config(24, num_users=60, num_events=12, num_intervals=5, num_competing=0),
+]
+
+
+def _extended_configs() -> list:
+    """Configs exercising user weights, event values and organisation costs."""
+    configs = []
+    for seed in (30, 31, 32, 33, 34):
+        rng = np.random.default_rng(seed)
+        num_users, num_events = 35, 10
+        configs.append(
+            _config(
+                seed,
+                num_users=num_users,
+                num_events=num_events,
+                num_intervals=4,
+                num_competing=6,
+                user_weights=list(rng.uniform(0.2, 3.0, num_users)),
+                event_values=list(rng.uniform(0.5, 2.5, num_events)),
+                event_costs=list(rng.uniform(0.0, 1.0, num_events)),
+            )
+        )
+    return configs
+
+
+ALL_CONFIGS = RANDOM_CONFIGS + _extended_configs()
+
+
+def _scalar_reference_matrix(engine: ScoringEngine) -> np.ndarray:
+    """The per-pair scalar scores of every (event, interval) assignment."""
+    instance = engine.instance
+    return np.array(
+        [
+            [
+                engine.assignment_score(event_index, interval_index, count=False)
+                for interval_index in range(instance.num_intervals)
+            ]
+            for event_index in range(instance.num_events)
+        ]
+    )
+
+
+def _apply_prefix(instance: SESInstance, engines, seed: int) -> None:
+    """Apply the same few pseudo-random assignments to every engine."""
+    rng = np.random.default_rng(seed)
+    num_applied = min(3, instance.num_events - 1)
+    events = rng.choice(instance.num_events, size=num_applied, replace=False)
+    intervals = rng.integers(0, instance.num_intervals, size=num_applied)
+    for event_index, interval_index in zip(events, intervals):
+        for engine in engines:
+            engine.apply(int(event_index), int(interval_index))
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: f"seed{c['seed']}")
+def test_score_matrix_matches_scalar_reference(config):
+    instance = make_random_instance(**config)
+    scalar = ScoringEngine(instance, backend="scalar")
+    batch = ScoringEngine(instance, backend="batch")
+
+    reference = _scalar_reference_matrix(scalar)
+    assert np.allclose(batch.score_matrix(count=False), reference, atol=TOLERANCE, rtol=0.0)
+    # The scalar backend's bulk API is the reference path itself.
+    assert np.array_equal(scalar.score_matrix(count=False), reference)
+
+    # The equivalence must hold against a non-empty schedule state too.
+    _apply_prefix(instance, (scalar, batch), seed=config["seed"] + 1000)
+    reference = _scalar_reference_matrix(scalar)
+    assert np.allclose(batch.score_matrix(count=False), reference, atol=TOLERANCE, rtol=0.0)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS[:6], ids=lambda c: f"seed{c['seed']}")
+def test_interval_scores_subset_matches_scalar(config):
+    instance = make_random_instance(**config)
+    scalar = ScoringEngine(instance, backend="scalar")
+    batch = ScoringEngine(instance, backend="batch")
+    rng = np.random.default_rng(config["seed"])
+    subset = list(
+        rng.choice(instance.num_events, size=max(1, instance.num_events // 2), replace=False)
+    )
+    for interval_index in range(instance.num_intervals):
+        expected = scalar.interval_scores(interval_index, subset, count=False)
+        actual = batch.interval_scores(interval_index, subset, count=False)
+        assert np.allclose(actual, expected, atol=TOLERANCE, rtol=0.0)
+        for position, event_index in enumerate(subset):
+            pair = scalar.assignment_score(int(event_index), interval_index, count=False)
+            assert abs(actual[position] - pair) <= TOLERANCE
+
+
+@pytest.mark.parametrize("algorithm", BATCHED_SCHEDULERS)
+@pytest.mark.parametrize("config", ALL_CONFIGS[::2], ids=lambda c: f"seed{c['seed']}")
+def test_schedulers_identical_across_backends(algorithm, config):
+    instance = make_random_instance(**config)
+    k = min(instance.num_events, instance.num_intervals + 2)
+    results = {
+        backend: run_scheduler(algorithm, instance, k, backend=backend)
+        for backend in SCORING_BACKENDS
+    }
+    scalar, batch = results["scalar"], results["batch"]
+    assert scalar.schedule.as_dict() == batch.schedule.as_dict()
+    assert abs(scalar.utility - batch.utility) <= TOLERANCE
+    assert abs(scalar.net_utility - batch.net_utility) <= TOLERANCE
+
+
+def test_backend_selection_surface():
+    instance = make_random_instance(seed=40, num_users=10, num_events=5, num_intervals=2)
+    assert ScoringEngine(instance).backend == DEFAULT_BACKEND
+    assert ScoringEngine(instance, backend="scalar").backend == "scalar"
+    with pytest.raises(SolverError):
+        ScoringEngine(instance, backend="gpu")
+    with pytest.raises(SolverError):
+        run_scheduler("HOR", instance, 2, backend="nope")
+
+
+def test_score_matrix_counts_one_score_per_pair():
+    instance = make_random_instance(seed=41, num_users=12, num_events=6, num_intervals=3)
+    for backend in SCORING_BACKENDS:
+        engine = ScoringEngine(instance, backend=backend)
+        engine.score_matrix(initial=True)
+        counter = engine.counter
+        pairs = instance.num_events * instance.num_intervals
+        assert counter.score_computations == pairs
+        assert counter.user_computations == pairs * instance.num_users
+        assert counter.initial_computations == pairs
+        assert counter.update_computations == 0
+
+
+# --------------------------------------------------------------------------- #
+# Division-guard regression: users whose competing + scheduled interest is
+# zero must contribute exactly 0.0 — identically on both backends.
+# --------------------------------------------------------------------------- #
+def _zero_denominator_instance() -> SESInstance:
+    # User 0 has zero interest in every candidate event and there are no
+    # competing events, so its denominator is 0 for every assignment until an
+    # event it cares about is scheduled — which never happens.
+    interest = np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [0.6, 0.2, 0.9],
+            [0.4, 0.8, 0.1],
+        ]
+    )
+    activity = np.array(
+        [
+            [0.9, 0.8],
+            [0.5, 0.7],
+            [0.6, 0.4],
+        ]
+    )
+    return SESInstance.from_arrays(interest=interest, activity=activity, name="zero-denominator")
+
+
+@pytest.mark.parametrize("backend", SCORING_BACKENDS)
+def test_zero_denominator_users_contribute_zero(backend):
+    instance = _zero_denominator_instance()
+    engine = ScoringEngine(instance, backend=backend)
+
+    matrix = engine.score_matrix(count=False)
+    assert np.all(np.isfinite(matrix))
+    # User 0 contributes nothing, so each initial score is the sum over the
+    # remaining users of σ_u^t (µ/µ cancels against an empty interval).
+    for event_index in range(instance.num_events):
+        for interval_index in range(instance.num_intervals):
+            expected = sum(
+                instance.activity[user, interval_index]
+                for user in (1, 2)
+                if interest_of(instance, user, event_index) > 0.0
+            )
+            assert abs(matrix[event_index, interval_index] - expected) <= TOLERANCE
+
+    # After scheduling an event the zero-interest user still has a zero
+    # denominator (its µ column is all zeros) and must stay silently zeroed.
+    engine.apply(0, 0)
+    follow_up = engine.interval_scores(0, count=False)
+    scalar_engine = ScoringEngine(instance, backend="scalar")
+    scalar_engine.apply(0, 0)
+    for event_index in range(instance.num_events):
+        pair = scalar_engine.assignment_score(event_index, 0, count=False)
+        assert abs(follow_up[event_index] - pair) <= TOLERANCE
+    assert np.all(np.isfinite(follow_up))
+
+
+def interest_of(instance: SESInstance, user: int, event: int) -> float:
+    return float(instance.interest.values[user, event])
+
+
+@pytest.mark.parametrize("algorithm", ["ALG", "INC", "HOR", "HOR-I", "TOP"])
+def test_zero_denominator_instance_schedules_identically(algorithm):
+    instance = _zero_denominator_instance()
+    results = {
+        backend: run_scheduler(algorithm, instance, 2, backend=backend)
+        for backend in SCORING_BACKENDS
+    }
+    assert results["scalar"].schedule.as_dict() == results["batch"].schedule.as_dict()
+    assert abs(results["scalar"].utility - results["batch"].utility) <= TOLERANCE
