@@ -24,7 +24,17 @@ from repro.core.counters import ComputationCounter
 from repro.core.errors import SolverError
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
-from repro.core.scoring import ScoringEngine, resolve_backend
+from repro.core.scoring import (
+    DEFAULT_BACKEND,
+    ScoringEngine,
+    resolve_backend,
+    resolve_chunk_size,
+)
+
+#: Number of stale scores fetched per speculative bulk-refresh call.  Small
+#: enough that a walk cut short by the Φ bound wastes little work, large
+#: enough to amortise the vectorised call overhead over many pairs.
+REFRESH_BLOCK_SIZE = 64
 
 
 @dataclass
@@ -51,6 +61,9 @@ class SchedulerResult:
         Snapshot of the :class:`~repro.core.counters.ComputationCounter`.
     extras:
         Algorithm-specific diagnostics (e.g. number of rounds for HOR).
+    backend:
+        The scoring backend the run used (``"scalar"`` or ``"batch"``) —
+        recorded so harness tables can tell backend rows apart.
     """
 
     algorithm: str
@@ -61,6 +74,7 @@ class SchedulerResult:
     elapsed_seconds: float
     counters: Dict[str, int]
     extras: Dict[str, object] = field(default_factory=dict)
+    backend: str = DEFAULT_BACKEND
 
     @property
     def num_scheduled(self) -> int:
@@ -86,6 +100,7 @@ class SchedulerResult:
         """Flat dictionary used by the experiment harness and reports."""
         return {
             "algorithm": self.algorithm,
+            "backend": self.backend,
             "k": self.k,
             "scheduled": self.num_scheduled,
             "utility": self.utility,
@@ -160,6 +175,10 @@ class BaseScheduler(ABC):
         :class:`~repro.core.scoring.ScoringEngine`; ``None`` selects the
         library default.  Both backends produce identical schedules, utilities
         and counter totals.
+    chunk_size:
+        Event-axis chunk of the batch backend's bulk evaluations (``None``
+        derives a memory-bounded default); forwarded to the engine.  Does not
+        change any result bit.
     """
 
     #: Registry name; subclasses override.
@@ -172,6 +191,7 @@ class BaseScheduler(ABC):
         counter: Optional[ComputationCounter] = None,
         seed: Optional[int] = None,
         backend: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         self._instance = instance
         self._counter = counter if counter is not None else ComputationCounter()
@@ -179,6 +199,7 @@ class BaseScheduler(ABC):
             self._counter.num_users = instance.num_users
         self._seed = seed
         self._backend = resolve_backend(backend)
+        self._chunk_size = resolve_chunk_size(chunk_size, instance.num_users)
         self._engine: Optional[ScoringEngine] = None
         self._checker: Optional[ConstraintChecker] = None
 
@@ -200,6 +221,11 @@ class BaseScheduler(ABC):
         """The scoring backend the scheduler's engine will use."""
         return self._backend
 
+    @property
+    def chunk_size(self) -> int:
+        """Events per vectorised pass of the engine's bulk evaluations."""
+        return self._chunk_size
+
     def schedule(self, k: int) -> SchedulerResult:
         """Produce a feasible schedule of (up to) ``k`` events.
 
@@ -212,7 +238,12 @@ class BaseScheduler(ABC):
             raise SolverError(f"k must be a positive integer, got {k!r}")
         effective_k = min(k, self._instance.num_events)
 
-        self._engine = ScoringEngine(self._instance, counter=self._counter, backend=self._backend)
+        self._engine = ScoringEngine(
+            self._instance,
+            counter=self._counter,
+            backend=self._backend,
+            chunk_size=self._chunk_size,
+        )
         self._checker = ConstraintChecker(self._instance)
         self._extras: Dict[str, object] = {}
 
@@ -231,6 +262,7 @@ class BaseScheduler(ABC):
             elapsed_seconds=elapsed,
             counters=self._counter.snapshot(),
             extras=dict(self._extras),
+            backend=self._backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -329,3 +361,48 @@ class BaseScheduler(ABC):
         for entries in per_interval:
             entries.sort(key=AssignmentEntry.sort_key)
         return per_interval
+
+    def _stale_score_fetcher(self, interval_index: int, pending: List[int]):
+        """A ``fetch(event_index) -> float`` closure resolving stale scores in bulk.
+
+        ``pending`` is the (speculative) list of stale, currently-valid events
+        the caller's refresh walk *may* recompute at ``interval_index``, in
+        walk order.  Under the batch backend their exact scores are fetched
+        from :meth:`~repro.core.scoring.ScoringEngine.refresh_scores` in
+        blocks of :data:`REFRESH_BLOCK_SIZE` with ``count=False``; each score
+        the walk actually consumes is then counted as one update computation.
+        A speculatively fetched score the walk never consumes is discarded
+        without ever being observed by the algorithm, so schedules, utilities
+        and every counter total stay bit-identical to the scalar reference,
+        which computes (and counts) one pair at a time.
+
+        Under the scalar backend — or on a cache miss — ``fetch`` degrades to
+        one :meth:`~repro.core.scoring.ScoringEngine.assignment_score` call,
+        i.e. exactly the reference behaviour.
+        """
+        engine = self.engine
+        counter = self._counter
+        if self._backend != "batch" or not pending:
+            def fetch_scalar(event_index: int) -> float:
+                return engine.assignment_score(event_index, interval_index)
+
+            return fetch_scalar
+
+        cache: Dict[int, float] = {}
+        position = 0
+
+        def fetch(event_index: int) -> float:
+            nonlocal position
+            score = cache.pop(event_index, None)
+            while score is None and position < len(pending):
+                block = pending[position : position + REFRESH_BLOCK_SIZE]
+                position += len(block)
+                values = engine.refresh_scores(interval_index, block, count=False)
+                cache.update(zip(block, (float(value) for value in values)))
+                score = cache.pop(event_index, None)
+            if score is None:
+                return engine.assignment_score(event_index, interval_index)
+            counter.count_score(initial=False)
+            return score
+
+        return fetch

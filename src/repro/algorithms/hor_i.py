@@ -21,12 +21,24 @@ HOR-I always returns exactly the same schedule as HOR (Proposition 6) — the
 bound pruning never hides an assignment that HOR would have chosen — while
 performing at most as many score computations.  When ``k ≤ |T|`` only one
 round is needed and HOR-I degenerates to HOR.
+
+Under the batch scoring backend both incremental paths are batched: the
+round-start refresh collects the stale prefix its walk can reach and resolves
+it through the engine's bulk
+:meth:`~repro.core.scoring.ScoringEngine.refresh_scores` API, and the lazy
+head resolution of :meth:`HorIScheduler._interval_top` fetches the run of
+stale heads in blocks instead of one score per head.  Both count one update
+computation per score the walk actually consumes, so schedules, utilities and
+counters stay bit-identical to the scalar reference.  ``_interval_top`` also
+replaces the former ``pop(0)`` + ``bisect.insort`` bookkeeping (O(n) per
+dropped head, quadratic over a run) with a cursor over the sorted list plus a
+heap of freshly resolved entries, merged back once per call.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import List, Optional
+import heapq
+from typing import List, Optional, Tuple
 
 from repro.algorithms.base import AssignmentEntry, BaseScheduler
 from repro.core.schedule import Schedule
@@ -120,11 +132,17 @@ class HorIScheduler(BaseScheduler):
         score recomputed so far).  A stale entry is recomputed only while its
         stale score is at least Φ; the walk stops at the first stale entry
         below Φ, since stale scores over-estimate true scores.
+
+        Under the batch backend the stale prefix the walk can reach is
+        resolved through the bulk refresh API in blocks; the fetcher counts
+        exactly the scores the walk consumes.
         """
         counter = self.counter
-        engine = self.engine
         checker = self.checker
         entries = lists[interval_index]
+        fetch = self._stale_score_fetcher(
+            interval_index, self._stale_prefix(interval_index, entries, schedule)
+        )
         kept: List[AssignmentEntry] = []
         phi: Optional[float] = None
         stop_index = len(entries)
@@ -139,7 +157,7 @@ class HorIScheduler(BaseScheduler):
             ):
                 continue  # drop invalid entries met in the refreshed prefix
             if not entry.updated:
-                entry.score = engine.assignment_score(entry.event_index, interval_index)
+                entry.score = fetch(entry.event_index)
                 entry.updated = True
             if phi is None or entry.score > phi:
                 phi = entry.score
@@ -148,6 +166,41 @@ class HorIScheduler(BaseScheduler):
         kept.extend(entries[stop_index:])
         kept.sort(key=AssignmentEntry.sort_key)
         lists[interval_index] = kept
+
+    def _stale_prefix(
+        self,
+        interval_index: int,
+        entries: List[AssignmentEntry],
+        schedule: Schedule,
+    ) -> List[int]:
+        """Stale, valid events the refresh walk can reach, in walk order.
+
+        The collection keeps a *known* bound — the best exact score among the
+        already-updated valid entries seen so far — and stops at the first
+        stale entry below it.  The walk's actual Φ also absorbs freshly
+        recomputed scores, so it is at least the known bound and the walk
+        stops at or before the collected prefix: the collection is a superset
+        of what the walk can consume.  Pure bookkeeping — no counter side
+        effects.  Skipped under the scalar backend.
+        """
+        if self.backend != "batch":
+            return []
+        checker = self.checker
+        known_bound: Optional[float] = None
+        pending: List[int] = []
+        for entry in entries:
+            if not entry.updated and known_bound is not None and entry.score < known_bound:
+                break
+            if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
+                entry.event_index, interval_index
+            ):
+                continue
+            if entry.updated:
+                if known_bound is None or entry.score > known_bound:
+                    known_bound = entry.score
+            else:
+                pending.append(entry.event_index)
+        return pending
 
     def _interval_top(
         self,
@@ -158,26 +211,94 @@ class HorIScheduler(BaseScheduler):
         """Exact, valid top assignment of one interval, resolving stale heads lazily.
 
         Invalid heads (event already scheduled, or no longer feasible) are
-        dropped; a stale head is recomputed and re-inserted in score order.
+        dropped; a stale head is recomputed and competes at its exact score.
         Because stale scores are upper bounds, once the head is exact and
         valid it is guaranteed to be the interval's true top.
+
+        The head of the interval is the better of the sorted list's cursor
+        position and the top of a heap holding the entries resolved during
+        this call — dropping a head advances the cursor (O(1)) and resolving
+        one pushes onto the heap (O(log r)), instead of the former
+        ``pop(0)`` + ``bisect.insort`` pair that shifted the whole list per
+        head and went quadratic over a run of stale or invalid heads.  The
+        heap and the list tail are merged back once, on exit.  Runs of stale
+        heads are recomputed in speculative blocks via the bulk refresh API;
+        consumed scores are counted one by one, so every counter total
+        matches the scalar reference exactly.
         """
         counter = self.counter
-        engine = self.engine
         checker = self.checker
         entries = lists[interval_index]
-        while entries:
+        start = 0
+        resolved: List[Tuple[Tuple[float, int, int], AssignmentEntry]] = []
+        fetch = None
+        result: Optional[AssignmentEntry] = None
+
+        while start < len(entries) or resolved:
+            head: Optional[AssignmentEntry] = entries[start] if start < len(entries) else None
+            if resolved and (head is None or resolved[0][0] < head.sort_key()):
+                head = resolved[0][1]
+                from_heap = True
+            else:
+                from_heap = False
             counter.count_examined()
-            head = entries[0]
             if schedule.is_scheduled(head.event_index) or not checker.is_feasible(
                 head.event_index, interval_index
             ):
-                entries.pop(0)
+                if from_heap:
+                    heapq.heappop(resolved)
+                else:
+                    start += 1
                 continue
             if head.updated:
-                return head
-            head.score = engine.assignment_score(head.event_index, interval_index)
+                result = head
+                break
+            # Stale, valid list head: resolve it from the speculative block
+            # cache (built lazily, at most once per call) and let it compete
+            # at its exact score via the heap.
+            if fetch is None:
+                fetch = self._stale_score_fetcher(
+                    interval_index, self._stale_run(interval_index, entries, schedule, start)
+                )
+            head.score = fetch(head.event_index)
             head.updated = True
-            entries.pop(0)
-            bisect.insort(entries, head, key=AssignmentEntry.sort_key)
-        return None
+            start += 1
+            heapq.heappush(resolved, (head.sort_key(), head))
+
+        if resolved:
+            exact = [item[1] for item in sorted(resolved, key=lambda item: item[0])]
+            lists[interval_index] = list(
+                heapq.merge(exact, entries[start:], key=AssignmentEntry.sort_key)
+            )
+        elif start:
+            del entries[:start]
+        return result
+
+    def _stale_run(
+        self,
+        interval_index: int,
+        entries: List[AssignmentEntry],
+        schedule: Schedule,
+        start: int,
+    ) -> List[int]:
+        """The run of stale, valid events from ``start`` that head resolution can reach.
+
+        Invalid entries are skipped (the cursor drops them without a score);
+        the run ends at the first updated valid entry — once it surfaces as
+        the list head it is returned before any deeper stale entry could be
+        examined.  Pure bookkeeping — no counter side effects.  Skipped under
+        the scalar backend.
+        """
+        if self.backend != "batch":
+            return []
+        checker = self.checker
+        pending: List[int] = []
+        for entry in entries[start:]:
+            if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
+                entry.event_index, interval_index
+            ):
+                continue
+            if entry.updated:
+                break
+            pending.append(entry.event_index)
+        return pending

@@ -21,6 +21,15 @@ fewer assignments.  It rests on two ideas:
 
 The tie-break (score, then event index, then interval index) is shared with
 ALG so the two algorithms select identical assignments even under ties.
+
+Under the batch scoring backend the incremental refresh itself is batched:
+:meth:`IncScheduler._update_interval` collects the stale prefix that could
+beat Φ (stale scores only over-estimate, so the prefix under the entry bound
+is a superset of what the walk can recompute) and resolves it through the
+engine's bulk :meth:`~repro.core.scoring.ScoringEngine.refresh_scores` API in
+blocks, counting one update computation per score the walk actually consumes
+— schedules, utilities and counters stay bit-identical to the scalar
+reference (see :meth:`~repro.algorithms.base.BaseScheduler._stale_score_fetcher`).
 """
 
 from __future__ import annotations
@@ -134,11 +143,19 @@ class IncScheduler(BaseScheduler):
         whose (stale) score is at least Φ is recomputed.  The walk stops at
         the first entry strictly below Φ — all deeper entries are below it as
         well.  Returns the possibly-improved Φ.
+
+        Under the batch backend the stale prefix above the *incoming* Φ is
+        resolved through the bulk refresh API: Φ only rises during the walk,
+        so that prefix is a superset of what the walk can consume, and the
+        fetcher counts exactly the consumed scores.
         """
         counter = self.counter
-        engine = self.engine
         checker = self.checker
         entries = lists[interval_index]
+        fetch = self._stale_score_fetcher(
+            interval_index,
+            self._stale_prefix(interval_index, entries, schedule, phi),
+        )
         kept: List[AssignmentEntry] = []
         stop_index = len(entries)
 
@@ -152,7 +169,7 @@ class IncScheduler(BaseScheduler):
             ):
                 continue  # drop invalid entries encountered in the prefix
             if not entry.updated:
-                entry.score = engine.assignment_score(entry.event_index, interval_index)
+                entry.score = fetch(entry.event_index)
                 entry.updated = True
             candidate: Candidate = (entry.score, entry.event_index, entry.interval_index)
             tops[interval_index] = better_candidate(tops[interval_index], candidate)
@@ -163,6 +180,38 @@ class IncScheduler(BaseScheduler):
         kept.sort(key=AssignmentEntry.sort_key)
         lists[interval_index] = kept
         return phi
+
+    def _stale_prefix(
+        self,
+        interval_index: int,
+        entries: List[AssignmentEntry],
+        schedule: Schedule,
+        phi: Optional[Candidate],
+    ) -> List[int]:
+        """Stale, valid events in the prefix that could beat the incoming Φ.
+
+        A superset (in walk order) of the entries :meth:`_update_interval`
+        can recompute: the walk's Φ only ever rises, so it stops at or before
+        the first entry below the incoming bound.  Pure bookkeeping — no
+        counter side effects.  Skipped under the scalar backend, where the
+        fetcher computes pairs one at a time anyway.
+        """
+        if self.backend != "batch":
+            return []
+        checker = self.checker
+        bound = None if phi is None else phi[0]
+        pending: List[int] = []
+        for entry in entries:
+            if bound is not None and entry.score < bound:
+                break
+            if entry.updated:
+                continue
+            if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
+                entry.event_index, interval_index
+            ):
+                continue
+            pending.append(entry.event_index)
+        return pending
 
     def _find_top_updated_valid(
         self, entries: List[AssignmentEntry], schedule: Schedule

@@ -84,12 +84,16 @@ def run_scheduler(
     seed: Optional[int] = None,
     counter: Optional[ComputationCounter] = None,
     backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> SchedulerResult:
     """Instantiate and run a scheduler by name (one-call convenience helper).
 
-    ``backend`` selects the scoring backend (``"scalar"`` or ``"batch"``);
-    ``None`` uses the library default.
+    ``backend`` selects the scoring backend (``"scalar"`` or ``"batch"``) and
+    ``chunk_size`` the batch backend's event-axis chunk; ``None`` uses the
+    library defaults.
     """
     scheduler_cls = get_scheduler(name)
-    scheduler = scheduler_cls(instance, counter=counter, seed=seed, backend=backend)
+    scheduler = scheduler_cls(
+        instance, counter=counter, seed=seed, backend=backend, chunk_size=chunk_size
+    )
     return scheduler.schedule(k)

@@ -37,6 +37,25 @@ from repro.experiments.harness import run_algorithms
 from repro.experiments.sweeps import summary_sweep
 
 
+def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Attach the scoring-backend flags shared by ``solve`` and ``experiment``."""
+    subparser.add_argument(
+        "--backend",
+        choices=list(SCORING_BACKENDS),
+        default=DEFAULT_BACKEND,
+        help="scoring backend: 'batch' evaluates whole intervals in vectorised "
+        "NumPy passes, 'scalar' scores one (event, interval) pair at a time "
+        "(identical results, different speed); recorded in the output rows",
+    )
+    subparser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="events per vectorised pass of the batch backend (memory guard; "
+        "default bounds one temporary at ~64 MB regardless of instance size)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and documentation)."""
     parser = argparse.ArgumentParser(
@@ -70,14 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--events", type=int, default=None, help="events when generating on the fly")
     solve.add_argument("--intervals", type=int, default=None, help="intervals when generating on the fly")
     solve.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
-    solve.add_argument(
-        "--backend",
-        choices=list(SCORING_BACKENDS),
-        default=DEFAULT_BACKEND,
-        help="scoring backend: 'batch' evaluates whole intervals in vectorised "
-        "NumPy passes, 'scalar' scores one (event, interval) pair at a time "
-        "(identical results, different speed)",
-    )
+    _add_backend_arguments(solve)
     solve.add_argument("--show-schedule", action="store_true", help="print the assignments")
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
@@ -91,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--json", action="store_true", help="emit JSON rows instead of tables")
+    _add_backend_arguments(experiment)
 
     subparsers.add_parser("list", help="list datasets, algorithms and experiments")
 
@@ -133,11 +146,19 @@ def _command_solve(args: argparse.Namespace) -> int:
         experiment_id="cli",
         seed=args.seed,
         backend=args.backend,
+        chunk_size=args.chunk_size,
     )
     print(format_records(records))
     if args.show_schedule:
         for name in args.algorithms:
-            result = run_scheduler(name, instance, args.k, seed=args.seed, backend=args.backend)
+            result = run_scheduler(
+                name,
+                instance,
+                args.k,
+                seed=args.seed,
+                backend=args.backend,
+                chunk_size=args.chunk_size,
+            )
             assignments = ", ".join(
                 f"{instance.events[a.event_index].id}@{instance.intervals[a.interval_index].id}"
                 for a in result.schedule.assignments()
@@ -148,13 +169,21 @@ def _command_solve(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     if args.experiment_id == "summary":
-        stats = summary_sweep(scale=args.scale, seed=args.seed)
+        stats = summary_sweep(
+            scale=args.scale, seed=args.seed, backend=args.backend, chunk_size=args.chunk_size
+        )
         if args.json:
             print(json.dumps(stats.as_rows(), indent=2))
         else:
             print(format_table(stats.as_rows()))
         return 0
-    figure = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+    figure = run_experiment(
+        args.experiment_id,
+        scale=args.scale,
+        seed=args.seed,
+        backend=args.backend,
+        chunk_size=args.chunk_size,
+    )
     if args.json:
         print(json.dumps([record.to_row() for record in figure.records], indent=2))
     else:

@@ -34,6 +34,20 @@ report one score computation (``|U|`` user computations) per (event, interval)
 pair to the counter — the paper's metric is backend-independent by
 construction.
 
+Two facilities support the incremental schedulers and large instances:
+
+* :meth:`ScoringEngine.refresh_scores` is the bulk *stale-refresh* entry
+  point: it recomputes the current scores of a selected set of events at one
+  interval (the update-phase counterpart of the generation-phase bulk calls).
+  INC and HOR-I use it to resolve whole prefixes of stale assignments in a
+  few vectorised passes instead of one ``assignment_score`` call per pair.
+* The batch backend *chunks the event axis*: bulk evaluations never
+  materialise more than ``chunk_size × |U|`` temporary elements at once
+  (``chunk_size`` defaults to :data:`DEFAULT_CHUNK_ELEMENTS` divided by
+  ``|U|``), so million-user instances stay within a bounded memory envelope.
+  Chunking splits only the event axis — every row's per-user reduction is
+  unchanged — so chunked and unchunked results are bit-identical.
+
 The engine also supports the §2.1 extensions: per-user weights (applied to σ)
 and per-event value multipliers / organisation costs (profit-oriented SES).
 With the default entity values these reduce exactly to the paper's equations.
@@ -56,6 +70,11 @@ SCORING_BACKENDS: Tuple[str, ...] = ("scalar", "batch")
 #: Backend used when none is requested explicitly.
 DEFAULT_BACKEND: str = "batch"
 
+#: Memory budget of one bulk evaluation, in matrix *elements* (events × users).
+#: The default chunk size is this budget divided by ``|U|``, which caps every
+#: batched temporary at ~64 MB of float64 regardless of instance size.
+DEFAULT_CHUNK_ELEMENTS: int = 8_000_000
+
 
 def resolve_backend(backend: Optional[str]) -> str:
     """Validate a backend name (``None`` means :data:`DEFAULT_BACKEND`)."""
@@ -66,6 +85,21 @@ def resolve_backend(backend: Optional[str]) -> str:
             f"unknown scoring backend {backend!r}; available: {', '.join(SCORING_BACKENDS)}"
         )
     return backend
+
+
+def resolve_chunk_size(chunk_size: Optional[int], num_users: int) -> int:
+    """Validate the event-axis chunk size (``None`` derives it from the memory budget).
+
+    The automatic default keeps one batched temporary at
+    :data:`DEFAULT_CHUNK_ELEMENTS` elements: ``max(1, budget // |U|)`` events
+    per chunk.  An explicit value is the number of events evaluated per
+    vectorised pass and must be a positive integer.
+    """
+    if chunk_size is None:
+        return max(1, DEFAULT_CHUNK_ELEMENTS // max(1, num_users))
+    if not isinstance(chunk_size, int) or isinstance(chunk_size, bool) or chunk_size < 1:
+        raise SolverError(f"chunk_size must be a positive integer or None, got {chunk_size!r}")
+    return chunk_size
 
 
 def _guarded_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
@@ -111,6 +145,12 @@ class ScoringEngine:
         Only affects how :meth:`interval_scores` / :meth:`score_matrix`
         compute their results — never the values, which agree to machine
         precision.
+    chunk_size:
+        Maximum number of events evaluated per vectorised pass of the batch
+        backend (``None`` derives it from :data:`DEFAULT_CHUNK_ELEMENTS`).
+        Bounds the size of batched temporaries at ``chunk_size × |U|``
+        elements without changing any result bit (the scalar backend ignores
+        it — its temporaries are one user-vector per pair already).
     """
 
     def __init__(
@@ -119,12 +159,14 @@ class ScoringEngine:
         counter: Optional[ComputationCounter] = None,
         *,
         backend: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         self._instance = instance
         self._counter = counter if counter is not None else ComputationCounter()
         if self._counter.num_users == 0:
             self._counter.num_users = instance.num_users
         self._backend = resolve_backend(backend)
+        self._chunk_size = resolve_chunk_size(chunk_size, instance.num_users)
 
         self._mu = instance.interest.values
         self._comp = instance.competing_sums
@@ -169,6 +211,11 @@ class ScoringEngine:
     def backend(self) -> str:
         """The active bulk-evaluation backend (``"scalar"`` or ``"batch"``)."""
         return self._backend
+
+    @property
+    def chunk_size(self) -> int:
+        """Events evaluated per vectorised pass (the batch memory guard)."""
+        return self._chunk_size
 
     # ------------------------------------------------------------------ #
     # State management
@@ -307,6 +354,33 @@ class ScoringEngine:
         mu_rows, value_mu_rows = self._select_event_rows(None if all_events else events)
         return self._batch_interval_scores(interval_index, mu_rows, value_mu_rows)
 
+    def refresh_scores(
+        self,
+        interval_index: int,
+        event_indices: Sequence[int],
+        *,
+        count: bool = True,
+    ) -> np.ndarray:
+        """Bulk stale refresh: recompute current scores of selected events at one interval.
+
+        This is the update-phase counterpart of the generation-phase bulk
+        calls — semantically identical to one :meth:`assignment_score` per
+        (event, interval) pair against the current state, evaluated under the
+        active backend (vectorised and chunked when ``"batch"``).
+
+        Parameters
+        ----------
+        count:
+            When ``True`` each refreshed pair is recorded as one *update*
+            computation.  The incremental schedulers (INC, HOR-I) pass
+            ``False`` because they fetch stale prefixes *speculatively*: they
+            count one update computation per score their walk actually
+            consumes, so the paper's metric stays bit-identical to the scalar
+            reference even when a speculative block is cut short by the Φ
+            bound.
+        """
+        return self.interval_scores(interval_index, event_indices, initial=False, count=count)
+
     def _select_event_rows(self, events: Optional[np.ndarray]):
         """Event-major µ and value·µ rows for a selection (``None`` = all events)."""
         if events is None:
@@ -316,7 +390,29 @@ class ScoringEngine:
     def _batch_interval_scores(
         self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
     ) -> np.ndarray:
-        """The vectorised score evaluation of pre-selected event rows at one interval."""
+        """Vectorised score evaluation of pre-selected event rows at one interval.
+
+        The event axis is processed in chunks of at most ``chunk_size`` rows,
+        so the temporaries stay bounded on huge instances.  Each row's
+        reduction is independent of the others, so chunked and unchunked
+        evaluations are bit-identical.
+        """
+        num_rows = int(mu_rows.shape[0])
+        step = self._chunk_size
+        if num_rows <= step:
+            return self._batch_block(interval_index, mu_rows, value_mu_rows)
+        scores = np.empty(num_rows, dtype=np.float64)
+        for start in range(0, num_rows, step):
+            stop = min(start + step, num_rows)
+            scores[start:stop] = self._batch_block(
+                interval_index, mu_rows[start:stop], value_mu_rows[start:stop]
+            )
+        return scores
+
+    def _batch_block(
+        self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
+    ) -> np.ndarray:
+        """One vectorised pass over a block of event rows (the batch kernel)."""
         denominator = self._comp[:, interval_index] + (
             self._scheduled_interest[interval_index] + mu_rows
         )

@@ -192,6 +192,8 @@ def fig5(
     datasets: Sequence[str] = ALL_DATASETS,
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 5: utility, computations and time as k grows.
 
@@ -226,6 +228,8 @@ def fig5(
                     algorithms=algorithms,
                     params={"k": k, "num_events": num_events, "num_intervals": num_intervals},
                     seed=seed,
+                    backend=backend,
+                    chunk_size=chunk_size,
                 )
             )
     return result
@@ -240,6 +244,8 @@ def fig6(
     datasets: Sequence[str] = ALL_DATASETS,
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 6: utility and time as |T| grows (k and |E| at their defaults)."""
     resolved = get_scale(scale)
@@ -267,6 +273,8 @@ def fig6(
                     algorithms=algorithms,
                     params={"k": k, "num_events": num_events, "num_intervals": num_intervals},
                     seed=seed,
+                    backend=backend,
+                    chunk_size=chunk_size,
                 )
             )
     return result
@@ -281,6 +289,8 @@ def fig7(
     datasets: Sequence[str] = ("Concerts", "Unf"),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 7: utility and time as |E| grows (k < |T|, so HOR-I ≡ HOR)."""
     resolved = get_scale(scale)
@@ -310,6 +320,8 @@ def fig7(
                     algorithms=algorithms,
                     params={"k": k, "num_events": num_events, "num_intervals": num_intervals},
                     seed=seed,
+                    backend=backend,
+                    chunk_size=chunk_size,
                 )
             )
     return result
@@ -324,6 +336,8 @@ def fig8(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 8: time as |U| grows, for |T| = 3k/2 (panel a) and |T| ≈ 0.65k (panel b)."""
     resolved = get_scale(scale)
@@ -364,6 +378,8 @@ def fig8(
                             "panel": panel,
                         },
                         seed=seed,
+                        backend=backend,
+                        chunk_size=chunk_size,
                     )
                 )
     result.notes["panels"] = panels
@@ -379,6 +395,8 @@ def fig9(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 9: utility and time as the number of event locations varies (|T| ≈ 0.65k)."""
     resolved = get_scale(scale)
@@ -414,6 +432,8 @@ def fig9(
                         "num_intervals": num_intervals,
                     },
                     seed=seed,
+                    backend=backend,
+                    chunk_size=chunk_size,
                 )
             )
     return result
@@ -428,6 +448,8 @@ def fig10a(
     datasets: Sequence[str] = ALL_DATASETS,
     algorithms: Sequence[str] = ("ALG", "INC", "HOR", "HOR-I", "TOP"),
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 10a: execution time in the horizontal algorithms' worst case (k mod |T| = 1)."""
     resolved = get_scale(scale)
@@ -455,6 +477,8 @@ def fig10a(
                 algorithms=algorithms,
                 params={"k": k, "num_intervals": num_intervals},
                 seed=seed,
+                backend=backend,
+                chunk_size=chunk_size,
             )
         )
     return result
@@ -469,6 +493,8 @@ def fig10b(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = ("ALG", "INC"),
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 10b: assignments examined by ALG vs INC while varying k, |T| and |E|."""
     resolved = get_scale(scale)
@@ -518,6 +544,8 @@ def fig10b(
                     algorithms=algorithms,
                     params={"point": position, "label": label, **config},
                     seed=seed,
+                    backend=backend,
+                    chunk_size=chunk_size,
                 )
             )
     result.notes["sweep_labels"] = [label for label, _ in sweep]
@@ -533,6 +561,8 @@ def ext_competing(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """§4.1 (omitted plot): effect of the number of competing events per interval."""
     resolved = get_scale(scale)
@@ -562,6 +592,8 @@ def ext_competing(
                     algorithms=algorithms,
                     params={"k": k, "competing_high": high},
                     seed=seed,
+                    backend=backend,
+                    chunk_size=chunk_size,
                 )
             )
     return result
@@ -573,6 +605,8 @@ def ext_resources(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """§4.1 (omitted plot): effect of the organiser's available resources θ."""
     resolved = get_scale(scale)
@@ -602,6 +636,8 @@ def ext_resources(
                     algorithms=algorithms,
                     params={"k": k, "available_resources": theta},
                     seed=seed,
+                    backend=backend,
+                    chunk_size=chunk_size,
                 )
             )
     return result

@@ -28,6 +28,7 @@ def run_algorithms(
     seed: Optional[int] = 0,
     validate: bool = True,
     backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[MetricRecord]:
     """Run a set of algorithms on one instance and return one record per run.
 
@@ -43,7 +44,12 @@ def run_algorithms(
     backend:
         Scoring backend forwarded to every scheduler (``"scalar"`` or
         ``"batch"``; ``None`` uses the library default).  The backends are
-        metric-equivalent, so records only differ in wall-clock time.
+        metric-equivalent, so records only differ in wall-clock time; the
+        backend actually used is recorded in every record's params, so figure
+        runs can compare backends.
+    chunk_size:
+        Event-axis chunk of the batch backend's bulk evaluations, forwarded
+        to every scheduler (``None`` derives a memory-bounded default).
     """
     names = list(algorithms) if algorithms is not None else list(PAPER_METHODS)
     if not names:
@@ -52,7 +58,7 @@ def run_algorithms(
     records: List[MetricRecord] = []
     for name in names:
         scheduler_cls = get_scheduler(name)
-        scheduler = scheduler_cls(instance, seed=seed, backend=backend)
+        scheduler = scheduler_cls(instance, seed=seed, backend=backend, chunk_size=chunk_size)
         result = scheduler.schedule(k)
         if validate:
             problems = validate_solution(
@@ -85,6 +91,7 @@ def run_experiment_point(
     params: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = 0,
     backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[MetricRecord]:
     """Build a named dataset and run the algorithms on it (one sweep point).
 
@@ -102,4 +109,5 @@ def run_experiment_point(
         params=merged_params,
         seed=seed,
         backend=backend,
+        chunk_size=chunk_size,
     )

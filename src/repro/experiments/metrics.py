@@ -43,7 +43,14 @@ class MetricRecord:
         params: Optional[Mapping[str, object]] = None,
         seed: Optional[int] = None,
     ) -> "MetricRecord":
-        """Build a record from a :class:`~repro.algorithms.base.SchedulerResult`."""
+        """Build a record from a :class:`~repro.algorithms.base.SchedulerResult`.
+
+        The scoring backend the run used is recorded under
+        ``params["backend"]`` (unless the caller already set one), so rows of
+        different backends can be grouped and compared in figure tables.
+        """
+        merged_params = dict(params or {})
+        merged_params.setdefault("backend", result.backend)
         return cls(
             experiment_id=experiment_id,
             dataset=dataset,
@@ -56,7 +63,7 @@ class MetricRecord:
             score_computations=result.score_computations,
             user_computations=result.user_computations,
             assignments_examined=result.assignments_examined,
-            params=dict(params or {}),
+            params=merged_params,
             seed=seed,
         )
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.figures import ALL_DATASETS, ExperimentScale, get_scale
 from repro.experiments.harness import run_experiment_point
@@ -71,6 +71,8 @@ def summary_sweep(
     *,
     datasets: Sequence[str] = ALL_DATASETS,
     seed: int = 0,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
     utility_tolerance: float = 1e-9,
 ) -> SummaryStatistics:
     """Run the summary grid and compute the §4.2.8 aggregates.
@@ -109,6 +111,8 @@ def summary_sweep(
                     algorithms=("ALG", "INC", "HOR", "HOR-I", "TOP", "RAND"),
                     params={"regime": label, "num_intervals": num_intervals},
                     seed=seed,
+                    backend=backend,
+                    chunk_size=chunk_size,
                 )
             )
     return summarize_records(records, utility_tolerance=utility_tolerance)

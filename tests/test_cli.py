@@ -98,6 +98,32 @@ class TestSolveCommand:
         assert "@t" in output
 
 
+class TestSolveBackendFlags:
+    def test_solve_with_scalar_backend_and_chunk(self, capsys):
+        code = main(
+            [
+                "solve", "--dataset", "Unf", "-k", "3",
+                "--users", "15", "--events", "8", "--intervals", "3",
+                "--algorithms", "INC", "HOR-I",
+                "--backend", "scalar", "--chunk-size", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "INC" in output and "HOR-I" in output
+
+    def test_invalid_chunk_size_reports_error(self, capsys):
+        code = main(
+            [
+                "solve", "--dataset", "Unf", "-k", "2",
+                "--users", "10", "--events", "5", "--intervals", "2",
+                "--algorithms", "TOP", "--chunk-size", "0",
+            ]
+        )
+        assert code == 2
+        assert "chunk_size" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_experiment_tables(self, capsys):
         code = main(["experiment", "fig10a", "--scale", "tiny"])
@@ -105,6 +131,14 @@ class TestExperimentCommand:
         output = capsys.readouterr().out
         assert "fig10a" in output
         assert "HOR-I" in output
+
+    def test_experiment_backend_recorded_in_json(self, capsys):
+        code = main(
+            ["experiment", "fig9", "--scale", "tiny", "--json", "--backend", "scalar"]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and all(row["param.backend"] == "scalar" for row in rows)
 
     def test_experiment_json(self, capsys):
         code = main(["experiment", "fig9", "--scale", "tiny", "--json"])
