@@ -32,7 +32,7 @@ from repro.core.errors import (
 )
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
-from repro.core.scoring import DEFAULT_BACKEND, SCORING_BACKENDS, ScoringEngine
+from repro.core.scoring import BULK_BACKENDS, DEFAULT_BACKEND, SCORING_BACKENDS, ScoringEngine
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import available_schedulers, get_scheduler
 from repro.algorithms.alg import AlgScheduler
@@ -60,6 +60,7 @@ __all__ = [
     "Schedule",
     "ScoringEngine",
     "SCORING_BACKENDS",
+    "BULK_BACKENDS",
     "DEFAULT_BACKEND",
     "SchedulerResult",
     "available_schedulers",

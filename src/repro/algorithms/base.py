@@ -25,10 +25,12 @@ from repro.core.errors import SolverError
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
 from repro.core.scoring import (
+    BULK_BACKENDS,
     DEFAULT_BACKEND,
     ScoringEngine,
     resolve_backend,
     resolve_chunk_size,
+    resolve_workers,
 )
 
 #: Number of stale scores fetched per speculative bulk-refresh call.  Small
@@ -62,8 +64,12 @@ class SchedulerResult:
     extras:
         Algorithm-specific diagnostics (e.g. number of rounds for HOR).
     backend:
-        The scoring backend the run used (``"scalar"`` or ``"batch"``) —
-        recorded so harness tables can tell backend rows apart.
+        The scoring backend the run used (``"scalar"``, ``"batch"`` or
+        ``"parallel"``) — recorded so harness tables can tell backend rows
+        apart.
+    workers:
+        The resolved worker count of the run's engine (1 unless the
+        ``parallel`` backend was asked to fan out).
     """
 
     algorithm: str
@@ -75,6 +81,7 @@ class SchedulerResult:
     counters: Dict[str, int]
     extras: Dict[str, object] = field(default_factory=dict)
     backend: str = DEFAULT_BACKEND
+    workers: int = 1
 
     @property
     def num_scheduled(self) -> int:
@@ -101,6 +108,7 @@ class SchedulerResult:
         return {
             "algorithm": self.algorithm,
             "backend": self.backend,
+            "workers": self.workers,
             "k": self.k,
             "scheduled": self.num_scheduled,
             "utility": self.utility,
@@ -171,14 +179,18 @@ class BaseScheduler(ABC):
     seed:
         Seed for the randomised schedulers (ignored by the deterministic ones).
     backend:
-        Scoring backend (``"scalar"`` or ``"batch"``) forwarded to the
-        :class:`~repro.core.scoring.ScoringEngine`; ``None`` selects the
-        library default.  Both backends produce identical schedules, utilities
-        and counter totals.
+        Scoring backend (``"scalar"``, ``"batch"`` or ``"parallel"``)
+        forwarded to the :class:`~repro.core.scoring.ScoringEngine`; ``None``
+        selects the library default.  Every backend produces identical
+        schedules, utilities and counter totals.
     chunk_size:
         Event-axis chunk of the batch backend's bulk evaluations (``None``
         derives a memory-bounded default); forwarded to the engine.  Does not
         change any result bit.
+    workers:
+        Worker threads of the ``parallel`` backend (``None`` selects the
+        machine's CPU count); forwarded to the engine.  Does not change any
+        result bit either — blocks are row-independent.
     """
 
     #: Registry name; subclasses override.
@@ -192,6 +204,7 @@ class BaseScheduler(ABC):
         seed: Optional[int] = None,
         backend: Optional[str] = None,
         chunk_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self._instance = instance
         self._counter = counter if counter is not None else ComputationCounter()
@@ -200,6 +213,7 @@ class BaseScheduler(ABC):
         self._seed = seed
         self._backend = resolve_backend(backend)
         self._chunk_size = resolve_chunk_size(chunk_size, instance.num_users)
+        self._workers = resolve_workers(workers, self._backend)
         self._engine: Optional[ScoringEngine] = None
         self._checker: Optional[ConstraintChecker] = None
 
@@ -226,6 +240,11 @@ class BaseScheduler(ABC):
         """Events per vectorised pass of the engine's bulk evaluations."""
         return self._chunk_size
 
+    @property
+    def workers(self) -> int:
+        """Worker threads of the parallel backend (1 for the serial backends)."""
+        return self._workers
+
     def schedule(self, k: int) -> SchedulerResult:
         """Produce a feasible schedule of (up to) ``k`` events.
 
@@ -243,16 +262,23 @@ class BaseScheduler(ABC):
             counter=self._counter,
             backend=self._backend,
             chunk_size=self._chunk_size,
+            workers=self._workers,
         )
         self._checker = ConstraintChecker(self._instance)
         self._extras: Dict[str, object] = {}
 
-        started = time.perf_counter()
-        schedule = self._run(effective_k)
-        elapsed = time.perf_counter() - started
+        try:
+            started = time.perf_counter()
+            schedule = self._run(effective_k)
+            elapsed = time.perf_counter() - started
 
-        utility = self._engine.evaluate_schedule(schedule)
-        net_utility = self._engine.evaluate_schedule(schedule, include_costs=True)
+            utility = self._engine.evaluate_schedule(schedule)
+            net_utility = self._engine.evaluate_schedule(schedule, include_costs=True)
+        finally:
+            # Release the parallel backend's thread pool deterministically —
+            # the engine stays usable (a later bulk call recreates the pool),
+            # but cleanup must not depend on GC reaching __del__.
+            self._engine.close()
         return SchedulerResult(
             algorithm=self.name,
             k=k,
@@ -263,6 +289,7 @@ class BaseScheduler(ABC):
             counters=self._counter.snapshot(),
             extras=dict(self._extras),
             backend=self._backend,
+            workers=self._workers,
         )
 
     # ------------------------------------------------------------------ #
@@ -367,7 +394,7 @@ class BaseScheduler(ABC):
 
         ``pending`` is the (speculative) list of stale, currently-valid events
         the caller's refresh walk *may* recompute at ``interval_index``, in
-        walk order.  Under the batch backend their exact scores are fetched
+        walk order.  Under the bulk backends their exact scores are fetched
         from :meth:`~repro.core.scoring.ScoringEngine.refresh_scores` in
         blocks of :data:`REFRESH_BLOCK_SIZE` with ``count=False``; each score
         the walk actually consumes is then counted as one update computation.
@@ -382,7 +409,7 @@ class BaseScheduler(ABC):
         """
         engine = self.engine
         counter = self._counter
-        if self._backend != "batch" or not pending:
+        if self._backend not in BULK_BACKENDS or not pending:
             def fetch_scalar(event_index: int) -> float:
                 return engine.assignment_score(event_index, interval_index)
 

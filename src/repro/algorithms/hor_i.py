@@ -42,6 +42,7 @@ from typing import List, Optional, Tuple
 
 from repro.algorithms.base import AssignmentEntry, BaseScheduler
 from repro.core.schedule import Schedule
+from repro.core.scoring import BULK_BACKENDS
 
 
 class HorIScheduler(BaseScheduler):
@@ -183,7 +184,7 @@ class HorIScheduler(BaseScheduler):
         of what the walk can consume.  Pure bookkeeping — no counter side
         effects.  Skipped under the scalar backend.
         """
-        if self.backend != "batch":
+        if self.backend not in BULK_BACKENDS:
             return []
         checker = self.checker
         known_bound: Optional[float] = None
@@ -289,7 +290,7 @@ class HorIScheduler(BaseScheduler):
         examined.  Pure bookkeeping — no counter side effects.  Skipped under
         the scalar backend.
         """
-        if self.backend != "batch":
+        if self.backend not in BULK_BACKENDS:
             return []
         checker = self.checker
         pending: List[int] = []

@@ -38,6 +38,7 @@ from typing import List, Optional, Tuple
 
 from repro.algorithms.base import AssignmentEntry, BaseScheduler, better_candidate
 from repro.core.schedule import Schedule
+from repro.core.scoring import BULK_BACKENDS
 
 Candidate = Tuple[float, int, int]
 
@@ -196,7 +197,7 @@ class IncScheduler(BaseScheduler):
         counter side effects.  Skipped under the scalar backend, where the
         fetcher computes pairs one at a time anyway.
         """
-        if self.backend != "batch":
+        if self.backend not in BULK_BACKENDS:
             return []
         checker = self.checker
         bound = None if phi is None else phi[0]

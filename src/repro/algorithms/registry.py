@@ -85,15 +85,22 @@ def run_scheduler(
     counter: Optional[ComputationCounter] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> SchedulerResult:
     """Instantiate and run a scheduler by name (one-call convenience helper).
 
-    ``backend`` selects the scoring backend (``"scalar"`` or ``"batch"``) and
-    ``chunk_size`` the batch backend's event-axis chunk; ``None`` uses the
-    library defaults.
+    ``backend`` selects the scoring backend (``"scalar"``, ``"batch"`` or
+    ``"parallel"``), ``chunk_size`` the batch backend's event-axis chunk and
+    ``workers`` the parallel backend's thread count; ``None`` uses the library
+    defaults.
     """
     scheduler_cls = get_scheduler(name)
     scheduler = scheduler_cls(
-        instance, counter=counter, seed=seed, backend=backend, chunk_size=chunk_size
+        instance,
+        counter=counter,
+        seed=seed,
+        backend=backend,
+        chunk_size=chunk_size,
+        workers=workers,
     )
     return scheduler.schedule(k)

@@ -25,7 +25,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro._version import __version__
-from repro.algorithms.registry import PAPER_METHODS, available_schedulers, run_scheduler
+from repro.algorithms.base import SchedulerResult
+from repro.algorithms.registry import PAPER_METHODS, available_schedulers
 from repro.core.errors import ReproError
 from repro.core.scoring import DEFAULT_BACKEND, SCORING_BACKENDS
 from repro.core.validation import instance_report
@@ -44,7 +45,8 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
         choices=list(SCORING_BACKENDS),
         default=DEFAULT_BACKEND,
         help="scoring backend: 'batch' evaluates whole intervals in vectorised "
-        "NumPy passes, 'scalar' scores one (event, interval) pair at a time "
+        "NumPy passes, 'parallel' dispatches the batched event blocks to a "
+        "thread pool, 'scalar' scores one (event, interval) pair at a time "
         "(identical results, different speed); recorded in the output rows",
     )
     subparser.add_argument(
@@ -53,6 +55,14 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
         default=None,
         help="events per vectorised pass of the batch backend (memory guard; "
         "default bounds one temporary at ~64 MB regardless of instance size)",
+    )
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads of the parallel backend (default: the machine's "
+        "CPU count; 1 degrades to the serial batch path; ignored by the "
+        "other backends)",
     )
 
 
@@ -139,6 +149,9 @@ def _command_solve(args: argparse.Namespace) -> int:
         instance = load_instance(args.instance)
     else:
         instance = build_dataset(args.dataset, **_generate_overrides(args))
+    # The results sink captures each scheduler's run so --show-schedule can
+    # print the assignments without running everything a second time.
+    results: List[SchedulerResult] = []
     records = run_algorithms(
         instance,
         args.k,
@@ -147,18 +160,12 @@ def _command_solve(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         chunk_size=args.chunk_size,
+        workers=args.workers,
+        results=results,
     )
     print(format_records(records))
     if args.show_schedule:
-        for name in args.algorithms:
-            result = run_scheduler(
-                name,
-                instance,
-                args.k,
-                seed=args.seed,
-                backend=args.backend,
-                chunk_size=args.chunk_size,
-            )
+        for name, result in zip(args.algorithms, results):
             assignments = ", ".join(
                 f"{instance.events[a.event_index].id}@{instance.intervals[a.interval_index].id}"
                 for a in result.schedule.assignments()
@@ -170,7 +177,11 @@ def _command_solve(args: argparse.Namespace) -> int:
 def _command_experiment(args: argparse.Namespace) -> int:
     if args.experiment_id == "summary":
         stats = summary_sweep(
-            scale=args.scale, seed=args.seed, backend=args.backend, chunk_size=args.chunk_size
+            scale=args.scale,
+            seed=args.seed,
+            backend=args.backend,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
         )
         if args.json:
             print(json.dumps(stats.as_rows(), indent=2))
@@ -183,6 +194,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         chunk_size=args.chunk_size,
+        workers=args.workers,
     )
     if args.json:
         print(json.dumps([record.to_row() for record in figure.records], indent=2))

@@ -299,7 +299,15 @@ class SESInstance:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "SESInstance":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Array-aware: the ``interest`` / ``competing_interest`` ``values`` and
+        the ``activity`` entry may be NumPy ``float64`` arrays instead of
+        nested lists.  Arrays are passed straight through ``np.asarray`` (the
+        interest matrices are adopted without copying; activity keeps its one
+        defensive copy), so no Python lists are ever materialised — the fast
+        path the NPZ loader relies on for benchmark-scale instances.
+        """
         organizer_payload = payload.get("organizer", {}) or {}
         organizer = Organizer(
             name=str(organizer_payload.get("name", "organizer")),

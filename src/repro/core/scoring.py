@@ -19,17 +19,24 @@ evaluation to a :class:`~repro.core.counters.ComputationCounter` so that the
 paper's "number of computations" metric (``|U|`` per score) can be reproduced
 exactly.
 
-The engine offers two *backends* for bulk evaluation:
+The engine offers three *backends* for bulk evaluation:
 
 * ``"scalar"`` — the reference implementation: one pass over the users per
   (event, interval) pair, exactly the per-pair arithmetic described above;
 * ``"batch"`` (the default) — :meth:`ScoringEngine.interval_scores` evaluates
   *all* candidate events of one interval in a handful of NumPy matrix
   operations, and :meth:`ScoringEngine.score_matrix` assembles the full
-  ``|E| × |T|`` score matrix from them.
+  ``|E| × |T|`` score matrix from them;
+* ``"parallel"`` — the batch backend's event-axis chunks dispatched to a
+  thread pool (``workers`` threads, defaulting to the machine's CPU count).
+  The chunk kernel is NumPy-bound and releases the GIL, so the blocks run
+  concurrently; because every event row's reduction is independent of the
+  others, the block decomposition — serial or parallel, whatever the split —
+  never changes a result bit.  ``workers=1`` degrades to the serial batch
+  path exactly.
 
-Both backends perform the same elementary operations in the same order per
-(user, event) element, so their scores agree to machine precision, and both
+All backends perform the same elementary operations in the same order per
+(user, event) element, so their scores agree to machine precision, and all
 report one score computation (``|U|`` user computations) per (event, interval)
 pair to the counter — the paper's metric is backend-independent by
 construction.
@@ -55,6 +62,8 @@ With the default entity values these reduce exactly to the paper's equations.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -65,7 +74,12 @@ from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
 
 #: The available scoring backends (``DEFAULT_BACKEND`` is used when unset).
-SCORING_BACKENDS: Tuple[str, ...] = ("scalar", "batch")
+SCORING_BACKENDS: Tuple[str, ...] = ("scalar", "batch", "parallel")
+
+#: The backends whose bulk entry points evaluate whole event blocks at once
+#: (the incremental schedulers use this to decide whether speculative bulk
+#: refresh pays off).
+BULK_BACKENDS: Tuple[str, ...] = ("batch", "parallel")
 
 #: Backend used when none is requested explicitly.
 DEFAULT_BACKEND: str = "batch"
@@ -100,6 +114,29 @@ def resolve_chunk_size(chunk_size: Optional[int], num_users: int) -> int:
     if not isinstance(chunk_size, int) or isinstance(chunk_size, bool) or chunk_size < 1:
         raise SolverError(f"chunk_size must be a positive integer or None, got {chunk_size!r}")
     return chunk_size
+
+
+def resolve_workers(workers: Optional[int], backend: Optional[str] = None) -> int:
+    """Validate the parallel backend's worker count (``None`` means auto).
+
+    The automatic default is the machine's CPU count (at least 1).  An
+    explicit value must be a positive integer; ``1`` makes the parallel
+    backend degrade to the serial batch path.
+
+    When ``backend`` is given and is not ``"parallel"``, the resolved count is
+    pinned to 1 (after validation): the serial backends never fan out, and
+    recording the machine's CPU count for them would make otherwise-identical
+    runs look different across machines in the harness tables.
+    """
+    if workers is not None and (
+        not isinstance(workers, int) or isinstance(workers, bool) or workers < 1
+    ):
+        raise SolverError(f"workers must be a positive integer or None, got {workers!r}")
+    if backend is not None and backend != "parallel":
+        return 1
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    return workers
 
 
 def _guarded_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
@@ -150,7 +187,13 @@ class ScoringEngine:
         backend (``None`` derives it from :data:`DEFAULT_CHUNK_ELEMENTS`).
         Bounds the size of batched temporaries at ``chunk_size × |U|``
         elements without changing any result bit (the scalar backend ignores
-        it — its temporaries are one user-vector per pair already).
+        it — its temporaries are one user-vector per pair already).  Under the
+        parallel backend up to ``workers`` chunks are in flight at once, so
+        the envelope is ``workers ×`` the chunk budget.
+    workers:
+        Thread count of the ``"parallel"`` backend (``None`` selects the
+        machine's CPU count).  Ignored by the other backends; ``workers=1``
+        degrades to the serial batch path.
     """
 
     def __init__(
@@ -160,6 +203,7 @@ class ScoringEngine:
         *,
         backend: Optional[str] = None,
         chunk_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self._instance = instance
         self._counter = counter if counter is not None else ComputationCounter()
@@ -167,6 +211,8 @@ class ScoringEngine:
             self._counter.num_users = instance.num_users
         self._backend = resolve_backend(backend)
         self._chunk_size = resolve_chunk_size(chunk_size, instance.num_users)
+        self._workers = resolve_workers(workers, self._backend)
+        self._executor: Optional[ThreadPoolExecutor] = None
 
         self._mu = instance.interest.values
         self._comp = instance.competing_sums
@@ -175,7 +221,7 @@ class ScoringEngine:
         self._values = instance.event_values()
         self._costs = instance.event_costs()
 
-        if self._backend == "batch":
+        if self._backend in BULK_BACKENDS:
             # Event-major copies of µ and value·µ: each row is one event's
             # per-user column, contiguous so that the per-row reductions in
             # interval_scores() use the same pairwise summation as the scalar
@@ -216,6 +262,23 @@ class ScoringEngine:
     def chunk_size(self) -> int:
         """Events evaluated per vectorised pass (the batch memory guard)."""
         return self._chunk_size
+
+    @property
+    def workers(self) -> int:
+        """Thread count of the parallel backend (1 for the serial backends)."""
+        return self._workers
+
+    def close(self) -> None:
+        """Release the parallel backend's thread pool (safe to call repeatedly)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # State management
@@ -395,19 +458,48 @@ class ScoringEngine:
         The event axis is processed in chunks of at most ``chunk_size`` rows,
         so the temporaries stay bounded on huge instances.  Each row's
         reduction is independent of the others, so chunked and unchunked
-        evaluations are bit-identical.
+        evaluations are bit-identical — and under the parallel backend the
+        chunks are dispatched to the worker pool, which changes only *where*
+        each block is computed, never its result.
         """
         num_rows = int(mu_rows.shape[0])
         step = self._chunk_size
+        parallel = self._backend == "parallel" and self._workers > 1 and num_rows > 1
+        if parallel:
+            # Split into enough blocks to keep every worker busy while still
+            # honouring the chunk-size memory bound per block.
+            step = max(1, min(step, -(-num_rows // self._workers)))
         if num_rows <= step:
             return self._batch_block(interval_index, mu_rows, value_mu_rows)
+        bounds = [(start, min(start + step, num_rows)) for start in range(0, num_rows, step)]
         scores = np.empty(num_rows, dtype=np.float64)
-        for start in range(0, num_rows, step):
-            stop = min(start + step, num_rows)
+        if parallel and len(bounds) > 1:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(
+                    self._batch_block,
+                    interval_index,
+                    mu_rows[start:stop],
+                    value_mu_rows[start:stop],
+                )
+                for start, stop in bounds
+            ]
+            for (start, stop), future in zip(bounds, futures):
+                scores[start:stop] = future.result()
+            return scores
+        for start, stop in bounds:
             scores[start:stop] = self._batch_block(
                 interval_index, mu_rows[start:stop], value_mu_rows[start:stop]
             )
         return scores
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        """The lazily-created worker pool of the parallel backend."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="ses-score"
+            )
+        return self._executor
 
     def _batch_block(
         self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
@@ -444,7 +536,7 @@ class ScoringEngine:
             num_selected = int(selector.size)
         num_intervals = self._instance.num_intervals
         matrix = np.empty((num_selected, num_intervals), dtype=np.float64)
-        if self._backend == "batch":
+        if self._backend in BULK_BACKENDS:
             # Hoist the event-row selection out of the per-interval loop: the
             # selection is state-independent, so one copy serves every column.
             mu_rows, value_mu_rows = self._select_event_rows(selector)

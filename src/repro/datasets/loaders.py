@@ -100,10 +100,14 @@ def _load_npz(source: Path) -> SESInstance:
         competing_interest = np.asarray(bundle["competing_interest"], dtype=np.float64)
         activity = np.asarray(bundle["activity"], dtype=np.float64)
     payload = dict(entities)
-    payload["interest"] = {"shape": list(interest.shape), "values": interest.tolist()}
+    # The arrays go into the payload as-is: ``from_dict`` (via
+    # ``InterestMatrix.from_serialized`` and ``np.asarray``) accepts ndarrays
+    # without copying, so benchmark-scale NPZ loads never materialise Python
+    # lists of the matrices.
+    payload["interest"] = {"shape": list(interest.shape), "values": interest}
     payload["competing_interest"] = {
         "shape": list(competing_interest.shape),
-        "values": competing_interest.tolist(),
+        "values": competing_interest,
     }
-    payload["activity"] = activity.tolist()
+    payload["activity"] = activity
     return SESInstance.from_dict(payload)

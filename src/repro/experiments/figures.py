@@ -194,6 +194,7 @@ def fig5(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 5: utility, computations and time as k grows.
 
@@ -230,6 +231,7 @@ def fig5(
                     seed=seed,
                     backend=backend,
                     chunk_size=chunk_size,
+                    workers=workers,
                 )
             )
     return result
@@ -246,6 +248,7 @@ def fig6(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 6: utility and time as |T| grows (k and |E| at their defaults)."""
     resolved = get_scale(scale)
@@ -275,6 +278,7 @@ def fig6(
                     seed=seed,
                     backend=backend,
                     chunk_size=chunk_size,
+                    workers=workers,
                 )
             )
     return result
@@ -291,6 +295,7 @@ def fig7(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 7: utility and time as |E| grows (k < |T|, so HOR-I ≡ HOR)."""
     resolved = get_scale(scale)
@@ -322,6 +327,7 @@ def fig7(
                     seed=seed,
                     backend=backend,
                     chunk_size=chunk_size,
+                    workers=workers,
                 )
             )
     return result
@@ -338,6 +344,7 @@ def fig8(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 8: time as |U| grows, for |T| = 3k/2 (panel a) and |T| ≈ 0.65k (panel b)."""
     resolved = get_scale(scale)
@@ -380,6 +387,7 @@ def fig8(
                         seed=seed,
                         backend=backend,
                         chunk_size=chunk_size,
+                        workers=workers,
                     )
                 )
     result.notes["panels"] = panels
@@ -397,6 +405,7 @@ def fig9(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 9: utility and time as the number of event locations varies (|T| ≈ 0.65k)."""
     resolved = get_scale(scale)
@@ -434,6 +443,7 @@ def fig9(
                     seed=seed,
                     backend=backend,
                     chunk_size=chunk_size,
+                    workers=workers,
                 )
             )
     return result
@@ -450,6 +460,7 @@ def fig10a(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 10a: execution time in the horizontal algorithms' worst case (k mod |T| = 1)."""
     resolved = get_scale(scale)
@@ -479,6 +490,7 @@ def fig10a(
                 seed=seed,
                 backend=backend,
                 chunk_size=chunk_size,
+                workers=workers,
             )
         )
     return result
@@ -495,6 +507,7 @@ def fig10b(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 10b: assignments examined by ALG vs INC while varying k, |T| and |E|."""
     resolved = get_scale(scale)
@@ -546,6 +559,7 @@ def fig10b(
                     seed=seed,
                     backend=backend,
                     chunk_size=chunk_size,
+                    workers=workers,
                 )
             )
     result.notes["sweep_labels"] = [label for label, _ in sweep]
@@ -563,6 +577,7 @@ def ext_competing(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """§4.1 (omitted plot): effect of the number of competing events per interval."""
     resolved = get_scale(scale)
@@ -594,6 +609,7 @@ def ext_competing(
                     seed=seed,
                     backend=backend,
                     chunk_size=chunk_size,
+                    workers=workers,
                 )
             )
     return result
@@ -607,6 +623,7 @@ def ext_resources(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """§4.1 (omitted plot): effect of the organiser's available resources θ."""
     resolved = get_scale(scale)
@@ -638,6 +655,7 @@ def ext_resources(
                     seed=seed,
                     backend=backend,
                     chunk_size=chunk_size,
+                    workers=workers,
                 )
             )
     return result

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import PAPER_METHODS, get_scheduler
 from repro.core.errors import ExperimentError
 from repro.core.instance import SESInstance
@@ -29,6 +30,8 @@ def run_algorithms(
     validate: bool = True,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    results: Optional[List[SchedulerResult]] = None,
 ) -> List[MetricRecord]:
     """Run a set of algorithms on one instance and return one record per run.
 
@@ -42,14 +45,21 @@ def run_algorithms(
     validate:
         Re-check feasibility and the claimed utility of every schedule.
     backend:
-        Scoring backend forwarded to every scheduler (``"scalar"`` or
-        ``"batch"``; ``None`` uses the library default).  The backends are
-        metric-equivalent, so records only differ in wall-clock time; the
-        backend actually used is recorded in every record's params, so figure
-        runs can compare backends.
+        Scoring backend forwarded to every scheduler (``"scalar"``,
+        ``"batch"`` or ``"parallel"``; ``None`` uses the library default).
+        The backends are metric-equivalent, so records only differ in
+        wall-clock time; the backend actually used is recorded in every
+        record's params, so figure runs can compare backends.
     chunk_size:
         Event-axis chunk of the batch backend's bulk evaluations, forwarded
         to every scheduler (``None`` derives a memory-bounded default).
+    workers:
+        Worker threads of the parallel backend, forwarded to every scheduler
+        (``None`` selects the machine's CPU count).
+    results:
+        Optional sink: when given, the full :class:`SchedulerResult` of every
+        run is appended to it (same order as the returned records).  The CLI
+        uses this to print schedules without re-running the schedulers.
     """
     names = list(algorithms) if algorithms is not None else list(PAPER_METHODS)
     if not names:
@@ -58,8 +68,12 @@ def run_algorithms(
     records: List[MetricRecord] = []
     for name in names:
         scheduler_cls = get_scheduler(name)
-        scheduler = scheduler_cls(instance, seed=seed, backend=backend, chunk_size=chunk_size)
+        scheduler = scheduler_cls(
+            instance, seed=seed, backend=backend, chunk_size=chunk_size, workers=workers
+        )
         result = scheduler.schedule(k)
+        if results is not None:
+            results.append(result)
         if validate:
             problems = validate_solution(
                 instance, result.schedule, k=k, claimed_utility=result.utility
@@ -92,6 +106,7 @@ def run_experiment_point(
     seed: Optional[int] = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> List[MetricRecord]:
     """Build a named dataset and run the algorithms on it (one sweep point).
 
@@ -110,4 +125,5 @@ def run_experiment_point(
         seed=seed,
         backend=backend,
         chunk_size=chunk_size,
+        workers=workers,
     )

@@ -46,11 +46,14 @@ class MetricRecord:
         """Build a record from a :class:`~repro.algorithms.base.SchedulerResult`.
 
         The scoring backend the run used is recorded under
-        ``params["backend"]`` (unless the caller already set one), so rows of
-        different backends can be grouped and compared in figure tables.
+        ``params["backend"]`` and its resolved worker count under
+        ``params["workers"]`` (unless the caller already set them), so rows of
+        different backends / fan-outs can be grouped and compared in figure
+        tables.
         """
         merged_params = dict(params or {})
         merged_params.setdefault("backend", result.backend)
+        merged_params.setdefault("workers", result.workers)
         return cls(
             experiment_id=experiment_id,
             dataset=dataset,

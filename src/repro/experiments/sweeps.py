@@ -73,6 +73,7 @@ def summary_sweep(
     seed: int = 0,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
     utility_tolerance: float = 1e-9,
 ) -> SummaryStatistics:
     """Run the summary grid and compute the §4.2.8 aggregates.
@@ -113,6 +114,7 @@ def summary_sweep(
                     seed=seed,
                     backend=backend,
                     chunk_size=chunk_size,
+                    workers=workers,
                 )
             )
     return summarize_records(records, utility_tolerance=utility_tolerance)

@@ -97,6 +97,35 @@ class TestSolveCommand:
         assert "TOP:" in output
         assert "@t" in output
 
+    def test_show_schedule_runs_each_scheduler_exactly_once(self, capsys, monkeypatch):
+        """--show-schedule must print from the metrics run, not re-run everything.
+
+        The regression: the CLI used to run every scheduler a second time just
+        to get at the assignments, doubling wall-clock and recomputing the
+        counters.
+        """
+        from repro.algorithms.base import BaseScheduler
+
+        calls = []
+        original = BaseScheduler.schedule
+
+        def counting(self, k):
+            calls.append(self.name)
+            return original(self, k)
+
+        monkeypatch.setattr(BaseScheduler, "schedule", counting)
+        code = main(
+            [
+                "solve", "--dataset", "Unf", "-k", "3",
+                "--users", "15", "--events", "8", "--intervals", "3",
+                "--algorithms", "TOP", "ALG", "--show-schedule",
+            ]
+        )
+        assert code == 0
+        assert sorted(calls) == ["ALG", "TOP"], f"schedulers re-ran: {calls}"
+        output = capsys.readouterr().out
+        assert "TOP:" in output and "ALG:" in output
+
 
 class TestSolveBackendFlags:
     def test_solve_with_scalar_backend_and_chunk(self, capsys):

@@ -93,10 +93,11 @@ class TestRoundLevelEquivalence:
     @pytest.mark.parametrize("algorithm", ["INC", "HOR-I"])
     def test_counters_identical_across_backends(self, case, algorithm):
         scalar = _run_pair(algorithm, case, backend="scalar")
-        batch = _run_pair(algorithm, case, backend="batch")
-        assert batch.schedule.as_dict() == scalar.schedule.as_dict()
-        assert batch.utility == scalar.utility
-        assert batch.counters == scalar.counters
+        for backend in SCORING_BACKENDS[1:]:
+            bulk = _run_pair(algorithm, case, backend=backend, workers=2)
+            assert bulk.schedule.as_dict() == scalar.schedule.as_dict(), backend
+            assert bulk.utility == scalar.utility, backend
+            assert bulk.counters == scalar.counters, backend
 
     @pytest.mark.parametrize("case", CASE_IDS)
     @pytest.mark.parametrize("algorithm", ["INC", "HOR-I"])

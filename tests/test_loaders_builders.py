@@ -27,6 +27,46 @@ class TestLoaders:
         np.testing.assert_allclose(restored.competing_sums, instance.competing_sums)
         assert restored.name == instance.name
 
+    def test_npz_load_keeps_arrays(self, tmp_path, monkeypatch):
+        """The NPZ fast path must hand ndarrays to from_dict, never Python lists.
+
+        The regression: ``_load_npz`` used to ``.tolist()`` every matrix and
+        rebuild it element-by-element, defeating the whole point of the binary
+        format on benchmark-scale instances.
+        """
+        from repro.core.instance import SESInstance
+
+        instance = make_random_instance(
+            seed=7, num_users=12, num_events=7, num_intervals=3, num_competing=4
+        )
+        path = save_instance(instance, tmp_path / "instance.npz")
+
+        seen = {}
+        original = SESInstance.from_dict.__func__
+
+        def spy(cls, payload):
+            seen["interest"] = payload["interest"]["values"]
+            seen["competing"] = payload["competing_interest"]["values"]
+            seen["activity"] = payload["activity"]
+            return original(cls, payload)
+
+        monkeypatch.setattr(SESInstance, "from_dict", classmethod(spy))
+        restored = load_instance(path)
+
+        for key in ("interest", "competing", "activity"):
+            assert isinstance(seen[key], np.ndarray), f"{key} was materialised as a list"
+            assert seen[key].dtype == np.float64
+        assert seen["interest"].shape == instance.interest.shape
+        assert seen["activity"].shape == instance.activity.shape
+        # Round-trip equality stays exact (NPZ stores the float64 bits).
+        assert np.array_equal(restored.interest.values, instance.interest.values)
+        assert np.array_equal(
+            restored.competing_interest.values, instance.competing_interest.values
+        )
+        assert np.array_equal(restored.activity, instance.activity)
+        # The interest matrices adopt the loaded arrays without copying.
+        assert restored.interest.values is seen["interest"]
+
     def test_round_trip_preserves_solver_behaviour(self, tmp_path):
         from repro.algorithms.registry import run_scheduler
 

@@ -114,16 +114,20 @@ def test_score_matrix_matches_scalar_reference(config):
     instance = make_random_instance(**config)
     scalar = ScoringEngine(instance, backend="scalar")
     batch = ScoringEngine(instance, backend="batch")
+    parallel = ScoringEngine(instance, backend="parallel", workers=2)
 
     reference = _scalar_reference_matrix(scalar)
     assert np.allclose(batch.score_matrix(count=False), reference, atol=TOLERANCE, rtol=0.0)
-    # The scalar backend's bulk API is the reference path itself.
+    # The scalar backend's bulk API is the reference path itself, and the
+    # parallel backend runs the batch kernel block-by-block — bit-identical.
     assert np.array_equal(scalar.score_matrix(count=False), reference)
+    assert np.array_equal(parallel.score_matrix(count=False), batch.score_matrix(count=False))
 
     # The equivalence must hold against a non-empty schedule state too.
-    _apply_prefix(instance, (scalar, batch), seed=config["seed"] + 1000)
+    _apply_prefix(instance, (scalar, batch, parallel), seed=config["seed"] + 1000)
     reference = _scalar_reference_matrix(scalar)
     assert np.allclose(batch.score_matrix(count=False), reference, atol=TOLERANCE, rtol=0.0)
+    assert np.array_equal(parallel.score_matrix(count=False), batch.score_matrix(count=False))
 
 
 @pytest.mark.parametrize("config", ALL_CONFIGS[:6], ids=lambda c: f"seed{c['seed']}")
@@ -150,19 +154,22 @@ def test_schedulers_identical_across_backends(algorithm, config):
     instance = make_random_instance(**config)
     k = min(instance.num_events, instance.num_intervals + 2)
     results = {
-        backend: run_scheduler(algorithm, instance, k, backend=backend)
+        backend: run_scheduler(algorithm, instance, k, backend=backend, workers=2)
         for backend in SCORING_BACKENDS
     }
-    scalar, batch = results["scalar"], results["batch"]
-    assert scalar.schedule.as_dict() == batch.schedule.as_dict()
-    assert abs(scalar.utility - batch.utility) <= TOLERANCE
-    assert abs(scalar.net_utility - batch.net_utility) <= TOLERANCE
+    scalar = results["scalar"]
+    for backend in SCORING_BACKENDS[1:]:
+        other = results[backend]
+        assert scalar.schedule.as_dict() == other.schedule.as_dict(), backend
+        assert abs(scalar.utility - other.utility) <= TOLERANCE, backend
+        assert abs(scalar.net_utility - other.net_utility) <= TOLERANCE, backend
 
 
 def test_backend_selection_surface():
     instance = make_random_instance(seed=40, num_users=10, num_events=5, num_intervals=2)
     assert ScoringEngine(instance).backend == DEFAULT_BACKEND
     assert ScoringEngine(instance, backend="scalar").backend == "scalar"
+    assert ScoringEngine(instance, backend="parallel", workers=2).backend == "parallel"
     with pytest.raises(SolverError):
         ScoringEngine(instance, backend="gpu")
     with pytest.raises(SolverError):
