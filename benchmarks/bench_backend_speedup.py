@@ -22,6 +22,7 @@ import time
 import numpy as np
 
 from repro.algorithms.hor import HorScheduler
+from repro.core.execution import ExecutionConfig
 from repro.core.instance import SESInstance
 
 from benchmarks.conftest import persist_rows, run_once
@@ -51,7 +52,7 @@ def time_hor_initial_round(instance: SESInstance, backend: str, repetitions: int
     """
     best_elapsed, result = float("inf"), None
     for _ in range(repetitions):
-        scheduler = HorScheduler(instance, backend=backend)
+        scheduler = HorScheduler(instance, execution=ExecutionConfig(backend=backend))
         started = time.perf_counter()
         result = scheduler.schedule(instance.num_intervals)
         best_elapsed = min(best_elapsed, time.perf_counter() - started)

@@ -32,6 +32,7 @@ import time
 import numpy as np
 
 from repro.algorithms.registry import get_scheduler
+from repro.core.execution import ExecutionConfig
 from repro.core.instance import SESInstance
 
 from benchmarks.conftest import persist_rows, run_once
@@ -57,7 +58,9 @@ def time_run(algorithm: str, instance: SESInstance, k: int, backend: str, repeti
     """Best-of-N timing of one scheduler run (min is robust to interference)."""
     best_elapsed, result = float("inf"), None
     for _ in range(repetitions):
-        scheduler = get_scheduler(algorithm)(instance, backend=backend)
+        scheduler = get_scheduler(algorithm)(
+            instance, execution=ExecutionConfig(backend=backend)
+        )
         started = time.perf_counter()
         result = scheduler.schedule(k)
         best_elapsed = min(best_elapsed, time.perf_counter() - started)

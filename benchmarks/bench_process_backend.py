@@ -1,12 +1,13 @@
-"""Batch vs. parallel (sharded) scoring backend on a many-user instance.
+"""Batch vs. process (shared-memory pool) scoring backend on a many-user instance.
 
-The parallel backend dispatches the batch backend's event-axis chunks to a
-thread pool; the chunk kernel is NumPy-bound and releases the GIL, so on a
-multi-core machine the blocks genuinely overlap.  This benchmark times HOR's
-initial round (with ``k = |T|`` a full HOR run *is* the initial round — pure
-score-evaluation throughput) under both backends, checks that schedules,
-utilities and counters are identical and that the scores are bit-identical,
-and asserts the parallel backend's wall-clock speedup when the machine can
+The process backend shards :meth:`ScoringEngine.score_matrix`'s per-interval
+columns across a ``multiprocessing`` pool; the static instance matrices are
+published once through shared memory, so each task ships only an interval
+index and two per-user vectors.  This benchmark times TOP (whose run is one
+full score-matrix evaluation plus a top-k selection — pure score-matrix
+throughput) under both backends, checks that schedules, utilities and
+counters are identical and that the raw score matrices are bit-identical, and
+asserts the process backend's wall-clock speedup when the machine can
 actually provide one.
 
 Scales (``REPRO_BENCH_SCALE``):
@@ -15,11 +16,11 @@ Scales (``REPRO_BENCH_SCALE``):
   instance is too small for the pool to beat its own dispatch overhead, so
   only equivalence is asserted);
 * ``small`` — 500 events × 50 intervals × 2000 users (the acceptance-criteria
-  size, default): ≥1.5× over batch on a multi-core runner;
+  size, default): ≥1.3× over batch on a multi-core runner;
 * ``default`` — 900 events × 90 intervals × 4000 users.
 
 The speedup floor is only enforced when the machine has at least two CPUs —
-on a single core the thread pool degenerates to serial execution plus
+on a single core the process pool degenerates to serial execution plus
 dispatch overhead, which is exactly what ``workers=1`` is for.
 """
 
@@ -30,7 +31,7 @@ import time
 
 import numpy as np
 
-from repro.algorithms.hor import HorScheduler
+from repro.algorithms.top import TopScheduler
 from repro.core.execution import ExecutionConfig
 from repro.core.instance import SESInstance
 from repro.core.scoring import ScoringEngine
@@ -38,41 +39,40 @@ from repro.core.scoring import ScoringEngine
 from benchmarks.conftest import persist_rows, run_once
 
 #: (num_events, num_intervals, num_users, minimum accepted speedup or None).
-PARALLEL_SCALES = {
+PROCESS_SCALES = {
     "tiny": (120, 12, 200, None),
-    "small": (500, 50, 2000, 1.5),
-    "default": (900, 90, 4000, 1.5),
+    "small": (500, 50, 2000, 1.3),
+    "default": (900, 90, 4000, 1.3),
 }
 
-#: Chunk size used for both backends: small enough that the event axis splits
-#: into many blocks for the pool to shard (500 events → ~8 blocks of 64).
+#: Chunk size shared by both backends (the workers chunk their column with the
+#: same step, which bounds each task's temporaries without changing a bit).
 CHUNK_SIZE = 64
 
 
 def build_instance(num_events: int, num_intervals: int, num_users: int) -> SESInstance:
-    rng = np.random.default_rng(11)
+    rng = np.random.default_rng(13)
     return SESInstance.from_arrays(
         interest=rng.random((num_users, num_events)),
         activity=rng.random((num_users, num_intervals)),
-        name=f"parallel-{num_events}x{num_intervals}x{num_users}",
+        name=f"process-{num_events}x{num_intervals}x{num_users}",
     )
 
 
 def workers_for_run() -> int:
-    """Worker count of the parallel leg: every core, at least 2."""
+    """Worker count of the process leg: every core, at least 2."""
     return max(2, os.cpu_count() or 1)
 
 
-def time_hor_initial_round(instance: SESInstance, backend: str, repetitions: int = 1):
-    """Best-of-N timing of a one-round HOR run (k = |T|) under one backend."""
+def execution_for(backend: str) -> ExecutionConfig:
+    return ExecutionConfig(backend=backend, chunk_size=CHUNK_SIZE, workers=workers_for_run())
+
+
+def time_top_run(instance: SESInstance, backend: str, repetitions: int = 1):
+    """Best-of-N timing of a full TOP run (k = |T|) under one backend."""
     best_elapsed, result = float("inf"), None
     for _ in range(repetitions):
-        scheduler = HorScheduler(
-            instance,
-            execution=ExecutionConfig(
-                backend=backend, chunk_size=CHUNK_SIZE, workers=workers_for_run()
-            ),
-        )
+        scheduler = TopScheduler(instance, execution=execution_for(backend))
         started = time.perf_counter()
         result = scheduler.schedule(instance.num_intervals)
         best_elapsed = min(best_elapsed, time.perf_counter() - started)
@@ -80,22 +80,22 @@ def time_hor_initial_round(instance: SESInstance, backend: str, repetitions: int
 
 
 def compare_backends(scale: str):
-    num_events, num_intervals, num_users, _ = PARALLEL_SCALES[scale]
+    num_events, num_intervals, num_users, _ = PROCESS_SCALES[scale]
     # Warm-up: pool creation, lazy imports, allocator warm-up.
     warmup = build_instance(10, 3, 8)
-    for backend in ("batch", "parallel"):
-        time_hor_initial_round(warmup, backend)
+    for backend in ("batch", "process"):
+        time_top_run(warmup, backend)
     instance = build_instance(num_events, num_intervals, num_users)
     rows, results, timings = [], {}, {}
-    for backend in ("batch", "parallel"):
-        elapsed, result = time_hor_initial_round(instance, backend, repetitions=3)
+    for backend in ("batch", "process"):
+        elapsed, result = time_top_run(instance, backend, repetitions=3)
         results[backend] = result
         timings[backend] = elapsed
         rows.append(
             {
                 "scale": scale,
                 "backend": backend,
-                "workers": workers_for_run() if backend == "parallel" else 1,
+                "workers": workers_for_run() if backend == "process" else 1,
                 "events": num_events,
                 "intervals": num_intervals,
                 "users": num_users,
@@ -106,46 +106,42 @@ def compare_backends(scale: str):
         )
     for row in rows:
         row["speedup_vs_batch"] = round(timings["batch"] / max(timings[row["backend"]], 1e-9), 2)
-    speedup = timings["batch"] / max(timings["parallel"], 1e-9)
+    speedup = timings["batch"] / max(timings["process"], 1e-9)
 
-    # Bit-identity of the raw scores, checked on the benchmark instance itself.
+    # Bit-identity of the raw score matrices, checked on the benchmark
+    # instance itself (one column per pool task at this chunk size).
     batch_engine = ScoringEngine(
         instance, execution=ExecutionConfig(backend="batch", chunk_size=CHUNK_SIZE)
     )
-    parallel_engine = ScoringEngine(
-        instance,
-        execution=ExecutionConfig(
-            backend="parallel", chunk_size=CHUNK_SIZE, workers=workers_for_run()
-        ),
-    )
+    process_engine = ScoringEngine(instance, execution=execution_for("process"))
     identical = bool(
         np.array_equal(
-            batch_engine.score_matrix(count=False), parallel_engine.score_matrix(count=False)
+            batch_engine.score_matrix(count=False), process_engine.score_matrix(count=False)
         )
     )
-    parallel_engine.close()
+    process_engine.close()
     return rows, results, speedup, identical
 
 
-def test_parallel_backend_speedup(benchmark, bench_scale, results_dir):
-    scale = bench_scale if bench_scale in PARALLEL_SCALES else "small"
+def test_process_backend_speedup(benchmark, bench_scale, results_dir):
+    scale = bench_scale if bench_scale in PROCESS_SCALES else "small"
     rows, results, speedup, identical = run_once(benchmark, compare_backends, scale)
-    text = persist_rows("parallel_backend", rows, results_dir)
+    text = persist_rows("process_backend", rows, results_dir)
     print("\n" + text)
     print(
-        f"parallel speedup over batch: {speedup:.2f}x "
+        f"process speedup over batch: {speedup:.2f}x "
         f"({workers_for_run()} workers, {os.cpu_count()} CPUs)"
     )
 
     # The backends must be observationally identical …
-    assert identical, "parallel score matrix is not bit-identical to batch"
-    assert results["batch"].schedule.as_dict() == results["parallel"].schedule.as_dict()
-    assert results["batch"].utility == results["parallel"].utility
-    assert results["batch"].counters == results["parallel"].counters
+    assert identical, "process score matrix is not bit-identical to batch"
+    assert results["batch"].schedule.as_dict() == results["process"].schedule.as_dict()
+    assert results["batch"].utility == results["process"].utility
+    assert results["batch"].counters == results["process"].counters
     # … and actually faster where the hardware allows it.
-    minimum = PARALLEL_SCALES[scale][3]
+    minimum = PROCESS_SCALES[scale][3]
     if minimum is not None and (os.cpu_count() or 1) >= 2:
         assert speedup >= minimum, (
-            f"parallel backend speedup {speedup:.2f}x below the {minimum}x floor "
+            f"process backend speedup {speedup:.2f}x below the {minimum}x floor "
             f"at scale {scale!r} on {os.cpu_count()} CPUs"
         )

@@ -16,6 +16,7 @@ import numpy as np
 from repro import (
     CompetingEvent,
     Event,
+    ExecutionConfig,
     Organizer,
     SESInstance,
     TimeInterval,
@@ -67,12 +68,16 @@ def main() -> None:
     print(f"Instance: {instance.name} — {instance.num_events} candidate events, "
           f"{instance.num_intervals} intervals, {instance.num_users} users")
 
-    # Schedulers accept a scoring backend: "batch" (the default) evaluates all
-    # of an interval's candidate events in one vectorised NumPy pass, "scalar"
-    # scores one (event, interval) pair at a time.  Both produce identical
-    # schedules, utilities and computation counts — only the speed differs
-    # (the CLI exposes the same choice as `ses-repro solve --backend ...`).
-    scheduler = get_scheduler("HOR-I")(instance, backend="batch")
+    # Schedulers accept an ExecutionConfig selecting the execution backend:
+    # "batch" (the default) evaluates all of an interval's candidate events in
+    # one vectorised NumPy pass, "scalar" scores one (event, interval) pair at
+    # a time, "parallel"/"process" shard the work across threads/processes.
+    # All produce identical schedules, utilities and computation counts — only
+    # the speed differs (the CLI exposes the same choice as
+    # `ses-repro solve --backend ...`; see `ses-repro backends`).
+    scheduler = get_scheduler("HOR-I")(
+        instance, execution=ExecutionConfig(backend="batch")
+    )
     result = scheduler.schedule(k=3)
 
     print(f"\nSchedule found by {result.algorithm} "

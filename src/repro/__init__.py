@@ -30,9 +30,28 @@ from repro.core.errors import (
     ReproError,
     ScheduleError,
 )
+from repro.core.execution import (
+    ExecutionBackend,
+    ExecutionConfig,
+    available_backends,
+    register_backend,
+)
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
-from repro.core.scoring import BULK_BACKENDS, DEFAULT_BACKEND, SCORING_BACKENDS, ScoringEngine
+from repro.core.scoring import DEFAULT_BACKEND, ScoringEngine
+
+
+def __getattr__(name: str):
+    """Registry-backed ``SCORING_BACKENDS`` / ``BULK_BACKENDS`` re-exports.
+
+    Resolved on access (not snapshotted at import), so custom backends added
+    through :func:`register_backend` appear here too.
+    """
+    if name in ("SCORING_BACKENDS", "BULK_BACKENDS"):
+        from repro.core import execution
+
+        return getattr(execution, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import available_schedulers, get_scheduler
 from repro.algorithms.alg import AlgScheduler
@@ -59,6 +78,10 @@ __all__ = [
     "Assignment",
     "Schedule",
     "ScoringEngine",
+    "ExecutionBackend",
+    "ExecutionConfig",
+    "available_backends",
+    "register_backend",
     "SCORING_BACKENDS",
     "BULK_BACKENDS",
     "DEFAULT_BACKEND",

@@ -22,16 +22,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.constraints import ConstraintChecker
 from repro.core.counters import ComputationCounter
 from repro.core.errors import SolverError
+from repro.core.execution import DEFAULT_BACKEND, ExecutionConfig, merge_legacy_execution
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
-from repro.core.scoring import (
-    BULK_BACKENDS,
-    DEFAULT_BACKEND,
-    ScoringEngine,
-    resolve_backend,
-    resolve_chunk_size,
-    resolve_workers,
-)
+from repro.core.scoring import ScoringEngine
 
 #: Number of stale scores fetched per speculative bulk-refresh call.  Small
 #: enough that a walk cut short by the Φ bound wastes little work, large
@@ -64,12 +58,12 @@ class SchedulerResult:
     extras:
         Algorithm-specific diagnostics (e.g. number of rounds for HOR).
     backend:
-        The scoring backend the run used (``"scalar"``, ``"batch"`` or
-        ``"parallel"``) — recorded so harness tables can tell backend rows
-        apart.
+        Name of the execution backend the run used (``"scalar"``,
+        ``"batch"``, ``"parallel"``, ``"process"``, …) — recorded so harness
+        tables can tell backend rows apart.
     workers:
-        The resolved worker count of the run's engine (1 unless the
-        ``parallel`` backend was asked to fan out).
+        The resolved worker count of the run's engine (1 unless a pooled
+        backend was asked to fan out).
     """
 
     algorithm: str
@@ -178,19 +172,16 @@ class BaseScheduler(ABC):
         a fresh one is created when omitted.
     seed:
         Seed for the randomised schedulers (ignored by the deterministic ones).
-    backend:
-        Scoring backend (``"scalar"``, ``"batch"`` or ``"parallel"``)
-        forwarded to the :class:`~repro.core.scoring.ScoringEngine`; ``None``
-        selects the library default.  Every backend produces identical
-        schedules, utilities and counter totals.
-    chunk_size:
-        Event-axis chunk of the batch backend's bulk evaluations (``None``
-        derives a memory-bounded default); forwarded to the engine.  Does not
-        change any result bit.
-    workers:
-        Worker threads of the ``parallel`` backend (``None`` selects the
-        machine's CPU count); forwarded to the engine.  Does not change any
-        result bit either — blocks are row-independent.
+    execution:
+        The :class:`~repro.core.execution.ExecutionConfig` selecting the
+        scoring engine's execution backend and its knobs (``None`` selects
+        the library defaults).  Every backend produces identical schedules,
+        utilities and counter totals — the config only decides how fast.
+    backend, chunk_size, workers:
+        .. deprecated:: PR 4
+           Legacy loose knobs, folded into ``execution`` with a
+           :class:`DeprecationWarning`.  Passing them together with
+           ``execution`` raises.
     """
 
     #: Registry name; subclasses override.
@@ -202,6 +193,7 @@ class BaseScheduler(ABC):
         *,
         counter: Optional[ComputationCounter] = None,
         seed: Optional[int] = None,
+        execution: Optional[ExecutionConfig] = None,
         backend: Optional[str] = None,
         chunk_size: Optional[int] = None,
         workers: Optional[int] = None,
@@ -211,9 +203,14 @@ class BaseScheduler(ABC):
         if self._counter.num_users == 0:
             self._counter.num_users = instance.num_users
         self._seed = seed
-        self._backend = resolve_backend(backend)
-        self._chunk_size = resolve_chunk_size(chunk_size, instance.num_users)
-        self._workers = resolve_workers(workers, self._backend)
+        execution = merge_legacy_execution(
+            execution,
+            backend=backend,
+            chunk_size=chunk_size,
+            workers=workers,
+            owner=type(self).__name__,
+        )
+        self._execution = execution.resolve(instance.num_users)
         self._engine: Optional[ScoringEngine] = None
         self._checker: Optional[ConstraintChecker] = None
 
@@ -231,19 +228,24 @@ class BaseScheduler(ABC):
         return self._counter
 
     @property
+    def execution(self) -> ExecutionConfig:
+        """The resolved execution configuration of the scheduler's engine."""
+        return self._execution
+
+    @property
     def backend(self) -> str:
-        """The scoring backend the scheduler's engine will use."""
-        return self._backend
+        """Name of the execution backend the scheduler's engine will use."""
+        return self._execution.backend
 
     @property
     def chunk_size(self) -> int:
         """Events per vectorised pass of the engine's bulk evaluations."""
-        return self._chunk_size
+        return self._execution.chunk_size
 
     @property
     def workers(self) -> int:
-        """Worker threads of the parallel backend (1 for the serial backends)."""
-        return self._workers
+        """Worker count of the pooled backends (1 for the serial backends)."""
+        return self._execution.workers
 
     def schedule(self, k: int) -> SchedulerResult:
         """Produce a feasible schedule of (up to) ``k`` events.
@@ -260,9 +262,7 @@ class BaseScheduler(ABC):
         self._engine = ScoringEngine(
             self._instance,
             counter=self._counter,
-            backend=self._backend,
-            chunk_size=self._chunk_size,
-            workers=self._workers,
+            execution=self._execution,
         )
         self._checker = ConstraintChecker(self._instance)
         self._extras: Dict[str, object] = {}
@@ -275,9 +275,10 @@ class BaseScheduler(ABC):
             utility = self._engine.evaluate_schedule(schedule)
             net_utility = self._engine.evaluate_schedule(schedule, include_costs=True)
         finally:
-            # Release the parallel backend's thread pool deterministically —
-            # the engine stays usable (a later bulk call recreates the pool),
-            # but cleanup must not depend on GC reaching __del__.
+            # Release the pooled backends' workers (and the process backend's
+            # shared-memory block) deterministically — the engine stays usable
+            # (a later bulk call recreates the pool), but cleanup must not
+            # depend on GC reaching __del__.
             self._engine.close()
         return SchedulerResult(
             algorithm=self.name,
@@ -288,8 +289,8 @@ class BaseScheduler(ABC):
             elapsed_seconds=elapsed,
             counters=self._counter.snapshot(),
             extras=dict(self._extras),
-            backend=self._backend,
-            workers=self._workers,
+            backend=self._execution.backend,
+            workers=self._execution.workers,
         )
 
     # ------------------------------------------------------------------ #
@@ -329,14 +330,15 @@ class BaseScheduler(ABC):
         self.engine.apply(event_index, interval_index, score=score)
         self._counter.count_selection()
 
-    def _initial_score_grid(self):
-        """The full |E|×|T| initial score matrix, counted as generated assignments.
+    def _initial_score_grid(self, *, initial: bool = True):
+        """The full |E|×|T| score matrix, counted as generated assignments.
 
-        One bulk evaluation per interval under the active backend; every
-        (event, interval) pair is recorded as one generated assignment and one
-        initial score computation, as in per-pair generation.
+        One :meth:`~repro.core.scoring.ScoringEngine.score_matrix` call under
+        the active backend (the process backend shards its columns across the
+        pool); every (event, interval) pair is recorded as one generated
+        assignment and one score computation, as in per-pair generation.
         """
-        grid = self.engine.score_matrix(initial=True)
+        grid = self.engine.score_matrix(initial=initial)
         self._counter.count_generated(int(grid.size))
         return grid
 
@@ -349,31 +351,39 @@ class BaseScheduler(ABC):
         valid (event unscheduled and feasible) — HOR's per-round regeneration —
         while the default generates everything (ALG/INC initialisation).
 
-        Scores are obtained from the engine's bulk API (one
+        Scores are obtained from the engine's bulk API: the full-grid default
+        goes through one :meth:`~repro.core.scoring.ScoringEngine.score_matrix`
+        call (which the process backend shards per-interval across its pool),
+        while the restricted per-round case makes one
         :meth:`~repro.core.scoring.ScoringEngine.interval_scores` call per
-        interval), so the active backend evaluates each interval's candidates
-        in a single vectorised pass; the counter still records one score
-        computation per generated (event, interval) pair.
+        interval.  Either way the counter records one score computation per
+        generated (event, interval) pair, and the scores are identical —
+        both paths run the same per-interval kernel of the active backend.
         """
         num_intervals = self._instance.num_intervals
         num_events = self._instance.num_events
         per_interval: List[List[AssignmentEntry]] = [[] for _ in range(num_intervals)]
+        if not only_valid:
+            grid = self._initial_score_grid(initial=initial)
+            for interval_index in range(num_intervals):
+                column = grid[:, interval_index]
+                per_interval[interval_index] = [
+                    AssignmentEntry(event_index, interval_index, float(column[event_index]))
+                    for event_index in range(num_events)
+                ]
+                per_interval[interval_index].sort(key=AssignmentEntry.sort_key)
+            return per_interval
         candidate_events = [
             event_index
             for event_index in range(num_events)
-            if not (
-                only_valid and schedule is not None and schedule.is_scheduled(event_index)
-            )
+            if schedule is None or not schedule.is_scheduled(event_index)
         ]
         for interval_index in range(num_intervals):
-            if only_valid:
-                events = [
-                    event_index
-                    for event_index in candidate_events
-                    if self.checker.is_feasible(event_index, interval_index)
-                ]
-            else:
-                events = candidate_events
+            events = [
+                event_index
+                for event_index in candidate_events
+                if self.checker.is_feasible(event_index, interval_index)
+            ]
             if not events:
                 continue
             # Passing None lets the engine score its precomputed full event
@@ -394,7 +404,7 @@ class BaseScheduler(ABC):
 
         ``pending`` is the (speculative) list of stale, currently-valid events
         the caller's refresh walk *may* recompute at ``interval_index``, in
-        walk order.  Under the bulk backends their exact scores are fetched
+        walk order.  Under the bulk strategies their exact scores are fetched
         from :meth:`~repro.core.scoring.ScoringEngine.refresh_scores` in
         blocks of :data:`REFRESH_BLOCK_SIZE` with ``count=False``; each score
         the walk actually consumes is then counted as one update computation.
@@ -409,7 +419,7 @@ class BaseScheduler(ABC):
         """
         engine = self.engine
         counter = self._counter
-        if self._backend not in BULK_BACKENDS or not pending:
+        if not engine.is_bulk or not pending:
             def fetch_scalar(event_index: int) -> float:
                 return engine.assignment_score(event_index, interval_index)
 

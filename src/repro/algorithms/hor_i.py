@@ -42,7 +42,6 @@ from typing import List, Optional, Tuple
 
 from repro.algorithms.base import AssignmentEntry, BaseScheduler
 from repro.core.schedule import Schedule
-from repro.core.scoring import BULK_BACKENDS
 
 
 class HorIScheduler(BaseScheduler):
@@ -131,8 +130,9 @@ class HorIScheduler(BaseScheduler):
 
         Walks the score-sorted list keeping a running bound Φ (the best exact
         score recomputed so far).  A stale entry is recomputed only while its
-        stale score is at least Φ; the walk stops at the first stale entry
-        below Φ, since stale scores over-estimate true scores.
+        stale score is at least Φ minus the engine's per-score floating-point
+        noise bound (stale scores over-estimate true scores only up to
+        rounding); the walk stops at the first stale entry below that cut.
 
         Under the batch backend the stale prefix the walk can reach is
         resolved through the bulk refresh API in blocks; the fetcher counts
@@ -140,6 +140,7 @@ class HorIScheduler(BaseScheduler):
         """
         counter = self.counter
         checker = self.checker
+        tolerance = self.engine.score_noise_tolerance(interval_index)
         entries = lists[interval_index]
         fetch = self._stale_score_fetcher(
             interval_index, self._stale_prefix(interval_index, entries, schedule)
@@ -150,7 +151,7 @@ class HorIScheduler(BaseScheduler):
 
         for position, entry in enumerate(entries):
             counter.count_examined()
-            if not entry.updated and phi is not None and entry.score < phi:
+            if not entry.updated and phi is not None and entry.score < phi - tolerance:
                 stop_index = position
                 break
             if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
@@ -184,13 +185,18 @@ class HorIScheduler(BaseScheduler):
         of what the walk can consume.  Pure bookkeeping — no counter side
         effects.  Skipped under the scalar backend.
         """
-        if self.backend not in BULK_BACKENDS:
+        if not self.engine.is_bulk:
             return []
         checker = self.checker
+        tolerance = self.engine.score_noise_tolerance(interval_index)
         known_bound: Optional[float] = None
         pending: List[int] = []
         for entry in entries:
-            if not entry.updated and known_bound is not None and entry.score < known_bound:
+            if (
+                not entry.updated
+                and known_bound is not None
+                and entry.score < known_bound - tolerance
+            ):
                 break
             if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
                 entry.event_index, interval_index
@@ -214,7 +220,11 @@ class HorIScheduler(BaseScheduler):
         Invalid heads (event already scheduled, or no longer feasible) are
         dropped; a stale head is recomputed and competes at its exact score.
         Because stale scores are upper bounds, once the head is exact and
-        valid it is guaranteed to be the interval's true top.
+        valid it is guaranteed to be the interval's true top — up to the
+        floating-point noise of a score: a deeper stale entry whose stale
+        score is within the engine's noise bound of the head could still beat
+        it once resolved, so such entries are resolved (and compete through
+        the heap) before the head is trusted.
 
         The head of the interval is the better of the sorted list's cursor
         position and the top of a heap holding the entries resolved during
@@ -229,6 +239,7 @@ class HorIScheduler(BaseScheduler):
         """
         counter = self.counter
         checker = self.checker
+        tolerance = self.engine.score_noise_tolerance(interval_index)
         entries = lists[interval_index]
         start = 0
         resolved: List[Tuple[Tuple[float, int, int], AssignmentEntry]] = []
@@ -252,6 +263,30 @@ class HorIScheduler(BaseScheduler):
                     start += 1
                 continue
             if head.updated:
+                # Noise guard: a deeper stale, valid entry whose stale score
+                # is within the per-score rounding bound of the head's exact
+                # score could still beat it once resolved.  Resolve the first
+                # such entry and re-compete instead of trusting the head.
+                blocker_position = self._noise_blocker(
+                    entries,
+                    start if from_heap else start + 1,
+                    head.score - tolerance,
+                    interval_index,
+                    schedule,
+                )
+                if blocker_position is not None:
+                    blocker = entries[blocker_position]
+                    counter.count_examined()
+                    if fetch is None:
+                        fetch = self._stale_score_fetcher(
+                            interval_index,
+                            self._stale_run(interval_index, entries, schedule, start),
+                        )
+                    blocker.score = fetch(blocker.event_index)
+                    blocker.updated = True
+                    del entries[blocker_position]
+                    heapq.heappush(resolved, (blocker.sort_key(), blocker))
+                    continue
                 result = head
                 break
             # Stale, valid list head: resolve it from the speculative block
@@ -275,6 +310,36 @@ class HorIScheduler(BaseScheduler):
             del entries[:start]
         return result
 
+    def _noise_blocker(
+        self,
+        entries: List[AssignmentEntry],
+        position: int,
+        cut: float,
+        interval_index: int,
+        schedule: Schedule,
+    ) -> Optional[int]:
+        """Index of the first stale, valid entry at/after ``position`` scoring ≥ ``cut``.
+
+        ``cut`` is the exact head score minus the per-score noise bound:
+        entries below it cannot beat the head even after resolution, and
+        updated entries in the window are exact and sorted behind the head,
+        so they cannot either.  Returns ``None`` when the head is safe.  Pure
+        bookkeeping — no counter side effects.
+        """
+        checker = self.checker
+        for index in range(position, len(entries)):
+            entry = entries[index]
+            if entry.score < cut:
+                return None
+            if entry.updated:
+                continue
+            if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
+                entry.event_index, interval_index
+            ):
+                continue
+            return index
+        return None
+
     def _stale_run(
         self,
         interval_index: int,
@@ -287,10 +352,14 @@ class HorIScheduler(BaseScheduler):
         Invalid entries are skipped (the cursor drops them without a score);
         the run ends at the first updated valid entry — once it surfaces as
         the list head it is returned before any deeper stale entry could be
-        examined.  Pure bookkeeping — no counter side effects.  Skipped under
-        the scalar backend.
+        examined *by the normal walk*.  The noise-blocker guard of
+        :meth:`_interval_top` can reach past that entry (a stale entry within
+        the rounding window of an exact head); such resolutions miss this
+        speculative cache and fall back to a per-pair score, which the
+        fetcher computes and counts identically.  Pure bookkeeping — no
+        counter side effects.  Skipped under the scalar backend.
         """
-        if self.backend not in BULK_BACKENDS:
+        if not self.engine.is_bulk:
             return []
         checker = self.checker
         pending: List[int] = []

@@ -38,7 +38,6 @@ from typing import List, Optional, Tuple
 
 from repro.algorithms.base import AssignmentEntry, BaseScheduler, better_candidate
 from repro.core.schedule import Schedule
-from repro.core.scoring import BULK_BACKENDS
 
 Candidate = Tuple[float, int, int]
 
@@ -87,8 +86,9 @@ class IncScheduler(BaseScheduler):
                     has_stale[interval_index] = False
                     continue
                 counter.count_examined()  # peek at the interval head (M_t check)
-                if phi is not None and entries[0].score < phi[0]:
-                    # Every stale score in this interval is below Φ, hence so is
+                if phi is not None and entries[0].score < phi[0] - self.engine.score_noise_tolerance(interval_index):
+                    # Every stale score in this interval is below Φ by more
+                    # than the floating-point noise of a score, hence so is
                     # every true score (Proposition 1): skip the interval.
                     continue
                 phi = self._update_interval(
@@ -141,9 +141,12 @@ class IncScheduler(BaseScheduler):
         """Refresh the stale assignments of one interval that could beat Φ.
 
         Walks the interval's score-sorted list from the top; every stale entry
-        whose (stale) score is at least Φ is recomputed.  The walk stops at
-        the first entry strictly below Φ — all deeper entries are below it as
-        well.  Returns the possibly-improved Φ.
+        whose (stale) score is at least Φ (minus the engine's per-score
+        floating-point noise bound — stale scores are upper bounds only up to
+        rounding, see :meth:`~repro.core.scoring.ScoringEngine.score_noise_tolerance`)
+        is recomputed.  The walk stops at the first entry below that cut —
+        all deeper entries are below it as well.  Returns the possibly-improved
+        Φ.
 
         Under the batch backend the stale prefix above the *incoming* Φ is
         resolved through the bulk refresh API: Φ only rises during the walk,
@@ -152,6 +155,7 @@ class IncScheduler(BaseScheduler):
         """
         counter = self.counter
         checker = self.checker
+        tolerance = self.engine.score_noise_tolerance(interval_index)
         entries = lists[interval_index]
         fetch = self._stale_score_fetcher(
             interval_index,
@@ -162,7 +166,7 @@ class IncScheduler(BaseScheduler):
 
         for position, entry in enumerate(entries):
             counter.count_examined()
-            if phi is not None and entry.score < phi[0]:
+            if phi is not None and entry.score < phi[0] - tolerance:
                 stop_index = position
                 break
             if schedule.is_scheduled(entry.event_index) or not checker.is_feasible(
@@ -197,13 +201,14 @@ class IncScheduler(BaseScheduler):
         counter side effects.  Skipped under the scalar backend, where the
         fetcher computes pairs one at a time anyway.
         """
-        if self.backend not in BULK_BACKENDS:
+        if not self.engine.is_bulk:
             return []
         checker = self.checker
+        tolerance = self.engine.score_noise_tolerance(interval_index)
         bound = None if phi is None else phi[0]
         pending: List[int] = []
         for entry in entries:
-            if bound is not None and entry.score < bound:
+            if bound is not None and entry.score < bound - tolerance:
                 break
             if entry.updated:
                 continue

@@ -20,6 +20,7 @@ from repro.algorithms.rand import RandScheduler
 from repro.algorithms.top import TopScheduler
 from repro.core.counters import ComputationCounter
 from repro.core.errors import SolverError
+from repro.core.execution import ExecutionConfig, merge_legacy_execution
 from repro.core.instance import SESInstance
 
 _REGISTRY: Dict[str, Type[BaseScheduler]] = {
@@ -83,24 +84,30 @@ def run_scheduler(
     *,
     seed: Optional[int] = None,
     counter: Optional[ComputationCounter] = None,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> SchedulerResult:
     """Instantiate and run a scheduler by name (one-call convenience helper).
 
-    ``backend`` selects the scoring backend (``"scalar"``, ``"batch"`` or
-    ``"parallel"``), ``chunk_size`` the batch backend's event-axis chunk and
-    ``workers`` the parallel backend's thread count; ``None`` uses the library
-    defaults.
+    ``execution`` selects the scoring engine's execution backend and knobs
+    (:class:`~repro.core.execution.ExecutionConfig`; ``None`` uses the library
+    defaults).  The legacy ``backend=`` / ``chunk_size=`` / ``workers=``
+    keyword arguments still work but are deprecated.
     """
+    execution = merge_legacy_execution(
+        execution,
+        backend=backend,
+        chunk_size=chunk_size,
+        workers=workers,
+        owner="run_scheduler",
+    )
     scheduler_cls = get_scheduler(name)
     scheduler = scheduler_cls(
         instance,
         counter=counter,
         seed=seed,
-        backend=backend,
-        chunk_size=chunk_size,
-        workers=workers,
+        execution=execution,
     )
     return scheduler.schedule(k)

@@ -11,6 +11,9 @@ Sub-commands
 ``experiment``
     Regenerate one of the paper's figures at a chosen scale and print its
     tables.
+``backends``
+    List the registered execution backends with their resolved defaults on
+    this machine (also available as the top-level ``--list-backends`` flag).
 ``list``
     List the available datasets, algorithms and experiments.
 ``info``
@@ -28,7 +31,13 @@ from repro._version import __version__
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import PAPER_METHODS, available_schedulers
 from repro.core.errors import ReproError
-from repro.core.scoring import DEFAULT_BACKEND, SCORING_BACKENDS
+from repro.core.execution import (
+    DEFAULT_BACKEND,
+    ExecutionConfig,
+    available_backends,
+    backend_catalog,
+    resolve_backend,
+)
 from repro.core.validation import instance_report
 from repro.datasets.builders import build_dataset, dataset_names
 from repro.datasets.loaders import load_instance, save_instance
@@ -38,31 +47,65 @@ from repro.experiments.harness import run_algorithms
 from repro.experiments.sweeps import summary_sweep
 
 
+class _ListBackendsAction(argparse.Action):
+    """``--list-backends``: print the backend catalogue and exit (like ``--version``)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(format_table(backend_catalog()))
+        parser.exit(0)
+
+
 def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
-    """Attach the scoring-backend flags shared by ``solve`` and ``experiment``."""
+    """Attach the execution-backend flags shared by ``solve`` and ``experiment``.
+
+    ``--backend`` deliberately has no argparse ``choices``: the registry can
+    grow at runtime (``repro.core.execution.register_backend``), so validation
+    happens in the execution layer, which reports the currently-available
+    names on an unknown backend.
+    """
     subparser.add_argument(
         "--backend",
-        choices=list(SCORING_BACKENDS),
         default=DEFAULT_BACKEND,
-        help="scoring backend: 'batch' evaluates whole intervals in vectorised "
-        "NumPy passes, 'parallel' dispatches the batched event blocks to a "
-        "thread pool, 'scalar' scores one (event, interval) pair at a time "
-        "(identical results, different speed); recorded in the output rows",
+        help="execution backend: 'batch' evaluates whole intervals in "
+        "vectorised NumPy passes, 'parallel' dispatches the batched event "
+        "blocks to a thread pool, 'process' shards score-matrix columns "
+        "across a shared-memory process pool, 'scalar' scores one "
+        "(event, interval) pair at a time (identical results, different "
+        "speed); recorded in the output rows.  Registered backends: "
+        f"{', '.join(available_backends())} (see the 'backends' sub-command)",
     )
     subparser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
-        help="events per vectorised pass of the batch backend (memory guard; "
+        help="events per vectorised pass of the bulk backends (memory guard; "
         "default bounds one temporary at ~64 MB regardless of instance size)",
     )
     subparser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker threads of the parallel backend (default: the machine's "
-        "CPU count; 1 degrades to the serial batch path; ignored by the "
-        "other backends)",
+        help="worker fan-out of the pooled backends — threads for 'parallel', "
+        "processes for 'process' (default: the machine's CPU count; 1 "
+        "degrades to the serial batch path; ignored by the other backends)",
+    )
+
+
+def _execution_from_args(args: argparse.Namespace) -> ExecutionConfig:
+    """One ExecutionConfig from the shared backend flags.
+
+    The backend name is validated here so a typo fails fast (with the
+    available-names list) before any dataset is generated or loaded; the
+    remaining knobs are validated on resolution downstream.
+    """
+    resolve_backend(args.backend)
+    return ExecutionConfig(
+        backend=args.backend,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
     )
 
 
@@ -73,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Social Event Scheduling (SES) reproduction toolkit",
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "--list-backends",
+        action=_ListBackendsAction,
+        help="list the registered execution backends with their resolved "
+        "defaults on this machine, then exit",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser("generate", help="generate a dataset instance")
@@ -115,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--json", action="store_true", help="emit JSON rows instead of tables")
     _add_backend_arguments(experiment)
 
+    subparsers.add_parser(
+        "backends",
+        help="list the registered execution backends and their resolved defaults",
+    )
+
     subparsers.add_parser("list", help="list datasets, algorithms and experiments")
 
     info = subparsers.add_parser("info", help="summarise a saved instance")
@@ -145,6 +199,9 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_solve(args: argparse.Namespace) -> int:
+    # Validate the backend name before the (possibly expensive) instance is
+    # generated or loaded, so a typo fails fast.
+    execution = _execution_from_args(args)
     if args.instance:
         instance = load_instance(args.instance)
     else:
@@ -158,9 +215,7 @@ def _command_solve(args: argparse.Namespace) -> int:
         algorithms=args.algorithms,
         experiment_id="cli",
         seed=args.seed,
-        backend=args.backend,
-        chunk_size=args.chunk_size,
-        workers=args.workers,
+        execution=execution,
         results=results,
     )
     print(format_records(records))
@@ -179,9 +234,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         stats = summary_sweep(
             scale=args.scale,
             seed=args.seed,
-            backend=args.backend,
-            chunk_size=args.chunk_size,
-            workers=args.workers,
+            execution=_execution_from_args(args),
         )
         if args.json:
             print(json.dumps(stats.as_rows(), indent=2))
@@ -192,9 +245,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         args.experiment_id,
         scale=args.scale,
         seed=args.seed,
-        backend=args.backend,
-        chunk_size=args.chunk_size,
-        workers=args.workers,
+        execution=_execution_from_args(args),
     )
     if args.json:
         print(json.dumps([record.to_row() for record in figure.records], indent=2))
@@ -203,9 +254,15 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_backends(_: argparse.Namespace) -> int:
+    print(format_table(backend_catalog()))
+    return 0
+
+
 def _command_list(_: argparse.Namespace) -> int:
     print("datasets:    " + ", ".join(dataset_names()))
     print("algorithms:  " + ", ".join(available_schedulers()))
+    print("backends:    " + ", ".join(available_backends()))
     print("experiments: " + ", ".join(available_experiments() + ["summary"]))
     print("scales:      " + ", ".join(sorted(SCALES)))
     return 0
@@ -221,6 +278,7 @@ _COMMANDS = {
     "generate": _command_generate,
     "solve": _command_solve,
     "experiment": _command_experiment,
+    "backends": _command_backends,
     "list": _command_list,
     "info": _command_info,
 }

@@ -3,13 +3,15 @@
 The subpackage contains the problem entities (:mod:`repro.core.entities`),
 the instance container (:mod:`repro.core.instance`), schedules and feasibility
 constraints (:mod:`repro.core.schedule`, :mod:`repro.core.constraints`), the
-attendance model and scoring engine (:mod:`repro.core.scoring`) and the
-instrumentation counters used by the paper's evaluation
-(:mod:`repro.core.counters`).
+attendance model and scoring engine (:mod:`repro.core.scoring`), the
+execution-backend layer deciding how bulk scoring runs
+(:mod:`repro.core.execution`) and the instrumentation counters used by the
+paper's evaluation (:mod:`repro.core.counters`).
 """
 
 from repro.core.counters import ComputationCounter
 from repro.core.entities import CompetingEvent, Event, Organizer, TimeInterval, User
+from repro.core.execution import ExecutionBackend, ExecutionConfig, register_backend
 from repro.core.errors import (
     InfeasibleAssignmentError,
     InstanceValidationError,
@@ -37,4 +39,7 @@ __all__ = [
     "Assignment",
     "Schedule",
     "ScoringEngine",
+    "ExecutionBackend",
+    "ExecutionConfig",
+    "register_backend",
 ]

@@ -1,0 +1,887 @@
+"""The execution-backend layer of the scoring engine.
+
+Every bulk evaluation of the scoring engine — :meth:`ScoringEngine.interval_scores`,
+:meth:`ScoringEngine.score_matrix`, :meth:`ScoringEngine.refresh_scores` — runs
+through an :class:`ExecutionBackend` strategy selected by an
+:class:`ExecutionConfig`.  The layer owns every knob that decides *how* scores
+are computed (never *what* they are):
+
+* ``backend`` — the strategy name.  Built in:
+
+  - ``"scalar"`` (:class:`ScalarBackend`) — the reference implementation, one
+    pass over the users per (event, interval) pair;
+  - ``"batch"`` (:class:`BatchBackend`, the default) — whole candidate blocks
+    per vectorised NumPy pass, chunked along the event axis;
+  - ``"parallel"`` (:class:`ThreadBackend`) — the batch backend's event-axis
+    chunks dispatched to a thread pool (the chunk kernel releases the GIL);
+  - ``"process"`` (:class:`ProcessBackend`) — :meth:`ScoringEngine.score_matrix`'s
+    per-interval columns sharded across a ``multiprocessing`` pool, with the
+    static instance matrices published once through POSIX shared memory so the
+    workers never re-pickle them.
+
+* ``chunk_size`` — events per vectorised pass (the ~64 MB memory guard);
+* ``workers`` — fan-out of the pooled backends (threads or processes);
+* ``start_method`` — the ``multiprocessing`` start method of the process
+  backend (``"fork"`` where available, with full ``"spawn"`` /
+  ``"forkserver"`` support).
+
+Custom strategies plug in through :func:`register_backend`; everything else —
+engine, schedulers, harness, figures, CLI — talks to the layer only through
+:class:`ExecutionConfig` and the strategy interface, so adding a backend is a
+one-module change.
+
+**The invariant every backend must keep:** sharding splits only the event axis
+(or dispatches whole per-interval columns), and every event row's per-user
+reduction is independent of the others, so schedules, utilities, scores and
+counter totals are bit-identical across backends — serial, threaded or
+multi-process, whatever the split.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import sys
+import threading
+import warnings
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.core.errors import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scoring imports us)
+    from repro.core.scoring import ScoringEngine
+
+#: Backend used when none is requested explicitly.
+DEFAULT_BACKEND: str = "batch"
+
+#: Memory budget of one bulk evaluation, in matrix *elements* (events × users).
+#: The default chunk size is this budget divided by ``|U|``, which caps every
+#: batched temporary at ~64 MB of float64 regardless of instance size.
+DEFAULT_CHUNK_ELEMENTS: int = 8_000_000
+
+
+def score_block_kernel(
+    mu_rows: np.ndarray,
+    value_mu_rows: np.ndarray,
+    comp_column: np.ndarray,
+    sigma_column: np.ndarray,
+    scheduled: np.ndarray,
+    scheduled_value: np.ndarray,
+    utility: float,
+) -> np.ndarray:
+    """Assignment scores of one block of event rows at one interval (Eq. 4).
+
+    This is the **single** bit-identity-critical kernel of the library: the
+    engine's in-process batch path and the process backend's workers both call
+    it, so the scoring arithmetic cannot diverge between them.  The
+    per-element operation order matches the scalar reference exactly (µ added
+    to the scheduled sums first, competing sums last; value·µ added to the
+    value sums before the σ product), and each row's per-user reduction is
+    independent of every other row's.
+    """
+    denominator = comp_column + (scheduled + mu_rows)
+    numerator = sigma_column * (scheduled_value + value_mu_rows)
+    contributions = _guarded_divide(numerator, denominator)
+    return contributions.sum(axis=1) - utility
+
+
+def _guarded_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise ``numerator / denominator`` with zeros where the denominator is not positive.
+
+    This is the library's single division guard: every per-user attendance
+    term — scalar, batched or computed in a worker process — goes through it,
+    so a user whose competing + scheduled interest sums to zero contributes
+    exactly 0.0 on every code path.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(
+            numerator,
+            denominator,
+            out=np.zeros_like(numerator),
+            where=denominator > 0.0,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Knob resolution
+# --------------------------------------------------------------------------- #
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate a backend name (``None`` means :data:`DEFAULT_BACKEND`)."""
+    if backend is None:
+        return DEFAULT_BACKEND
+    if backend not in _BACKEND_REGISTRY:
+        raise SolverError(
+            f"unknown scoring backend {backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return backend
+
+
+def resolve_chunk_size(chunk_size: Optional[int], num_users: int) -> int:
+    """Validate the event-axis chunk size (``None`` derives it from the memory budget).
+
+    The automatic default keeps one batched temporary at
+    :data:`DEFAULT_CHUNK_ELEMENTS` elements: ``max(1, budget // |U|)`` events
+    per chunk.  An explicit value is the number of events evaluated per
+    vectorised pass and must be a positive integer.
+    """
+    if chunk_size is None:
+        return max(1, DEFAULT_CHUNK_ELEMENTS // max(1, num_users))
+    if not isinstance(chunk_size, int) or isinstance(chunk_size, bool) or chunk_size < 1:
+        raise SolverError(f"chunk_size must be a positive integer or None, got {chunk_size!r}")
+    return chunk_size
+
+
+def resolve_workers(workers: Optional[int], backend: Optional[str] = None) -> int:
+    """Validate the pooled backends' worker count (``None`` means auto).
+
+    The automatic default is the machine's CPU count (at least 1).  An
+    explicit value must be a positive integer; ``1`` makes the pooled backends
+    degrade to the serial batch path.
+
+    When ``backend`` is given and its strategy does not fan out
+    (:attr:`ExecutionBackend.uses_workers` is false), the resolved count is
+    pinned to 1 (after validation): the serial backends never fan out, and
+    recording the machine's CPU count for them would make otherwise-identical
+    runs look different across machines in the harness tables.
+    """
+    if workers is not None and (
+        not isinstance(workers, int) or isinstance(workers, bool) or workers < 1
+    ):
+        raise SolverError(f"workers must be a positive integer or None, got {workers!r}")
+    if backend is not None and not get_backend(resolve_backend(backend)).uses_workers:
+        return 1
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def resolve_start_method(start_method: Optional[str], backend: Optional[str] = None) -> Optional[str]:
+    """Validate the process backend's ``multiprocessing`` start method.
+
+    ``None`` means *auto*: the method is picked when the pool is actually
+    created — ``"fork"`` where the platform offers it **and** the process is
+    still single-threaded (cheap, inherits the warmed-up interpreter), a
+    fork-safe method (``"forkserver"``, else ``"spawn"``) otherwise, because
+    forking a multi-threaded process can inherit locks mid-acquisition and
+    deadlock the child.  See :func:`_auto_start_method`.  Backends that do
+    not spawn processes (:attr:`ExecutionBackend.uses_processes` is false)
+    also resolve to ``None`` — the knob does not apply to them.
+    """
+    supported = multiprocessing.get_all_start_methods()
+    if start_method is not None and start_method not in supported:
+        raise SolverError(
+            f"unknown start method {start_method!r}; available: {', '.join(supported)}"
+        )
+    if backend is not None and not get_backend(resolve_backend(backend)).uses_processes:
+        return None
+    return start_method
+
+
+def _auto_start_method() -> str:
+    """The start method used when none was requested explicitly.
+
+    ``fork`` is ~10× cheaper than the alternatives (no fresh interpreter, no
+    re-imports), but it is only safe while this process has exactly one
+    thread: a fork taken while another thread holds a lock (a thread-pool
+    queue, an import lock, …) leaves that lock permanently held in the child.
+    The thread count is checked at *pool-creation* time, so a single-threaded
+    CLI / benchmark run gets the fast path even though the library also
+    offers a thread backend.  The check sees Python threads only — an
+    embedding process with *native* threads (a BLAS build without atfork
+    handlers, grpc, …) should pin ``start_method="forkserver"`` or
+    ``"spawn"`` explicitly.  The fast path is further limited to Linux:
+    on macOS forking is unsafe regardless of Python threads (system
+    frameworks abort in forked children — the reason CPython switched the
+    platform default to spawn).
+    """
+    supported = multiprocessing.get_all_start_methods()
+    if (
+        "fork" in supported
+        and sys.platform.startswith("linux")
+        and threading.active_count() == 1
+    ):
+        return "fork"
+    if "forkserver" in supported:
+        return "forkserver"
+    return "spawn"
+
+
+# --------------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Every knob of one scoring-engine execution strategy, in one object.
+
+    The config travels as a single value through schedulers, the registry, the
+    experiment harness, the figures and the CLI — a new knob is a field here
+    plus the code that consumes it, not a seven-file plumbing diff.
+
+    Fields left at ``None`` mean "resolve the library default":
+
+    Parameters
+    ----------
+    backend:
+        Strategy name (see :func:`available_backends`); ``None`` selects
+        :data:`DEFAULT_BACKEND`.  Never changes a result bit — only the speed.
+    chunk_size:
+        Events per vectorised pass of the bulk backends (the memory guard);
+        ``None`` derives ``max(1, DEFAULT_CHUNK_ELEMENTS // |U|)``.
+    workers:
+        Fan-out of the pooled backends (threads for ``"parallel"``, processes
+        for ``"process"``); ``None`` selects the machine's CPU count.  Pinned
+        to 1 for backends that do not fan out.
+    start_method:
+        ``multiprocessing`` start method of the ``"process"`` backend
+        (``"fork"``/``"spawn"``/``"forkserver"``); ``None`` means *auto* —
+        ``"fork"`` on Linux while the process has no other Python threads, a
+        fork-safe method otherwise (see :func:`_auto_start_method`; pin
+        ``"forkserver"``/``"spawn"`` explicitly when the host process carries
+        *native* threads the check cannot see).  ``None`` for every other
+        backend.
+    """
+
+    backend: Optional[str] = None
+    chunk_size: Optional[int] = None
+    workers: Optional[int] = None
+    start_method: Optional[str] = None
+
+    def resolve(self, num_users: int) -> "ExecutionConfig":
+        """Return a copy with every ``None`` replaced by its concrete default.
+
+        Resolution is idempotent: resolving an already-resolved config returns
+        an equal config.
+        """
+        backend = resolve_backend(self.backend)
+        return ExecutionConfig(
+            backend=backend,
+            chunk_size=resolve_chunk_size(self.chunk_size, num_users),
+            workers=resolve_workers(self.workers, backend),
+            start_method=resolve_start_method(self.start_method, backend),
+        )
+
+    @property
+    def is_bulk(self) -> bool:
+        """Whether the selected strategy evaluates whole event blocks at once."""
+        return get_backend(resolve_backend(self.backend)).is_bulk
+
+    def create_backend(self) -> "ExecutionBackend":
+        """Instantiate the selected strategy (expects a resolved config)."""
+        return get_backend(resolve_backend(self.backend))(self)
+
+
+def merge_legacy_execution(
+    execution: Optional[ExecutionConfig],
+    *,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    owner: str = "this call",
+) -> ExecutionConfig:
+    """Fold the pre-ExecutionConfig loose kwargs into a config (deprecation shim).
+
+    The ``backend=`` / ``chunk_size=`` / ``workers=`` keyword arguments that
+    predate the execution layer keep working everywhere they used to, but emit
+    a :class:`DeprecationWarning`; passing them *together with* ``execution=``
+    is ambiguous and raises.  Call sites pass their own name as ``owner`` so
+    the warning points at the right API.
+    """
+    if backend is None and chunk_size is None and workers is None:
+        return execution if execution is not None else ExecutionConfig()
+    if execution is not None:
+        raise SolverError(
+            f"{owner} received both execution= and the legacy backend=/chunk_size=/"
+            "workers= arguments; pass every knob through execution=ExecutionConfig(...)"
+        )
+    warnings.warn(
+        f"passing backend=/chunk_size=/workers= to {owner} is deprecated; "
+        "pass execution=ExecutionConfig(backend=..., chunk_size=..., workers=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExecutionConfig(backend=backend, chunk_size=chunk_size, workers=workers)
+
+
+# --------------------------------------------------------------------------- #
+# Strategy hierarchy
+# --------------------------------------------------------------------------- #
+class ExecutionBackend:
+    """One scoring-execution strategy, bound to a :class:`ScoringEngine`.
+
+    Subclasses implement :meth:`interval_scores` and :meth:`score_matrix` in
+    terms of the engine's kernels (:meth:`ScoringEngine._pair_score`,
+    :meth:`ScoringEngine._batch_block`) and state.  They decide *where* and in
+    *what blocks* scores are computed — never the values: every strategy must
+    be bit-identical to the serial reference (see the module docstring).
+
+    Class attributes
+    ----------------
+    name:
+        Registry name (``"scalar"``, ``"batch"``, …).
+    is_bulk:
+        Whether the strategy's bulk entry points evaluate whole event blocks
+        at once (the incremental schedulers use this to decide whether
+        speculative bulk refresh pays off, and the engine uses it to decide
+        whether to precompute event-major rows).
+    uses_workers:
+        Whether the strategy fans out across a worker pool (drives the
+        ``workers`` knob's resolution).
+    uses_processes:
+        Whether the pool is made of OS processes (drives ``start_method``).
+    """
+
+    name: str = "abstract"
+    is_bulk: bool = False
+    uses_workers: bool = False
+    uses_processes: bool = False
+
+    def __init__(self, config: ExecutionConfig) -> None:
+        self._config = config
+        self._engine_ref: Optional["weakref.ref[ScoringEngine]"] = None
+
+    def bind(self, engine: "ScoringEngine") -> "ExecutionBackend":
+        """Attach the engine whose state this strategy evaluates against.
+
+        The reference is weak — the engine owns the backend, not the other
+        way round — so dropping the last engine reference frees it promptly
+        (its ``__del__`` closes this backend's pools) instead of waiting for
+        the cycle collector.
+        """
+        self._engine_ref = weakref.ref(engine)
+        return self
+
+    @property
+    def engine(self) -> "ScoringEngine":
+        """The bound scoring engine."""
+        engine = self._engine_ref() if self._engine_ref is not None else None
+        if engine is None:  # pragma: no cover - defensive
+            raise SolverError(f"backend {self.name!r} is not bound to a live engine")
+        return engine
+
+    # -- evaluation ------------------------------------------------------- #
+    def interval_scores(self, interval_index: int, selector: Optional[np.ndarray]) -> np.ndarray:
+        """Scores of the selected events (``None`` = all) at one interval."""
+        raise NotImplementedError
+
+    def score_matrix(self, selector: Optional[np.ndarray]) -> np.ndarray:
+        """The ``(|selection|, |T|)`` score matrix against the current state."""
+        raise NotImplementedError
+
+    # -- lifecycle -------------------------------------------------------- #
+    def close(self) -> None:
+        """Release pools / shared resources (safe to call repeatedly)."""
+
+    @classmethod
+    def describe(cls) -> str:
+        """One-line description used by the CLI's backend listing."""
+        doc = (cls.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else cls.name
+
+
+class ScalarBackend(ExecutionBackend):
+    """Reference strategy: one pass over the users per (event, interval) pair."""
+
+    name = "scalar"
+    is_bulk = False
+
+    def interval_scores(self, interval_index: int, selector: Optional[np.ndarray]) -> np.ndarray:
+        engine = self.engine
+        if selector is None:
+            selector = np.arange(engine.instance.num_events, dtype=np.intp)
+        return np.array(
+            [engine._pair_score(int(event), interval_index) for event in selector],
+            dtype=np.float64,
+        )
+
+    def score_matrix(self, selector: Optional[np.ndarray]) -> np.ndarray:
+        engine = self.engine
+        num_rows = engine.instance.num_events if selector is None else int(selector.size)
+        num_intervals = engine.instance.num_intervals
+        matrix = np.empty((num_rows, num_intervals), dtype=np.float64)
+        for interval_index in range(num_intervals):
+            matrix[:, interval_index] = self.interval_scores(interval_index, selector)
+        return matrix
+
+
+class BatchBackend(ExecutionBackend):
+    """Vectorised strategy: whole event blocks per NumPy pass, chunked along the event axis."""
+
+    name = "batch"
+    is_bulk = True
+
+    def interval_scores(self, interval_index: int, selector: Optional[np.ndarray]) -> np.ndarray:
+        mu_rows, value_mu_rows = self.engine._select_event_rows(selector)
+        return self._sharded_scores(interval_index, mu_rows, value_mu_rows)
+
+    def score_matrix(self, selector: Optional[np.ndarray]) -> np.ndarray:
+        # Hoist the event-row selection out of the per-interval loop: the
+        # selection is state-independent, so one copy serves every column.
+        engine = self.engine
+        mu_rows, value_mu_rows = engine._select_event_rows(selector)
+        num_intervals = engine.instance.num_intervals
+        matrix = np.empty((int(mu_rows.shape[0]), num_intervals), dtype=np.float64)
+        for interval_index in range(num_intervals):
+            matrix[:, interval_index] = self._sharded_scores(
+                interval_index, mu_rows, value_mu_rows
+            )
+        return matrix
+
+    def _block_step(self, num_rows: int) -> int:
+        """Rows per block of one bulk evaluation (the memory guard)."""
+        return self._config.chunk_size
+
+    def _sharded_scores(
+        self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
+    ) -> np.ndarray:
+        """One interval's scores, computed block by block.
+
+        The event axis is processed in blocks of at most :meth:`_block_step`
+        rows, so the temporaries stay bounded on huge instances.  Each row's
+        reduction is independent of the others, so any block decomposition —
+        serial or pooled, whatever the split — produces bit-identical scores.
+        """
+        engine = self.engine
+        num_rows = int(mu_rows.shape[0])
+        step = self._block_step(num_rows)
+        if num_rows <= step:
+            return engine._batch_block(interval_index, mu_rows, value_mu_rows)
+        bounds = [(start, min(start + step, num_rows)) for start in range(0, num_rows, step)]
+        scores = np.empty(num_rows, dtype=np.float64)
+        self._run_blocks(interval_index, mu_rows, value_mu_rows, bounds, scores)
+        return scores
+
+    def _run_blocks(
+        self,
+        interval_index: int,
+        mu_rows: np.ndarray,
+        value_mu_rows: np.ndarray,
+        bounds: List[Tuple[int, int]],
+        scores: np.ndarray,
+    ) -> None:
+        """Evaluate the blocks serially (pooled subclasses override)."""
+        engine = self.engine
+        for start, stop in bounds:
+            scores[start:stop] = engine._batch_block(
+                interval_index, mu_rows[start:stop], value_mu_rows[start:stop]
+            )
+
+
+class ThreadBackend(BatchBackend):
+    """Sharded strategy: the batch blocks dispatched to a GIL-releasing thread pool."""
+
+    name = "parallel"
+    is_bulk = True
+    uses_workers = True
+
+    def __init__(self, config: ExecutionConfig) -> None:
+        super().__init__(config)
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _block_step(self, num_rows: int) -> int:
+        step = self._config.chunk_size
+        if self._config.workers > 1 and num_rows > 1:
+            # Split into enough blocks to keep every worker busy while still
+            # honouring the chunk-size memory bound per block.
+            step = max(1, min(step, -(-num_rows // self._config.workers)))
+        return step
+
+    def _run_blocks(self, interval_index, mu_rows, value_mu_rows, bounds, scores) -> None:
+        if self._config.workers <= 1 or len(bounds) <= 1:
+            super()._run_blocks(interval_index, mu_rows, value_mu_rows, bounds, scores)
+            return
+        engine = self.engine
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(
+                engine._batch_block,
+                interval_index,
+                mu_rows[start:stop],
+                value_mu_rows[start:stop],
+            )
+            for start, stop in bounds
+        ]
+        for (start, stop), future in zip(bounds, futures):
+            scores[start:stop] = future.result()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        """The lazily-created, reused worker pool."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._config.workers, thread_name_prefix="ses-score"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+# --------------------------------------------------------------------------- #
+# The shared-memory process backend
+# --------------------------------------------------------------------------- #
+#: Worker-process view of the shared instance matrices, populated once per
+#: worker by :func:`_process_worker_init` (the pool initializer).
+_WORKER_SHM: Optional[shared_memory.SharedMemory] = None
+_WORKER_ARRAYS: Dict[str, np.ndarray] = {}
+
+#: Per-worker cache of the last subset selection: ``(call token, µ rows,
+#: value·µ rows)``.  One ``score_matrix`` call dispatches |T| tasks with the
+#: same selector; caching by the parent's call token makes each worker do the
+#: fancy-indexed row copy once per call instead of once per task.
+_WORKER_SELECTION: Tuple[Optional[int], Optional[np.ndarray], Optional[np.ndarray]] = (
+    None,
+    None,
+    None,
+)
+
+
+def _export_shared_arrays(
+    arrays: Dict[str, np.ndarray],
+) -> Tuple[shared_memory.SharedMemory, Dict[str, object]]:
+    """Copy the given arrays into one shared-memory block and describe its layout.
+
+    Returns the owning :class:`~multiprocessing.shared_memory.SharedMemory`
+    (the caller unlinks it on close) and a picklable layout descriptor the
+    workers use to rebuild zero-copy views.
+    """
+    total = sum(int(array.nbytes) for array in arrays.values())
+    block = shared_memory.SharedMemory(create=True, size=max(1, total))
+    entries: List[Tuple[str, Tuple[int, ...], str, int]] = []
+    offset = 0
+    for key, array in arrays.items():
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf, offset=offset)
+        view[...] = array
+        entries.append((key, tuple(array.shape), array.dtype.str, offset))
+        offset += int(array.nbytes)
+    return block, {"name": block.name, "entries": entries}
+
+
+def _attach_shared_block(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing shared block *without* registering it for cleanup.
+
+    The parent owns the block's lifetime (it unlinks on close).  A plain
+    attach would also register the segment with the resource tracker on
+    behalf of this worker, making the tracker either warn about a "leaked"
+    segment or — under fork, where the tracker process is shared — drop the
+    parent's registration.  Python 3.13 has ``track=False`` for exactly this;
+    on older versions the attach runs with registration suppressed.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _process_worker_init(layout: Dict[str, object]) -> None:
+    """Pool initializer: attach the shared block and rebuild the array views."""
+    global _WORKER_SHM
+    block = _attach_shared_block(layout["name"])  # type: ignore[index,arg-type]
+    _WORKER_SHM = block
+    _WORKER_ARRAYS.clear()
+    for key, shape, dtype, offset in layout["entries"]:  # type: ignore[union-attr]
+        _WORKER_ARRAYS[key] = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=block.buf, offset=offset
+        )
+
+
+def _worker_selected_rows(
+    token: int, selector: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The (possibly subset-selected) event rows for one score-matrix call."""
+    global _WORKER_SELECTION
+    if selector is None:
+        return _WORKER_ARRAYS["mu_rows"], _WORKER_ARRAYS["value_mu_rows"]
+    cached_token, mu_rows, value_mu_rows = _WORKER_SELECTION
+    if cached_token != token:
+        mu_rows = _WORKER_ARRAYS["mu_rows"][selector]
+        value_mu_rows = _WORKER_ARRAYS["value_mu_rows"][selector]
+        _WORKER_SELECTION = (token, mu_rows, value_mu_rows)
+    return mu_rows, value_mu_rows
+
+
+def _process_interval_scores(
+    task: Tuple[int, int, Optional[np.ndarray], np.ndarray, np.ndarray, float, int],
+) -> Tuple[int, np.ndarray]:
+    """Worker kernel: one interval's score column against the shared matrices.
+
+    Runs the same :func:`score_block_kernel` as the in-process batch path,
+    with the event axis chunked under the same memory guard — every block's
+    rows reduce independently, so the returned column is bit-identical to the
+    serial batch path regardless of where it was computed.
+    """
+    interval_index, token, selector, scheduled, scheduled_value, utility, step = task
+    mu_rows, value_mu_rows = _worker_selected_rows(token, selector)
+    comp_column = _WORKER_ARRAYS["comp"][:, interval_index]
+    sigma_column = _WORKER_ARRAYS["sigma"][:, interval_index]
+    num_rows = int(mu_rows.shape[0])
+    scores = np.empty(num_rows, dtype=np.float64)
+    for start in range(0, num_rows, step):
+        stop = min(start + step, num_rows)
+        scores[start:stop] = score_block_kernel(
+            mu_rows[start:stop],
+            value_mu_rows[start:stop],
+            comp_column,
+            sigma_column,
+            scheduled,
+            scheduled_value,
+            utility,
+        )
+    return interval_index, scores
+
+
+class ProcessBackend(BatchBackend):
+    """Multi-process strategy: score-matrix columns sharded across a process pool.
+
+    :meth:`score_matrix` dispatches one task per interval to a
+    ``multiprocessing`` pool.  The static instance matrices (event-major µ and
+    value·µ rows, competing sums, σ) are published **once** through a single
+    shared-memory block when the pool starts — workers map them zero-copy, so
+    a task ships only its interval index and the interval's per-user scheduled
+    sums (a few KB).  Subset calls additionally carry the event selector; each
+    worker materialises the selected rows once per score-matrix call (cached
+    by call token), not once per task.  Single-interval bulk calls
+    (:meth:`~ScoringEngine.interval_scores`, the incremental refresh path) use
+    the inherited serial batch kernel — identical values either way.
+
+    The pool is created lazily, reused across calls, and shut down
+    deterministically by :meth:`close` (which also unlinks the shared block);
+    ``workers=1`` never creates a pool at all.  The start method defaults to
+    ``fork`` where the platform offers it *and* the process is still
+    single-threaded, falling back to a fork-safe method otherwise; ``spawn``
+    and ``forkserver`` are fully supported via
+    :attr:`ExecutionConfig.start_method` (the worker entry points live at
+    module level, so they import cleanly in fresh interpreters).
+    """
+
+    name = "process"
+    is_bulk = True
+    uses_workers = True
+    uses_processes = True
+
+    def __init__(self, config: ExecutionConfig) -> None:
+        super().__init__(config)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._call_tokens = itertools.count()
+
+    def score_matrix(self, selector: Optional[np.ndarray]) -> np.ndarray:
+        engine = self.engine
+        num_intervals = engine.instance.num_intervals
+        num_rows = engine.instance.num_events if selector is None else int(selector.size)
+        if self._config.workers <= 1 or num_intervals <= 1 or num_rows == 0:
+            return super().score_matrix(selector)
+        executor = self._ensure_pool()
+        step = self._config.chunk_size
+        token = next(self._call_tokens)
+        matrix = np.empty((num_rows, num_intervals), dtype=np.float64)
+        futures = [
+            executor.submit(
+                _process_interval_scores,
+                (
+                    interval_index,
+                    token,
+                    selector,
+                    engine._scheduled_interest[interval_index],
+                    engine._scheduled_value_interest[interval_index],
+                    float(engine._interval_utility[interval_index]),
+                    step,
+                ),
+            )
+            for interval_index in range(num_intervals)
+        ]
+        for future in futures:
+            interval_index, scores = future.result()
+            matrix[:, interval_index] = scores
+        return matrix
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The lazily-created, reused process pool (publishes the shared block)."""
+        if self._executor is None:
+            engine = self.engine
+            block, layout = _export_shared_arrays(
+                {
+                    "mu_rows": engine._mu_rows,
+                    "value_mu_rows": engine._value_mu_rows,
+                    "comp": np.ascontiguousarray(engine._comp),
+                    "sigma": np.ascontiguousarray(engine._sigma),
+                }
+            )
+            start_method = self._config.start_method or _auto_start_method()
+            context = multiprocessing.get_context(start_method)
+            if start_method == "forkserver":
+                # Preload this module into the server so the workers it forks
+                # inherit the imports instead of re-importing per pool (a
+                # no-op once the server is running).
+                try:  # pragma: no cover - depends on server state
+                    context.set_forkserver_preload(["repro.core.execution"])
+                except Exception:
+                    pass
+            try:
+                executor = ProcessPoolExecutor(
+                    max_workers=self._config.workers,
+                    mp_context=context,
+                    initializer=_process_worker_init,
+                    initargs=(layout,),
+                )
+            except BaseException:
+                # Pool creation failed after the block was published — release
+                # the segment now instead of leaking it until process exit.
+                block.close()
+                block.unlink()
+                raise
+            self._shm = block
+            self._executor = executor
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_BACKEND_REGISTRY: Dict[str, Type[ExecutionBackend]] = {}
+
+
+def register_backend(
+    cls: Type[ExecutionBackend], *, replace_existing: bool = False
+) -> Type[ExecutionBackend]:
+    """Register an execution-backend strategy class (usable as a decorator).
+
+    After registration the backend is selectable everywhere by its
+    :attr:`~ExecutionBackend.name` — ``ExecutionConfig(backend=cls.name)``,
+    the scheduler/engine constructors, the harness, the CLI's ``--backend``
+    flag — with no further plumbing: adding a backend is a one-module change.
+
+    Raises
+    ------
+    SolverError
+        If a backend with the same name exists and ``replace_existing`` is
+        False.
+    """
+    if not replace_existing and cls.name in _BACKEND_REGISTRY:
+        raise SolverError(f"an execution backend named {cls.name!r} is already registered")
+    _BACKEND_REGISTRY[cls.name] = cls
+    return cls
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (primarily for tests of custom backends)."""
+    if name in (ScalarBackend.name, BatchBackend.name, ThreadBackend.name, ProcessBackend.name):
+        raise SolverError(f"the built-in backend {name!r} cannot be unregistered")
+    _BACKEND_REGISTRY.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend, in registration order."""
+    return tuple(_BACKEND_REGISTRY)
+
+
+def get_backend(name: str) -> Type[ExecutionBackend]:
+    """Return the strategy class registered under ``name``."""
+    try:
+        return _BACKEND_REGISTRY[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown scoring backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def backend_catalog() -> List[Dict[str, object]]:
+    """One row per registered backend with its resolved defaults.
+
+    Used by the CLI's ``backends`` sub-command / ``--list-backends`` flag; the
+    ``workers`` / ``start_method`` columns show what ``None`` resolves to on
+    *this* machine.
+    """
+    rows: List[Dict[str, object]] = []
+    for name, cls in _BACKEND_REGISTRY.items():
+        rows.append(
+            {
+                "backend": name + (" (default)" if name == DEFAULT_BACKEND else ""),
+                "bulk": "yes" if cls.is_bulk else "no",
+                "pool": "processes" if cls.uses_processes else (
+                    "threads" if cls.uses_workers else "-"
+                ),
+                "workers": resolve_workers(None, name),
+                "chunk_size": f"auto ({DEFAULT_CHUNK_ELEMENTS:,} elements / |U|)"
+                if cls.is_bulk
+                else "-",
+                "start_method": f"auto ({_auto_start_method()} now)"
+                if cls.uses_processes
+                else "-",
+                "description": cls.describe(),
+            }
+        )
+    return rows
+
+
+for _builtin in (ScalarBackend, BatchBackend, ThreadBackend, ProcessBackend):
+    register_backend(_builtin)
+del _builtin
+
+
+def __getattr__(name: str):
+    """Registry-backed views of the classic backend-name tuples.
+
+    ``SCORING_BACKENDS`` and ``BULK_BACKENDS`` predate the registry; they stay
+    importable (from here and from :mod:`repro.core.scoring`) and always
+    reflect the *current* registry contents, including custom backends
+    registered through :func:`register_backend`.
+    """
+    if name == "SCORING_BACKENDS":
+        return available_backends()
+    if name == "BULK_BACKENDS":
+        return tuple(n for n, cls in _BACKEND_REGISTRY.items() if cls.is_bulk)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "DEFAULT_CHUNK_ELEMENTS",
+    "ExecutionBackend",
+    "ExecutionConfig",
+    "ScalarBackend",
+    "BatchBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "backend_catalog",
+    "get_backend",
+    "merge_legacy_execution",
+    "register_backend",
+    "unregister_backend",
+    "resolve_backend",
+    "resolve_chunk_size",
+    "resolve_start_method",
+    "resolve_workers",
+    "score_block_kernel",
+    "SCORING_BACKENDS",
+    "BULK_BACKENDS",
+]

@@ -19,27 +19,19 @@ evaluation to a :class:`~repro.core.counters.ComputationCounter` so that the
 paper's "number of computations" metric (``|U|`` per score) can be reproduced
 exactly.
 
-The engine offers three *backends* for bulk evaluation:
-
-* ``"scalar"`` — the reference implementation: one pass over the users per
-  (event, interval) pair, exactly the per-pair arithmetic described above;
-* ``"batch"`` (the default) — :meth:`ScoringEngine.interval_scores` evaluates
-  *all* candidate events of one interval in a handful of NumPy matrix
-  operations, and :meth:`ScoringEngine.score_matrix` assembles the full
-  ``|E| × |T|`` score matrix from them;
-* ``"parallel"`` — the batch backend's event-axis chunks dispatched to a
-  thread pool (``workers`` threads, defaulting to the machine's CPU count).
-  The chunk kernel is NumPy-bound and releases the GIL, so the blocks run
-  concurrently; because every event row's reduction is independent of the
-  others, the block decomposition — serial or parallel, whatever the split —
-  never changes a result bit.  ``workers=1`` degrades to the serial batch
-  path exactly.
-
-All backends perform the same elementary operations in the same order per
-(user, event) element, so their scores agree to machine precision, and all
-report one score computation (``|U|`` user computations) per (event, interval)
-pair to the counter — the paper's metric is backend-independent by
-construction.
+*How* bulk evaluations run is delegated to the execution layer
+(:mod:`repro.core.execution`): an :class:`~repro.core.execution.ExecutionConfig`
+selects one of the registered :class:`~repro.core.execution.ExecutionBackend`
+strategies — ``"scalar"`` (the per-pair reference), ``"batch"`` (the default:
+whole candidate blocks per vectorised NumPy pass), ``"parallel"`` (the batch
+blocks dispatched to a GIL-releasing thread pool) or ``"process"`` (the score
+matrix's per-interval columns sharded across a shared-memory process pool) —
+plus the ``chunk_size`` / ``workers`` / ``start_method`` knobs.  All backends
+perform the same elementary operations in the same order per (user, event)
+element, so their scores agree bit-for-bit among the bulk strategies (and to
+machine precision with the scalar reference), and all report one score
+computation (``|U|`` user computations) per (event, interval) pair to the
+counter — the paper's metric is backend-independent by construction.
 
 Two facilities support the incremental schedulers and large instances:
 
@@ -48,12 +40,12 @@ Two facilities support the incremental schedulers and large instances:
   interval (the update-phase counterpart of the generation-phase bulk calls).
   INC and HOR-I use it to resolve whole prefixes of stale assignments in a
   few vectorised passes instead of one ``assignment_score`` call per pair.
-* The batch backend *chunks the event axis*: bulk evaluations never
+* The bulk strategies *chunk the event axis*: bulk evaluations never
   materialise more than ``chunk_size × |U|`` temporary elements at once
-  (``chunk_size`` defaults to :data:`DEFAULT_CHUNK_ELEMENTS` divided by
-  ``|U|``), so million-user instances stay within a bounded memory envelope.
-  Chunking splits only the event axis — every row's per-user reduction is
-  unchanged — so chunked and unchunked results are bit-identical.
+  (``chunk_size`` defaults to :data:`~repro.core.execution.DEFAULT_CHUNK_ELEMENTS`
+  divided by ``|U|``), so million-user instances stay within a bounded memory
+  envelope.  Chunking splits only the event axis — every row's per-user
+  reduction is unchanged — so chunked and unchunked results are bit-identical.
 
 The engine also supports the §2.1 extensions: per-user weights (applied to σ)
 and per-event value multipliers / organisation costs (profit-oriented SES).
@@ -62,98 +54,41 @@ With the default entity values these reduce exactly to the paper's equations.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.counters import ComputationCounter
-from repro.core.errors import ScheduleError, SolverError
+from repro.core.errors import ScheduleError
+from repro.core.execution import (  # noqa: F401  (re-exported compatibility surface)
+    DEFAULT_BACKEND,
+    DEFAULT_CHUNK_ELEMENTS,
+    ExecutionBackend,
+    ExecutionConfig,
+    _guarded_divide,
+    merge_legacy_execution,
+    resolve_backend,
+    resolve_chunk_size,
+    resolve_workers,
+    score_block_kernel,
+)
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
 
-#: The available scoring backends (``DEFAULT_BACKEND`` is used when unset).
-SCORING_BACKENDS: Tuple[str, ...] = ("scalar", "batch", "parallel")
 
-#: The backends whose bulk entry points evaluate whole event blocks at once
-#: (the incremental schedulers use this to decide whether speculative bulk
-#: refresh pays off).
-BULK_BACKENDS: Tuple[str, ...] = ("batch", "parallel")
+def __getattr__(name: str):
+    """Keep ``SCORING_BACKENDS`` / ``BULK_BACKENDS`` importable from here.
 
-#: Backend used when none is requested explicitly.
-DEFAULT_BACKEND: str = "batch"
-
-#: Memory budget of one bulk evaluation, in matrix *elements* (events × users).
-#: The default chunk size is this budget divided by ``|U|``, which caps every
-#: batched temporary at ~64 MB of float64 regardless of instance size.
-DEFAULT_CHUNK_ELEMENTS: int = 8_000_000
-
-
-def resolve_backend(backend: Optional[str]) -> str:
-    """Validate a backend name (``None`` means :data:`DEFAULT_BACKEND`)."""
-    if backend is None:
-        return DEFAULT_BACKEND
-    if backend not in SCORING_BACKENDS:
-        raise SolverError(
-            f"unknown scoring backend {backend!r}; available: {', '.join(SCORING_BACKENDS)}"
-        )
-    return backend
-
-
-def resolve_chunk_size(chunk_size: Optional[int], num_users: int) -> int:
-    """Validate the event-axis chunk size (``None`` derives it from the memory budget).
-
-    The automatic default keeps one batched temporary at
-    :data:`DEFAULT_CHUNK_ELEMENTS` elements: ``max(1, budget // |U|)`` events
-    per chunk.  An explicit value is the number of events evaluated per
-    vectorised pass and must be a positive integer.
+    The tuples live in :mod:`repro.core.execution` now and are registry-backed
+    (custom backends registered via
+    :func:`~repro.core.execution.register_backend` appear automatically);
+    importing them from this module keeps working.
     """
-    if chunk_size is None:
-        return max(1, DEFAULT_CHUNK_ELEMENTS // max(1, num_users))
-    if not isinstance(chunk_size, int) or isinstance(chunk_size, bool) or chunk_size < 1:
-        raise SolverError(f"chunk_size must be a positive integer or None, got {chunk_size!r}")
-    return chunk_size
+    if name in ("SCORING_BACKENDS", "BULK_BACKENDS"):
+        from repro.core import execution
 
-
-def resolve_workers(workers: Optional[int], backend: Optional[str] = None) -> int:
-    """Validate the parallel backend's worker count (``None`` means auto).
-
-    The automatic default is the machine's CPU count (at least 1).  An
-    explicit value must be a positive integer; ``1`` makes the parallel
-    backend degrade to the serial batch path.
-
-    When ``backend`` is given and is not ``"parallel"``, the resolved count is
-    pinned to 1 (after validation): the serial backends never fan out, and
-    recording the machine's CPU count for them would make otherwise-identical
-    runs look different across machines in the harness tables.
-    """
-    if workers is not None and (
-        not isinstance(workers, int) or isinstance(workers, bool) or workers < 1
-    ):
-        raise SolverError(f"workers must be a positive integer or None, got {workers!r}")
-    if backend is not None and backend != "parallel":
-        return 1
-    if workers is None:
-        return max(1, os.cpu_count() or 1)
-    return workers
-
-
-def _guarded_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
-    """Elementwise ``numerator / denominator`` with zeros where the denominator is not positive.
-
-    This is the library's single division guard: every per-user attendance
-    term — scalar or batched — goes through it, so a user whose competing +
-    scheduled interest sums to zero contributes exactly 0.0 on every code
-    path.
-    """
-    with np.errstate(divide="ignore", invalid="ignore"):
-        return np.divide(
-            numerator,
-            denominator,
-            out=np.zeros_like(numerator),
-            where=denominator > 0.0,
-        )
+        return getattr(execution, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class ScoringEngine:
@@ -171,29 +106,22 @@ class ScoringEngine:
     Every call to :meth:`assignment_score` costs one pass over the users and
     is counted as one score computation (``|U|`` user computations), matching
     the paper's metric.  :meth:`interval_scores` and :meth:`score_matrix`
-    evaluate many assignments at once (vectorised over events when the
-    ``backend`` is ``"batch"``) and count one score computation per evaluated
-    pair, so counter totals are identical across backends.
+    evaluate many assignments at once (how is decided by the execution
+    backend) and count one score computation per evaluated pair, so counter
+    totals are identical across backends.
 
     Parameters
     ----------
-    backend:
-        ``"scalar"`` or ``"batch"`` (``None`` selects :data:`DEFAULT_BACKEND`).
-        Only affects how :meth:`interval_scores` / :meth:`score_matrix`
-        compute their results — never the values, which agree to machine
-        precision.
-    chunk_size:
-        Maximum number of events evaluated per vectorised pass of the batch
-        backend (``None`` derives it from :data:`DEFAULT_CHUNK_ELEMENTS`).
-        Bounds the size of batched temporaries at ``chunk_size × |U|``
-        elements without changing any result bit (the scalar backend ignores
-        it — its temporaries are one user-vector per pair already).  Under the
-        parallel backend up to ``workers`` chunks are in flight at once, so
-        the envelope is ``workers ×`` the chunk budget.
-    workers:
-        Thread count of the ``"parallel"`` backend (``None`` selects the
-        machine's CPU count).  Ignored by the other backends; ``workers=1``
-        degrades to the serial batch path.
+    execution:
+        The :class:`~repro.core.execution.ExecutionConfig` selecting the
+        execution backend and its knobs (``None`` selects the library
+        defaults).  Only affects how :meth:`interval_scores` /
+        :meth:`score_matrix` compute their results — never the values.
+    backend, chunk_size, workers:
+        .. deprecated:: PR 4
+           Legacy loose knobs, folded into ``execution`` with a
+           :class:`DeprecationWarning`.  Passing them together with
+           ``execution`` raises.
     """
 
     def __init__(
@@ -201,6 +129,7 @@ class ScoringEngine:
         instance: SESInstance,
         counter: Optional[ComputationCounter] = None,
         *,
+        execution: Optional[ExecutionConfig] = None,
         backend: Optional[str] = None,
         chunk_size: Optional[int] = None,
         workers: Optional[int] = None,
@@ -209,10 +138,15 @@ class ScoringEngine:
         self._counter = counter if counter is not None else ComputationCounter()
         if self._counter.num_users == 0:
             self._counter.num_users = instance.num_users
-        self._backend = resolve_backend(backend)
-        self._chunk_size = resolve_chunk_size(chunk_size, instance.num_users)
-        self._workers = resolve_workers(workers, self._backend)
-        self._executor: Optional[ThreadPoolExecutor] = None
+        execution = merge_legacy_execution(
+            execution,
+            backend=backend,
+            chunk_size=chunk_size,
+            workers=workers,
+            owner="ScoringEngine",
+        )
+        self._execution = execution.resolve(instance.num_users)
+        self._backend_impl = self._execution.create_backend().bind(self)
 
         self._mu = instance.interest.values
         self._comp = instance.competing_sums
@@ -221,16 +155,27 @@ class ScoringEngine:
         self._values = instance.event_values()
         self._costs = instance.event_costs()
 
-        if self._backend in BULK_BACKENDS:
+        if self._backend_impl.is_bulk:
             # Event-major copies of µ and value·µ: each row is one event's
-            # per-user column, contiguous so that the per-row reductions in
-            # interval_scores() use the same pairwise summation as the scalar
-            # path's 1-D sums (keeping the backends bit-identical).
+            # per-user column, contiguous so that the per-row reductions of
+            # the bulk strategies use the same pairwise summation as the
+            # scalar path's 1-D sums (keeping the backends bit-identical).
             self._mu_rows = np.ascontiguousarray(self._mu.T)
             self._value_mu_rows = self._values[:, np.newaxis] * self._mu_rows
         else:
             self._mu_rows = None
             self._value_mu_rows = None
+
+        # Per-interval upper bound on the floating-point noise of one
+        # assignment score (see score_noise_tolerance): every per-user
+        # attendance term is within [0, σ_u · max value], utilities are sums
+        # of |U| such terms, and a score is a difference of two utilities.
+        value_scale = float(np.max(self._values, initial=1.0))
+        self._score_noise_tol = (
+            1024.0
+            * np.finfo(np.float64).eps
+            * (1.0 + self._sigma.sum(axis=0) * max(1.0, value_scale))
+        )
 
         num_intervals = instance.num_intervals
         num_users = instance.num_users
@@ -254,25 +199,43 @@ class ScoringEngine:
         return self._counter
 
     @property
+    def execution(self) -> ExecutionConfig:
+        """The fully-resolved execution configuration of this engine."""
+        return self._execution
+
+    @property
+    def execution_backend(self) -> ExecutionBackend:
+        """The live execution-backend strategy instance."""
+        return self._backend_impl
+
+    @property
     def backend(self) -> str:
-        """The active bulk-evaluation backend (``"scalar"`` or ``"batch"``)."""
-        return self._backend
+        """Name of the active execution backend.
+
+        One of the registered strategies — ``"scalar"``, ``"batch"``,
+        ``"parallel"``, ``"process"``, or any custom backend added through
+        :func:`~repro.core.execution.register_backend`.
+        """
+        return self._execution.backend
+
+    @property
+    def is_bulk(self) -> bool:
+        """Whether the active backend evaluates whole event blocks at once."""
+        return self._backend_impl.is_bulk
 
     @property
     def chunk_size(self) -> int:
-        """Events evaluated per vectorised pass (the batch memory guard)."""
-        return self._chunk_size
+        """Events evaluated per vectorised pass (the bulk memory guard)."""
+        return self._execution.chunk_size
 
     @property
     def workers(self) -> int:
-        """Thread count of the parallel backend (1 for the serial backends)."""
-        return self._workers
+        """Worker count of the pooled backends (1 for the serial backends)."""
+        return self._execution.workers
 
     def close(self) -> None:
-        """Release the parallel backend's thread pool (safe to call repeatedly)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Release the backend's pools / shared memory (safe to call repeatedly)."""
+        self._backend_impl.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
@@ -397,25 +360,17 @@ class ScoringEngine:
             ``scores[i]`` is the assignment score of
             ``(event_indices[i], interval_index)`` against the current state.
         """
-        all_events = event_indices is None
-        if all_events:
-            events = np.arange(self._instance.num_events, dtype=np.intp)
+        if event_indices is None:
+            # Passing None lets the bulk strategies score their precomputed
+            # full event set without materialising an index copy.
+            selector = None
+            num_selected = self._instance.num_events
         else:
-            events = np.asarray(event_indices, dtype=np.intp)
-        if count and events.size:
-            self._counter.count_scores(int(events.size), initial=initial)
-        if self._backend == "scalar":
-            return np.array(
-                [self._pair_score(int(event), interval_index) for event in events],
-                dtype=np.float64,
-            )
-        # Batch backend: evaluate every event's hypothetical interval state at
-        # once.  Rows are events, columns users; the per-element operation
-        # order matches _pair_score exactly (µ added to the scheduled sums
-        # first, competing sums last; value·µ added to the value sums before
-        # the σ product), so each element is bit-identical to the scalar path.
-        mu_rows, value_mu_rows = self._select_event_rows(None if all_events else events)
-        return self._batch_interval_scores(interval_index, mu_rows, value_mu_rows)
+            selector = np.asarray(event_indices, dtype=np.intp)
+            num_selected = int(selector.size)
+        if count and num_selected:
+            self._counter.count_scores(num_selected, initial=initial)
+        return self._backend_impl.interval_scores(interval_index, selector)
 
     def refresh_scores(
         self,
@@ -429,7 +384,7 @@ class ScoringEngine:
         This is the update-phase counterpart of the generation-phase bulk
         calls — semantically identical to one :meth:`assignment_score` per
         (event, interval) pair against the current state, evaluated under the
-        active backend (vectorised and chunked when ``"batch"``).
+        active backend (vectorised and chunked under the bulk strategies).
 
         Parameters
         ----------
@@ -450,69 +405,27 @@ class ScoringEngine:
             return self._mu_rows, self._value_mu_rows
         return self._mu_rows[events], self._value_mu_rows[events]
 
-    def _batch_interval_scores(
-        self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
-    ) -> np.ndarray:
-        """Vectorised score evaluation of pre-selected event rows at one interval.
-
-        The event axis is processed in chunks of at most ``chunk_size`` rows,
-        so the temporaries stay bounded on huge instances.  Each row's
-        reduction is independent of the others, so chunked and unchunked
-        evaluations are bit-identical — and under the parallel backend the
-        chunks are dispatched to the worker pool, which changes only *where*
-        each block is computed, never its result.
-        """
-        num_rows = int(mu_rows.shape[0])
-        step = self._chunk_size
-        parallel = self._backend == "parallel" and self._workers > 1 and num_rows > 1
-        if parallel:
-            # Split into enough blocks to keep every worker busy while still
-            # honouring the chunk-size memory bound per block.
-            step = max(1, min(step, -(-num_rows // self._workers)))
-        if num_rows <= step:
-            return self._batch_block(interval_index, mu_rows, value_mu_rows)
-        bounds = [(start, min(start + step, num_rows)) for start in range(0, num_rows, step)]
-        scores = np.empty(num_rows, dtype=np.float64)
-        if parallel and len(bounds) > 1:
-            executor = self._ensure_executor()
-            futures = [
-                executor.submit(
-                    self._batch_block,
-                    interval_index,
-                    mu_rows[start:stop],
-                    value_mu_rows[start:stop],
-                )
-                for start, stop in bounds
-            ]
-            for (start, stop), future in zip(bounds, futures):
-                scores[start:stop] = future.result()
-            return scores
-        for start, stop in bounds:
-            scores[start:stop] = self._batch_block(
-                interval_index, mu_rows[start:stop], value_mu_rows[start:stop]
-            )
-        return scores
-
-    def _ensure_executor(self) -> ThreadPoolExecutor:
-        """The lazily-created worker pool of the parallel backend."""
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self._workers, thread_name_prefix="ses-score"
-            )
-        return self._executor
-
     def _batch_block(
         self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
     ) -> np.ndarray:
-        """One vectorised pass over a block of event rows (the batch kernel)."""
-        denominator = self._comp[:, interval_index] + (
-            self._scheduled_interest[interval_index] + mu_rows
+        """One vectorised pass over a block of event rows.
+
+        Rows are events, columns users.  Delegates to the library's single
+        bit-identity-critical kernel
+        (:func:`~repro.core.execution.score_block_kernel` — also run by the
+        process backend's workers), whose per-element operation order matches
+        :meth:`_pair_score` exactly, so each element is bit-identical to the
+        scalar path.
+        """
+        return score_block_kernel(
+            mu_rows,
+            value_mu_rows,
+            self._comp[:, interval_index],
+            self._sigma[:, interval_index],
+            self._scheduled_interest[interval_index],
+            self._scheduled_value_interest[interval_index],
+            self._interval_utility[interval_index],
         )
-        numerator = self._sigma[:, interval_index] * (
-            self._scheduled_value_interest[interval_index] + value_mu_rows
-        )
-        contributions = _guarded_divide(numerator, denominator)
-        return contributions.sum(axis=1) - self._interval_utility[interval_index]
 
     def score_matrix(
         self,
@@ -526,7 +439,10 @@ class ScoringEngine:
         Returns an ``(len(event_indices), |T|)`` array whose ``[i, t]`` entry
         is the assignment score of ``(event_indices[i], t)`` against the
         current engine state (``event_indices`` defaults to all events).
-        Counts one score computation per (event, interval) pair.
+        Counts one score computation per (event, interval) pair.  The active
+        backend decides how the matrix is assembled — per pair, per vectorised
+        column, or with the columns sharded across a process pool — without
+        changing a result bit.
         """
         if event_indices is None:
             selector = None
@@ -535,23 +451,24 @@ class ScoringEngine:
             selector = np.asarray(event_indices, dtype=np.intp)
             num_selected = int(selector.size)
         num_intervals = self._instance.num_intervals
-        matrix = np.empty((num_selected, num_intervals), dtype=np.float64)
-        if self._backend in BULK_BACKENDS:
-            # Hoist the event-row selection out of the per-interval loop: the
-            # selection is state-independent, so one copy serves every column.
-            mu_rows, value_mu_rows = self._select_event_rows(selector)
-            for interval_index in range(num_intervals):
-                if count and num_selected:
-                    self._counter.count_scores(num_selected, initial=initial)
-                matrix[:, interval_index] = self._batch_interval_scores(
-                    interval_index, mu_rows, value_mu_rows
-                )
-            return matrix
-        for interval_index in range(num_intervals):
-            matrix[:, interval_index] = self.interval_scores(
-                interval_index, selector, initial=initial, count=count
-            )
-        return matrix
+        if count and num_selected and num_intervals:
+            self._counter.count_scores(num_selected * num_intervals, initial=initial)
+        return self._backend_impl.score_matrix(selector)
+
+    def score_noise_tolerance(self, interval_index: int) -> float:
+        """Floating-point noise bound of one assignment score at this interval.
+
+        Proposition 1 (stale scores are upper bounds of fresh scores) holds in
+        exact arithmetic, but a score is a difference of two |U|-term utility
+        sums, so two mathematically equal scores can differ by rounding noise
+        — enough to flip the incremental schedulers' Φ-bound pruning on
+        exact-tie instances.  The bound returned here (``1024·ε`` times the
+        interval's largest possible utility magnitude, ``Σ_u σ_u ·
+        max value``) safely exceeds that noise while staying far below any
+        meaningful score difference; INC and HOR-I prune stale entries only
+        when they are at least this far below Φ.
+        """
+        return float(self._score_noise_tol[interval_index])
 
     def interval_utility(self, interval_index: int) -> float:
         """Current utility of one interval."""

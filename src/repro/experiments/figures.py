@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.algorithms.registry import PAPER_METHODS
 from repro.core.errors import ExperimentError
+from repro.core.execution import ExecutionConfig, merge_legacy_execution
 from repro.experiments.harness import run_experiment_point
 from repro.experiments.metrics import MetricRecord, series_by_algorithm
 
@@ -192,6 +193,7 @@ def fig5(
     datasets: Sequence[str] = ALL_DATASETS,
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -204,6 +206,9 @@ def fig5(
     catches up with HOR.  A k larger than |E| simply schedules every candidate
     event (the paper's k = 500 with |E| = 300 behaves the same way).
     """
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="fig5"
+    )
     resolved = get_scale(scale)
     result = FigureResult(
         figure_id="fig5",
@@ -229,9 +234,7 @@ def fig5(
                     algorithms=algorithms,
                     params={"k": k, "num_events": num_events, "num_intervals": num_intervals},
                     seed=seed,
-                    backend=backend,
-                    chunk_size=chunk_size,
-                    workers=workers,
+                    execution=execution,
                 )
             )
     return result
@@ -246,11 +249,15 @@ def fig6(
     datasets: Sequence[str] = ALL_DATASETS,
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 6: utility and time as |T| grows (k and |E| at their defaults)."""
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="fig6"
+    )
     resolved = get_scale(scale)
     result = FigureResult(
         figure_id="fig6",
@@ -276,9 +283,7 @@ def fig6(
                     algorithms=algorithms,
                     params={"k": k, "num_events": num_events, "num_intervals": num_intervals},
                     seed=seed,
-                    backend=backend,
-                    chunk_size=chunk_size,
-                    workers=workers,
+                    execution=execution,
                 )
             )
     return result
@@ -293,11 +298,15 @@ def fig7(
     datasets: Sequence[str] = ("Concerts", "Unf"),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 7: utility and time as |E| grows (k < |T|, so HOR-I ≡ HOR)."""
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="fig7"
+    )
     resolved = get_scale(scale)
     result = FigureResult(
         figure_id="fig7",
@@ -325,9 +334,7 @@ def fig7(
                     algorithms=algorithms,
                     params={"k": k, "num_events": num_events, "num_intervals": num_intervals},
                     seed=seed,
-                    backend=backend,
-                    chunk_size=chunk_size,
-                    workers=workers,
+                    execution=execution,
                 )
             )
     return result
@@ -342,11 +349,15 @@ def fig8(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 8: time as |U| grows, for |T| = 3k/2 (panel a) and |T| ≈ 0.65k (panel b)."""
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="fig8"
+    )
     resolved = get_scale(scale)
     result = FigureResult(
         figure_id="fig8",
@@ -385,9 +396,7 @@ def fig8(
                             "panel": panel,
                         },
                         seed=seed,
-                        backend=backend,
-                        chunk_size=chunk_size,
-                        workers=workers,
+                        execution=execution,
                     )
                 )
     result.notes["panels"] = panels
@@ -403,11 +412,15 @@ def fig9(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 9: utility and time as the number of event locations varies (|T| ≈ 0.65k)."""
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="fig9"
+    )
     resolved = get_scale(scale)
     result = FigureResult(
         figure_id="fig9",
@@ -441,9 +454,7 @@ def fig9(
                         "num_intervals": num_intervals,
                     },
                     seed=seed,
-                    backend=backend,
-                    chunk_size=chunk_size,
-                    workers=workers,
+                    execution=execution,
                 )
             )
     return result
@@ -458,11 +469,15 @@ def fig10a(
     datasets: Sequence[str] = ALL_DATASETS,
     algorithms: Sequence[str] = ("ALG", "INC", "HOR", "HOR-I", "TOP"),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 10a: execution time in the horizontal algorithms' worst case (k mod |T| = 1)."""
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="fig10a"
+    )
     resolved = get_scale(scale)
     result = FigureResult(
         figure_id="fig10a",
@@ -488,9 +503,7 @@ def fig10a(
                 algorithms=algorithms,
                 params={"k": k, "num_intervals": num_intervals},
                 seed=seed,
-                backend=backend,
-                chunk_size=chunk_size,
-                workers=workers,
+                execution=execution,
             )
         )
     return result
@@ -505,11 +518,15 @@ def fig10b(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = ("ALG", "INC"),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 10b: assignments examined by ALG vs INC while varying k, |T| and |E|."""
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="fig10b"
+    )
     resolved = get_scale(scale)
     result = FigureResult(
         figure_id="fig10b",
@@ -557,9 +574,7 @@ def fig10b(
                     algorithms=algorithms,
                     params={"point": position, "label": label, **config},
                     seed=seed,
-                    backend=backend,
-                    chunk_size=chunk_size,
-                    workers=workers,
+                    execution=execution,
                 )
             )
     result.notes["sweep_labels"] = [label for label, _ in sweep]
@@ -575,11 +590,15 @@ def ext_competing(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> FigureResult:
     """§4.1 (omitted plot): effect of the number of competing events per interval."""
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="ext_competing"
+    )
     resolved = get_scale(scale)
     result = FigureResult(
         figure_id="ext_competing",
@@ -607,9 +626,7 @@ def ext_competing(
                     algorithms=algorithms,
                     params={"k": k, "competing_high": high},
                     seed=seed,
-                    backend=backend,
-                    chunk_size=chunk_size,
-                    workers=workers,
+                    execution=execution,
                 )
             )
     return result
@@ -621,11 +638,15 @@ def ext_resources(
     datasets: Sequence[str] = ("Unf",),
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> FigureResult:
     """§4.1 (omitted plot): effect of the organiser's available resources θ."""
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="ext_resources"
+    )
     resolved = get_scale(scale)
     result = FigureResult(
         figure_id="ext_resources",
@@ -653,9 +674,7 @@ def ext_resources(
                     algorithms=algorithms,
                     params={"k": k, "available_resources": theta},
                     seed=seed,
-                    backend=backend,
-                    chunk_size=chunk_size,
-                    workers=workers,
+                    execution=execution,
                 )
             )
     return result

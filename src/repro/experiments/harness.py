@@ -13,6 +13,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import PAPER_METHODS, get_scheduler
 from repro.core.errors import ExperimentError
+from repro.core.execution import ExecutionConfig, merge_legacy_execution
 from repro.core.instance import SESInstance
 from repro.core.validation import validate_solution
 from repro.datasets.builders import build_dataset
@@ -28,6 +29,7 @@ def run_algorithms(
     params: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = 0,
     validate: bool = True,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -44,23 +46,29 @@ def run_algorithms(
         explicitly as the only horizontal method.
     validate:
         Re-check feasibility and the claimed utility of every schedule.
-    backend:
-        Scoring backend forwarded to every scheduler (``"scalar"``,
-        ``"batch"`` or ``"parallel"``; ``None`` uses the library default).
-        The backends are metric-equivalent, so records only differ in
-        wall-clock time; the backend actually used is recorded in every
-        record's params, so figure runs can compare backends.
-    chunk_size:
-        Event-axis chunk of the batch backend's bulk evaluations, forwarded
-        to every scheduler (``None`` derives a memory-bounded default).
-    workers:
-        Worker threads of the parallel backend, forwarded to every scheduler
-        (``None`` selects the machine's CPU count).
+    execution:
+        Execution configuration forwarded to every scheduler
+        (:class:`~repro.core.execution.ExecutionConfig`; ``None`` uses the
+        library defaults).  The backends are metric-equivalent, so records
+        only differ in wall-clock time; the backend and worker count actually
+        used are recorded in every record's params, so figure runs can
+        compare backends.
+    backend, chunk_size, workers:
+        .. deprecated:: PR 4
+           Legacy loose knobs, folded into ``execution`` with a
+           :class:`DeprecationWarning`.
     results:
         Optional sink: when given, the full :class:`SchedulerResult` of every
         run is appended to it (same order as the returned records).  The CLI
         uses this to print schedules without re-running the schedulers.
     """
+    execution = merge_legacy_execution(
+        execution,
+        backend=backend,
+        chunk_size=chunk_size,
+        workers=workers,
+        owner="run_algorithms",
+    )
     names = list(algorithms) if algorithms is not None else list(PAPER_METHODS)
     if not names:
         raise ExperimentError("at least one algorithm name is required")
@@ -68,9 +76,7 @@ def run_algorithms(
     records: List[MetricRecord] = []
     for name in names:
         scheduler_cls = get_scheduler(name)
-        scheduler = scheduler_cls(
-            instance, seed=seed, backend=backend, chunk_size=chunk_size, workers=workers
-        )
+        scheduler = scheduler_cls(instance, seed=seed, execution=execution)
         result = scheduler.schedule(k)
         if results is not None:
             results.append(result)
@@ -104,6 +110,7 @@ def run_experiment_point(
     algorithms: Optional[Sequence[str]] = None,
     params: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -111,8 +118,17 @@ def run_experiment_point(
     """Build a named dataset and run the algorithms on it (one sweep point).
 
     ``params`` is stored on every record (it is the x-axis annotation of the
-    figures); ``dataset_overrides`` are forwarded to the dataset builder.
+    figures); ``dataset_overrides`` are forwarded to the dataset builder;
+    ``execution`` to every scheduler (the loose ``backend``/``chunk_size``/
+    ``workers`` knobs are deprecated shims).
     """
+    execution = merge_legacy_execution(
+        execution,
+        backend=backend,
+        chunk_size=chunk_size,
+        workers=workers,
+        owner="run_experiment_point",
+    )
     instance = build_dataset(dataset, **dict(dataset_overrides or {}))
     merged_params: Dict[str, object] = dict(params or {})
     merged_params.setdefault("k", k)
@@ -123,7 +139,5 @@ def run_experiment_point(
         experiment_id=experiment_id,
         params=merged_params,
         seed=seed,
-        backend=backend,
-        chunk_size=chunk_size,
-        workers=workers,
+        execution=execution,
     )

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.execution import ExecutionConfig, merge_legacy_execution
 from repro.experiments.figures import ALL_DATASETS, ExperimentScale, get_scale
 from repro.experiments.harness import run_experiment_point
 from repro.experiments.metrics import MetricRecord, group_records
@@ -71,6 +72,7 @@ def summary_sweep(
     *,
     datasets: Sequence[str] = ALL_DATASETS,
     seed: int = 0,
+    execution: Optional[ExecutionConfig] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -82,6 +84,9 @@ def summary_sweep(
     Table 1 default), k ≈ |T| and k > |T| — the regimes in which the paper's
     algorithms behave differently.
     """
+    execution = merge_legacy_execution(
+        execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="summary_sweep"
+    )
     resolved = get_scale(scale)
     k = resolved.default_k
     regimes: List[Tuple[str, int, int]] = [
@@ -112,9 +117,7 @@ def summary_sweep(
                     algorithms=("ALG", "INC", "HOR", "HOR-I", "TOP", "RAND"),
                     params={"regime": label, "num_intervals": num_intervals},
                     seed=seed,
-                    backend=backend,
-                    chunk_size=chunk_size,
-                    workers=workers,
+                    execution=execution,
                 )
             )
     return summarize_records(records, utility_tolerance=utility_tolerance)

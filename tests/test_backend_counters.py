@@ -15,6 +15,7 @@ import pytest
 
 from repro.algorithms.registry import run_scheduler
 from repro.core.counters import ComputationCounter
+from repro.core.execution import ExecutionConfig
 from repro.core.scoring import SCORING_BACKENDS, ScoringEngine
 
 from tests.conftest import make_random_instance
@@ -37,7 +38,7 @@ def test_counters_identical_across_backends(algorithm, config):
     k = min(instance.num_events, 2 * instance.num_intervals)  # multi-round for HOR
     snapshots = {}
     for backend in SCORING_BACKENDS:
-        result = run_scheduler(algorithm, instance, k, backend=backend, workers=2)
+        result = run_scheduler(algorithm, instance, k, execution=ExecutionConfig(backend=backend, workers=2))
         snapshots[backend] = result.counters
     for backend in SCORING_BACKENDS[1:]:
         assert snapshots["scalar"] == snapshots[backend], backend
@@ -56,7 +57,7 @@ def test_bulk_counting_matches_per_pair_counting(backend):
     bulk = ComputationCounter(num_users=instance.num_users)
     per_pair = ComputationCounter(num_users=instance.num_users)
 
-    engine = ScoringEngine(instance, counter=bulk, backend=backend)
+    engine = ScoringEngine(instance, counter=bulk, execution=ExecutionConfig(backend=backend))
     engine.interval_scores(0, initial=True)
     engine.interval_scores(1, initial=False)
 
@@ -72,7 +73,7 @@ def test_initial_vs_update_split_is_backend_invariant():
     instance = make_random_instance(seed=55, num_users=25, num_events=12, num_intervals=4)
     splits = {}
     for backend in SCORING_BACKENDS:
-        result = run_scheduler("INC", instance, 6, backend=backend, workers=2)
+        result = run_scheduler("INC", instance, 6, execution=ExecutionConfig(backend=backend, workers=2))
         splits[backend] = (
             result.counters["initial_computations"],
             result.counters["update_computations"],

@@ -16,6 +16,7 @@ import pytest
 
 from repro.algorithms.registry import run_scheduler
 from repro.core.instance import SESInstance
+from repro.core.execution import ExecutionConfig
 from repro.core.scoring import SCORING_BACKENDS
 
 from tests.conftest import make_random_instance
@@ -52,8 +53,8 @@ def test_proposition_equivalences_on_random_instances(backend, pair, seed):
         seed=seed, num_users=40, num_events=14, num_intervals=5, num_competing=6
     )
     k = min(instance.num_events, instance.num_intervals + 3)
-    result_first = run_scheduler(first, instance, k, backend=backend)
-    result_second = run_scheduler(second, instance, k, backend=backend)
+    result_first = run_scheduler(first, instance, k, execution=ExecutionConfig(backend=backend))
+    result_second = run_scheduler(second, instance, k, execution=ExecutionConfig(backend=backend))
     assert result_first.schedule.as_dict() == result_second.schedule.as_dict()
     assert abs(result_first.utility - result_second.utility) <= TOLERANCE
 
@@ -65,8 +66,8 @@ def test_proposition_equivalences_on_tie_heavy_instances(backend, pair, seed):
     first, second = pair
     instance = _tie_heavy_instance(seed)
     k = min(instance.num_events, instance.num_intervals + 2)
-    result_first = run_scheduler(first, instance, k, backend=backend)
-    result_second = run_scheduler(second, instance, k, backend=backend)
+    result_first = run_scheduler(first, instance, k, execution=ExecutionConfig(backend=backend))
+    result_second = run_scheduler(second, instance, k, execution=ExecutionConfig(backend=backend))
     assert result_first.schedule.as_dict() == result_second.schedule.as_dict()
     assert abs(result_first.utility - result_second.utility) <= TOLERANCE
 
@@ -78,7 +79,7 @@ def test_tie_breaks_are_backend_invariant(seed):
     k = min(instance.num_events, instance.num_intervals + 2)
     for algorithm in ("ALG", "INC", "HOR", "HOR-I", "TOP"):
         results = {
-            backend: run_scheduler(algorithm, instance, k, backend=backend)
+            backend: run_scheduler(algorithm, instance, k, execution=ExecutionConfig(backend=backend))
             for backend in SCORING_BACKENDS
         }
         assert (

@@ -1,0 +1,129 @@
+"""The deprecated loose-knob shims of the execution layer.
+
+Before :mod:`repro.core.execution`, the ``backend`` / ``chunk_size`` /
+``workers`` knobs were threaded as three loose keyword arguments through every
+constructor and helper.  They keep working — emitting a
+:class:`DeprecationWarning` — and must resolve to exactly the same execution
+configuration (hence bit-identical results) as the ``execution=`` path;
+passing both at once is ambiguous and raises.  This suite covers the shims on
+:class:`ScoringEngine`, :class:`BaseScheduler` subclasses, ``run_scheduler``,
+the harness and the figure/sweep runners.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.algorithms.hor import HorScheduler
+from repro.algorithms.registry import run_scheduler
+from repro.core.errors import SolverError
+from repro.core.execution import ExecutionConfig, merge_legacy_execution
+from repro.core.scoring import ScoringEngine
+from repro.experiments.figures import fig10a
+from repro.experiments.harness import run_algorithms
+
+from tests.conftest import make_random_instance
+
+
+def _instance():
+    return make_random_instance(seed=140, num_users=25, num_events=12, num_intervals=4)
+
+
+class TestMergeHelper:
+    def test_no_legacy_kwargs_passes_config_through_silently(self):
+        config = ExecutionConfig(backend="scalar")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert merge_legacy_execution(config) is config
+            assert merge_legacy_execution(None) == ExecutionConfig()
+
+    def test_legacy_kwargs_warn_and_map_onto_config(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            merged = merge_legacy_execution(
+                None, backend="parallel", chunk_size=5, workers=2, owner="test"
+            )
+        assert merged == ExecutionConfig(backend="parallel", chunk_size=5, workers=2)
+
+    def test_both_paths_at_once_raise(self):
+        with pytest.raises(SolverError, match="both"):
+            merge_legacy_execution(ExecutionConfig(), backend="batch", owner="test")
+
+
+class TestEngineShim:
+    def test_legacy_engine_kwargs_warn_and_agree(self):
+        instance = _instance()
+        with pytest.warns(DeprecationWarning, match="ScoringEngine"):
+            legacy = ScoringEngine(instance, backend="batch", chunk_size=3, workers=4)
+        modern = ScoringEngine(
+            instance, execution=ExecutionConfig(backend="batch", chunk_size=3, workers=4)
+        )
+        assert legacy.execution == modern.execution
+        assert np.array_equal(
+            legacy.score_matrix(count=False), modern.score_matrix(count=False)
+        )
+
+    def test_engine_rejects_mixed_paths(self):
+        with pytest.raises(SolverError):
+            ScoringEngine(_instance(), execution=ExecutionConfig(), backend="batch")
+
+    def test_invalid_legacy_backend_still_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SolverError):
+                ScoringEngine(_instance(), backend="gpu")
+
+
+class TestSchedulerShims:
+    def test_scheduler_legacy_kwargs_warn_and_agree(self):
+        instance = _instance()
+        with pytest.warns(DeprecationWarning, match="HorScheduler"):
+            legacy = HorScheduler(instance, backend="parallel", chunk_size=3, workers=2)
+        modern = HorScheduler(
+            instance, execution=ExecutionConfig(backend="parallel", chunk_size=3, workers=2)
+        )
+        assert legacy.execution == modern.execution
+        legacy_result = legacy.schedule(4)
+        modern_result = modern.schedule(4)
+        assert legacy_result.schedule.as_dict() == modern_result.schedule.as_dict()
+        assert legacy_result.utility == modern_result.utility
+        assert legacy_result.counters == modern_result.counters
+
+    def test_run_scheduler_legacy_kwargs_warn_and_agree(self):
+        instance = _instance()
+        with pytest.warns(DeprecationWarning, match="run_scheduler"):
+            legacy = run_scheduler("INC", instance, 5, backend="batch", chunk_size=2)
+        modern = run_scheduler(
+            "INC", instance, 5, execution=ExecutionConfig(backend="batch", chunk_size=2)
+        )
+        assert legacy.schedule.as_dict() == modern.schedule.as_dict()
+        assert legacy.utility == modern.utility
+        assert legacy.counters == modern.counters
+        assert legacy.backend == modern.backend == "batch"
+
+    def test_scheduler_rejects_mixed_paths(self):
+        with pytest.raises(SolverError):
+            HorScheduler(_instance(), execution=ExecutionConfig(), workers=2)
+
+
+class TestHarnessAndFigureShims:
+    def test_run_algorithms_legacy_kwargs_warn_and_agree(self):
+        instance = _instance()
+        with pytest.warns(DeprecationWarning, match="run_algorithms"):
+            legacy = run_algorithms(instance, 3, algorithms=["TOP"], backend="scalar")
+        modern = run_algorithms(
+            instance, 3, algorithms=["TOP"], execution=ExecutionConfig(backend="scalar")
+        )
+        assert legacy[0].utility == modern[0].utility
+        assert legacy[0].params["backend"] == modern[0].params["backend"] == "scalar"
+
+    def test_figure_runner_legacy_kwargs_warn_and_agree(self):
+        kwargs = {"scale": "tiny", "datasets": ("Unf",), "algorithms": ("TOP",)}
+        with pytest.warns(DeprecationWarning, match="fig10a"):
+            legacy = fig10a(backend="scalar", **kwargs)
+        modern = fig10a(execution=ExecutionConfig(backend="scalar"), **kwargs)
+        assert [record.utility for record in legacy.records] == [
+            record.utility for record in modern.records
+        ]
+        assert all(record.params["backend"] == "scalar" for record in legacy.records)

@@ -23,6 +23,7 @@ import pytest
 from repro.algorithms.registry import run_scheduler
 from repro.core.counters import ComputationCounter
 from repro.core.errors import SolverError
+from repro.core.execution import ExecutionConfig
 from repro.core.scoring import (
     DEFAULT_CHUNK_ELEMENTS,
     SCORING_BACKENDS,
@@ -65,9 +66,11 @@ REFRESH_CASES = {
 CASE_IDS = sorted(REFRESH_CASES)
 
 
-def _run_pair(algorithm, case, **kwargs):
+def _run_pair(algorithm, case, **execution_kwargs):
     factory, k = REFRESH_CASES[case]
-    return run_scheduler(algorithm, factory(), k, **kwargs)
+    return run_scheduler(
+        algorithm, factory(), k, execution=ExecutionConfig(**execution_kwargs)
+    )
 
 
 class TestRoundLevelEquivalence:
@@ -124,7 +127,7 @@ class TestRefreshScoresApi:
     @pytest.mark.parametrize("backend", SCORING_BACKENDS)
     def test_matches_per_pair_scores(self, backend):
         instance = make_random_instance(seed=80, num_events=12, num_intervals=4)
-        engine = ScoringEngine(instance, backend=backend)
+        engine = ScoringEngine(instance, execution=ExecutionConfig(backend=backend))
         engine.apply(0, 1)
         engine.apply(3, 1)
         events = [1, 2, 5, 9, 11]
@@ -156,8 +159,8 @@ class TestChunking:
     @pytest.mark.parametrize("chunk_size", [1, 3, 7, 1000])
     def test_interval_scores_bit_identical(self, chunk_size):
         instance = make_random_instance(seed=83, num_events=23, num_intervals=4)
-        whole = ScoringEngine(instance, backend="batch", chunk_size=10_000)
-        chunked = ScoringEngine(instance, backend="batch", chunk_size=chunk_size)
+        whole = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=10_000))
+        chunked = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=chunk_size))
         for interval in range(instance.num_intervals):
             a = whole.interval_scores(interval, count=False)
             b = chunked.interval_scores(interval, count=False)
@@ -166,15 +169,15 @@ class TestChunking:
     @pytest.mark.parametrize("chunk_size", [1, 4, 50])
     def test_score_matrix_bit_identical(self, chunk_size):
         instance = make_random_instance(seed=84, num_events=17, num_intervals=5)
-        whole = ScoringEngine(instance, backend="batch", chunk_size=10_000)
-        chunked = ScoringEngine(instance, backend="batch", chunk_size=chunk_size)
+        whole = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=10_000))
+        chunked = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=chunk_size))
         assert np.array_equal(
             whole.score_matrix(count=False), chunked.score_matrix(count=False)
         )
 
     def test_default_chunk_bounds_memory(self):
         instance = make_random_instance(seed=85, num_users=40)
-        engine = ScoringEngine(instance, backend="batch")
+        engine = ScoringEngine(instance, execution=ExecutionConfig(backend="batch"))
         assert engine.chunk_size == DEFAULT_CHUNK_ELEMENTS // 40
 
     def test_resolve_chunk_size_validation(self):
@@ -191,7 +194,7 @@ class TestResultPlumbing:
 
     def test_summary_includes_backend(self, small_instance):
         for backend in SCORING_BACKENDS:
-            result = run_scheduler("TOP", small_instance, 3, backend=backend)
+            result = run_scheduler("TOP", small_instance, 3, execution=ExecutionConfig(backend=backend))
             assert result.backend == backend
             assert result.summary()["backend"] == backend
 
@@ -199,7 +202,10 @@ class TestResultPlumbing:
         from repro.experiments.harness import run_algorithms
 
         records = run_algorithms(
-            small_instance, 3, algorithms=["ALG", "TOP"], backend="scalar"
+            small_instance,
+            3,
+            algorithms=["ALG", "TOP"],
+            execution=ExecutionConfig(backend="scalar"),
         )
         assert all(record.params["backend"] == "scalar" for record in records)
         rows = [record.to_row() for record in records]

@@ -24,6 +24,7 @@ import pytest
 from repro.algorithms.registry import run_scheduler
 from repro.cli import main
 from repro.core.errors import SolverError
+from repro.core.execution import ExecutionConfig
 from repro.core.scoring import (
     BULK_BACKENDS,
     SCORING_BACKENDS,
@@ -57,9 +58,12 @@ class TestEngineBitIdentity:
         instance = make_random_instance(
             seed=90, num_users=40, num_events=24, num_intervals=5, num_competing=6
         )
-        batch = ScoringEngine(instance, backend="batch", chunk_size=chunk_size)
+        batch = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=chunk_size))
         parallel = ScoringEngine(
-            instance, backend="parallel", chunk_size=chunk_size, workers=WORKERS
+            instance,
+            execution=ExecutionConfig(
+                backend="parallel", chunk_size=chunk_size, workers=WORKERS
+            ),
         )
         assert np.array_equal(
             parallel.score_matrix(count=False), batch.score_matrix(count=False)
@@ -76,8 +80,8 @@ class TestEngineBitIdentity:
         instance = make_random_instance(
             seed=91, num_users=30, num_events=20, num_intervals=4, num_competing=3
         )
-        batch = ScoringEngine(instance, backend="batch", chunk_size=4)
-        parallel = ScoringEngine(instance, backend="parallel", chunk_size=4, workers=WORKERS)
+        batch = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=4))
+        parallel = ScoringEngine(instance, execution=ExecutionConfig(backend="parallel", chunk_size=4, workers=WORKERS))
         subset = [1, 4, 7, 9, 13, 19, 0, 5]
         for interval_index in range(instance.num_intervals):
             assert np.array_equal(
@@ -93,8 +97,8 @@ class TestEngineBitIdentity:
         instance = make_random_instance(
             seed=92, num_users=25, num_events=18, num_intervals=3, num_competing=2
         )
-        scalar = ScoringEngine(instance, backend="scalar")
-        parallel = ScoringEngine(instance, backend="parallel", chunk_size=5, workers=WORKERS)
+        scalar = ScoringEngine(instance, execution=ExecutionConfig(backend="scalar"))
+        parallel = ScoringEngine(instance, execution=ExecutionConfig(backend="parallel", chunk_size=5, workers=WORKERS))
         matrix = parallel.score_matrix(count=False)
         for event_index in range(instance.num_events):
             for interval_index in range(instance.num_intervals):
@@ -105,7 +109,7 @@ class TestEngineBitIdentity:
         instance = make_random_instance(seed=93, num_users=12, num_events=9, num_intervals=3)
         totals = {}
         for backend in BULK_BACKENDS:
-            engine = ScoringEngine(instance, backend=backend, chunk_size=2, workers=WORKERS)
+            engine = ScoringEngine(instance, execution=ExecutionConfig(backend=backend, chunk_size=2, workers=WORKERS))
             engine.score_matrix(initial=True)
             engine.interval_scores(0, [1, 2, 3], initial=False)
             totals[backend] = engine.counter.snapshot()
@@ -132,9 +136,9 @@ class TestWorkersKnob:
             resolve_workers(0, "batch")  # validation still applies when pinned
         instance = make_random_instance(seed=101, num_users=8, num_events=4, num_intervals=2)
         for backend in ("scalar", "batch"):
-            result = run_scheduler("TOP", instance, 2, backend=backend, workers=8)
+            result = run_scheduler("TOP", instance, 2, execution=ExecutionConfig(backend=backend, workers=8))
             assert result.workers == 1, backend
-        assert run_scheduler("TOP", instance, 2, backend="parallel", workers=8).workers == 8
+        assert run_scheduler("TOP", instance, 2, execution=ExecutionConfig(backend="parallel", workers=8)).workers == 8
 
     @pytest.mark.parametrize("bad", [0, -3, True, 2.5, "four"])
     def test_resolve_workers_rejects_non_positive(self, bad):
@@ -144,46 +148,49 @@ class TestWorkersKnob:
     def test_invalid_workers_rejected_by_scheduler(self):
         instance = make_random_instance(seed=94, num_users=8, num_events=4, num_intervals=2)
         with pytest.raises(SolverError):
-            run_scheduler("TOP", instance, 2, backend="parallel", workers=0)
+            run_scheduler("TOP", instance, 2, execution=ExecutionConfig(backend="parallel", workers=0))
 
     def test_single_worker_degrades_to_serial_batch(self):
         """workers=1 must not spin up a pool at all — it is the batch path."""
         instance = make_random_instance(seed=95, num_users=20, num_events=16, num_intervals=3)
-        engine = ScoringEngine(instance, backend="parallel", chunk_size=4, workers=1)
-        batch = ScoringEngine(instance, backend="batch", chunk_size=4)
+        engine = ScoringEngine(instance, execution=ExecutionConfig(backend="parallel", chunk_size=4, workers=1))
+        batch = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=4))
         assert np.array_equal(
             engine.score_matrix(count=False), batch.score_matrix(count=False)
         )
-        assert engine._executor is None
+        assert engine.execution_backend._executor is None
 
     def test_pool_created_lazily_and_reused(self):
         instance = make_random_instance(seed=96, num_users=20, num_events=16, num_intervals=3)
-        engine = ScoringEngine(instance, backend="parallel", chunk_size=4, workers=2)
-        assert engine._executor is None
+        engine = ScoringEngine(instance, execution=ExecutionConfig(backend="parallel", chunk_size=4, workers=2))
+        assert engine.execution_backend._executor is None
         engine.score_matrix(count=False)
-        first = engine._executor
+        first = engine.execution_backend._executor
         assert first is not None
         engine.score_matrix(count=False)
-        assert engine._executor is first
+        assert engine.execution_backend._executor is first
         engine.close()
-        assert engine._executor is None
+        assert engine.execution_backend._executor is None
         engine.close()  # idempotent
 
     def test_serial_backends_never_create_a_pool(self):
+        """The serial strategies do not even have an executor slot."""
         instance = make_random_instance(seed=97, num_users=10, num_events=8, num_intervals=2)
         for backend in ("scalar", "batch"):
-            engine = ScoringEngine(instance, backend=backend, workers=4)
+            engine = ScoringEngine(instance, execution=ExecutionConfig(backend=backend, workers=4))
             engine.score_matrix(count=False)
-            assert engine._executor is None
+            assert getattr(engine.execution_backend, "_executor", None) is None
 
     def test_scheduler_releases_pool_after_run(self):
         """schedule() must shut the pool down deterministically, not rely on GC."""
         from repro.algorithms.hor import HorScheduler
 
         instance = make_random_instance(seed=102, num_users=20, num_events=16, num_intervals=3)
-        scheduler = HorScheduler(instance, backend="parallel", chunk_size=4, workers=2)
+        scheduler = HorScheduler(
+            instance, execution=ExecutionConfig(backend="parallel", chunk_size=4, workers=2)
+        )
         scheduler.schedule(3)
-        assert scheduler.engine._executor is None
+        assert scheduler.engine.execution_backend._executor is None
 
 
 # --------------------------------------------------------------------------- #
@@ -198,7 +205,10 @@ class TestSchedulerEquivalence:
         k = min(instance.num_events, 2 * instance.num_intervals)  # multi-round for HOR
         results = {
             backend: run_scheduler(
-                algorithm, instance, k, backend=backend, chunk_size=3, workers=WORKERS
+                algorithm,
+                instance,
+                k,
+                execution=ExecutionConfig(backend=backend, chunk_size=3, workers=WORKERS),
             )
             for backend in SCORING_BACKENDS
         }
@@ -213,7 +223,7 @@ class TestSchedulerEquivalence:
 
     def test_workers_recorded_in_result_and_record(self):
         instance = make_random_instance(seed=99, num_users=15, num_events=8, num_intervals=3)
-        result = run_scheduler("HOR", instance, 3, backend="parallel", workers=3)
+        result = run_scheduler("HOR", instance, 3, execution=ExecutionConfig(backend="parallel", workers=3))
         assert result.workers == 3
         assert result.summary()["workers"] == 3
         record = MetricRecord.from_result(result, experiment_id="x", dataset="d")
@@ -227,8 +237,7 @@ class TestSchedulerEquivalence:
             instance,
             3,
             algorithms=["ALG", "TOP"],
-            backend="parallel",
-            workers=2,
+            execution=ExecutionConfig(backend="parallel", workers=2),
             results=sink,
         )
         assert [result.algorithm for result in sink] == ["ALG", "TOP"]

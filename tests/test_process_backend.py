@@ -1,0 +1,361 @@
+"""The shared-memory multi-process scoring backend, locked to batch and scalar.
+
+The ``process`` backend shards :meth:`ScoringEngine.score_matrix`'s
+per-interval columns across a ``multiprocessing`` pool; the static instance
+matrices travel once through a shared-memory block, and each task ships only
+its interval's per-user scheduled sums.  Each worker runs the *same* chunked
+NumPy kernel on the *same* rows as the serial batch path, and every row's
+per-user reduction is independent of the others, so the results must be
+**bit-identical** to ``batch`` (and agree with ``scalar`` to machine
+precision) — regardless of worker count, start method, chunk size or which
+process computed which column.  These tests pin that down, along with the
+pool / shared-memory lifecycle and the plumbing through schedulers, results,
+records and the CLI.
+
+Environment knobs used by CI:
+
+* ``REPRO_TEST_BACKEND`` — the pooled backend under test (default
+  ``"process"``; the dedicated CI leg sets it explicitly so the suite also
+  serves as a template for future pooled backends);
+* ``REPRO_TEST_WORKERS`` — worker count of the equivalence runs (default 2,
+  so the pool genuinely fans out even on a single-core machine).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import run_scheduler
+from repro.cli import main
+from repro.core.errors import SolverError
+from repro.core.execution import (
+    ExecutionConfig,
+    ProcessBackend,
+    get_backend,
+    resolve_start_method,
+    resolve_workers,
+)
+from repro.core.scoring import ScoringEngine
+from repro.experiments.harness import run_algorithms
+from repro.experiments.metrics import MetricRecord
+
+from tests.conftest import make_random_instance
+
+#: The pooled backend under test (CI pins it via ``REPRO_TEST_BACKEND``).
+BACKEND = os.environ.get("REPRO_TEST_BACKEND", "process")
+
+#: Worker count of the equivalence runs: at least 2 so the pool genuinely
+#: fans out (``REPRO_TEST_WORKERS`` can raise it on beefier runners).
+WORKERS = max(2, int(os.environ.get("REPRO_TEST_WORKERS", "0") or 2))
+
+#: Every scheduler wired onto the bulk scoring API.
+PROCESS_SCHEDULERS = ["ALG", "INC", "HOR", "HOR-I", "TOP", "INC-U", "ALG-O"]
+
+TOLERANCE = 1e-12
+
+
+def _config(**overrides) -> ExecutionConfig:
+    defaults = {"backend": BACKEND, "workers": WORKERS}
+    defaults.update(overrides)
+    return ExecutionConfig(**defaults)
+
+
+# --------------------------------------------------------------------------- #
+# Engine-level bit-identity
+# --------------------------------------------------------------------------- #
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, None])
+    def test_score_matrix_bit_identical_to_batch(self, chunk_size):
+        instance = make_random_instance(
+            seed=110, num_users=40, num_events=24, num_intervals=5, num_competing=6
+        )
+        batch = ScoringEngine(
+            instance, execution=ExecutionConfig(backend="batch", chunk_size=chunk_size)
+        )
+        process = ScoringEngine(instance, execution=_config(chunk_size=chunk_size))
+        try:
+            assert np.array_equal(
+                process.score_matrix(count=False), batch.score_matrix(count=False)
+            )
+            # … and against a non-empty schedule state.
+            for engine in (batch, process):
+                engine.apply(2, 1)
+                engine.apply(11, 3)
+            assert np.array_equal(
+                process.score_matrix(count=False), batch.score_matrix(count=False)
+            )
+        finally:
+            process.close()
+
+    def test_selected_rows_and_refresh_bit_identical(self):
+        instance = make_random_instance(
+            seed=111, num_users=30, num_events=20, num_intervals=4, num_competing=3
+        )
+        batch = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=4))
+        process = ScoringEngine(instance, execution=_config(chunk_size=4))
+        try:
+            subset = [1, 4, 7, 9, 13, 19, 0, 5]
+            assert np.array_equal(
+                process.score_matrix(subset, count=False),
+                batch.score_matrix(subset, count=False),
+            )
+            for interval_index in range(instance.num_intervals):
+                assert np.array_equal(
+                    process.interval_scores(interval_index, count=False),
+                    batch.interval_scores(interval_index, count=False),
+                )
+                assert np.array_equal(
+                    process.refresh_scores(interval_index, subset, count=False),
+                    batch.refresh_scores(interval_index, subset, count=False),
+                )
+        finally:
+            process.close()
+
+    def test_agrees_with_scalar_reference(self):
+        instance = make_random_instance(
+            seed=112, num_users=25, num_events=18, num_intervals=3, num_competing=2
+        )
+        scalar = ScoringEngine(instance, execution=ExecutionConfig(backend="scalar"))
+        process = ScoringEngine(instance, execution=_config(chunk_size=5))
+        try:
+            matrix = process.score_matrix(count=False)
+        finally:
+            process.close()
+        for event_index in range(instance.num_events):
+            for interval_index in range(instance.num_intervals):
+                pair = scalar.assignment_score(event_index, interval_index, count=False)
+                assert abs(matrix[event_index, interval_index] - pair) <= TOLERANCE
+
+    @pytest.mark.parametrize("start_method", multiprocessing.get_all_start_methods())
+    def test_every_start_method_bit_identical(self, start_method):
+        """Fork, spawn and forkserver pools all reproduce the batch matrix."""
+        if start_method == "fork":
+            # The library's auto path never forks off-Linux (macOS system
+            # frameworks abort in forked children) nor from a multi-threaded
+            # process (inherited locks deadlock the child); don't force
+            # either hazard in tests.
+            import threading
+
+            if not sys.platform.startswith("linux"):
+                pytest.skip("explicit fork pools are only exercised on Linux")
+            if threading.active_count() > 1:
+                pytest.skip("explicit fork pools need a single-threaded process")
+        instance = make_random_instance(seed=113, num_users=20, num_events=10, num_intervals=3)
+        batch = ScoringEngine(instance, execution=ExecutionConfig(backend="batch"))
+        process = ScoringEngine(
+            instance, execution=_config(backend="process", start_method=start_method)
+        )
+        try:
+            assert np.array_equal(
+                process.score_matrix(count=False), batch.score_matrix(count=False)
+            )
+        finally:
+            process.close()
+
+    def test_counter_totals_match_batch(self):
+        instance = make_random_instance(seed=114, num_users=12, num_events=9, num_intervals=3)
+        totals = {}
+        for backend in ("batch", BACKEND):
+            engine = ScoringEngine(
+                instance,
+                execution=ExecutionConfig(backend=backend, chunk_size=2, workers=WORKERS),
+            )
+            try:
+                engine.score_matrix(initial=True)
+                engine.interval_scores(0, [1, 2, 3], initial=False)
+                totals[backend] = engine.counter.snapshot()
+            finally:
+                engine.close()
+        assert totals[BACKEND] == totals["batch"]
+
+
+# --------------------------------------------------------------------------- #
+# Pool and shared-memory lifecycle
+# --------------------------------------------------------------------------- #
+class TestPoolLifecycle:
+    def test_workers_resolution(self):
+        assert resolve_workers(None, "process") >= 1
+        assert resolve_workers(3, "process") == 3
+        # Serial backends pin to 1 even when asked for more.
+        assert resolve_workers(3, "batch") == 1
+        with pytest.raises(SolverError):
+            resolve_workers(0, "process")
+
+    def test_start_method_resolution(self):
+        # None means auto — the method is picked at pool-creation time.
+        assert resolve_start_method(None, "process") is None
+        assert resolve_start_method("spawn", "process") == "spawn"
+        # The knob does not apply to backends that never spawn processes.
+        assert resolve_start_method(None, "batch") is None
+        assert resolve_start_method("spawn", "parallel") is None
+        with pytest.raises(SolverError):
+            resolve_start_method("teleport", "process")
+
+    def test_auto_start_method_is_fork_safe(self, monkeypatch):
+        """fork only while single-threaded; a fork-safe method otherwise."""
+        import threading
+
+        from repro.core.execution import _auto_start_method
+
+        supported = multiprocessing.get_all_start_methods()
+        monkeypatch.setattr(threading, "active_count", lambda: 1)
+        expected = "fork" if "fork" in supported else _auto_start_method()
+        assert _auto_start_method() == expected
+        monkeypatch.setattr(threading, "active_count", lambda: 3)
+        assert _auto_start_method() != "fork"
+        assert _auto_start_method() in supported
+
+    def test_single_worker_degrades_to_serial_batch(self):
+        """workers=1 must not spin up a pool (or a shared block) at all."""
+        instance = make_random_instance(seed=115, num_users=20, num_events=16, num_intervals=3)
+        engine = ScoringEngine(instance, execution=_config(chunk_size=4, workers=1))
+        batch = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=4))
+        assert np.array_equal(
+            engine.score_matrix(count=False), batch.score_matrix(count=False)
+        )
+        assert engine.execution_backend._executor is None
+        assert engine.execution_backend._shm is None
+
+    def test_pool_created_lazily_reused_and_closed(self):
+        instance = make_random_instance(seed=116, num_users=20, num_events=16, num_intervals=3)
+        engine = ScoringEngine(instance, execution=_config(chunk_size=4))
+        impl = engine.execution_backend
+        assert impl._executor is None and impl._shm is None
+        engine.score_matrix(count=False)
+        first_pool, first_shm = impl._executor, impl._shm
+        assert first_pool is not None and first_shm is not None
+        engine.score_matrix(count=False)
+        assert impl._executor is first_pool, "pool must be reused across calls"
+        assert impl._shm is first_shm, "shared block must be published once"
+        engine.close()
+        assert impl._executor is None and impl._shm is None
+        engine.close()  # idempotent
+        # The engine stays usable: the next bulk call republishes and refans.
+        batch = ScoringEngine(instance, execution=ExecutionConfig(backend="batch", chunk_size=4))
+        try:
+            assert np.array_equal(
+                engine.score_matrix(count=False), batch.score_matrix(count=False)
+            )
+        finally:
+            engine.close()
+
+    def test_dropping_the_engine_releases_pool_promptly(self):
+        """The engine↔backend link is weak: refcounting alone must free the
+        engine (running its __del__, which closes the pool and unlinks the
+        shared block) — no waiting for the cycle collector."""
+        instance = make_random_instance(seed=122, num_users=20, num_events=16, num_intervals=3)
+        engine = ScoringEngine(instance, execution=_config(chunk_size=4))
+        engine.score_matrix(count=False)
+        impl = engine.execution_backend
+        assert impl._executor is not None and impl._shm is not None
+        del engine
+        assert impl._executor is None and impl._shm is None
+
+    def test_scheduler_releases_pool_after_run(self):
+        """schedule() must shut the pool down deterministically, not rely on GC."""
+        from repro.algorithms.alg import AlgScheduler
+
+        instance = make_random_instance(seed=117, num_users=20, num_events=16, num_intervals=3)
+        scheduler = AlgScheduler(instance, execution=_config(chunk_size=4))
+        scheduler.schedule(3)
+        assert scheduler.engine.execution_backend._executor is None
+        assert scheduler.engine.execution_backend._shm is None
+
+    def test_is_bulk_and_registry_wiring(self):
+        assert get_backend("process") is ProcessBackend
+        assert ProcessBackend.is_bulk and ProcessBackend.uses_workers
+        assert ProcessBackend.uses_processes
+        instance = make_random_instance(seed=118, num_users=8, num_events=4, num_intervals=2)
+        engine = ScoringEngine(instance, execution=ExecutionConfig(backend="process"))
+        assert engine.is_bulk
+        assert engine.execution.start_method is None  # auto, picked at pool creation
+
+
+# --------------------------------------------------------------------------- #
+# Scheduler-level equivalence (schedules, utilities, counters)
+# --------------------------------------------------------------------------- #
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("algorithm", PROCESS_SCHEDULERS)
+    def test_identical_to_scalar_and_batch(self, algorithm):
+        instance = make_random_instance(
+            seed=119, num_users=35, num_events=18, num_intervals=4, num_competing=5
+        )
+        k = min(instance.num_events, 2 * instance.num_intervals)  # multi-round for HOR
+        results = {
+            backend: run_scheduler(
+                algorithm,
+                instance,
+                k,
+                execution=ExecutionConfig(backend=backend, chunk_size=3, workers=WORKERS),
+            )
+            for backend in ("scalar", "batch", BACKEND)
+        }
+        for backend in ("batch", BACKEND):
+            assert (
+                results[backend].schedule.as_dict() == results["scalar"].schedule.as_dict()
+            ), backend
+            assert abs(results[backend].utility - results["scalar"].utility) <= TOLERANCE
+            assert results[backend].counters == results["scalar"].counters, backend
+        # batch vs process must be *bit*-identical, not just close.
+        assert results[BACKEND].utility == results["batch"].utility
+
+    def test_execution_recorded_in_result_and_record(self):
+        instance = make_random_instance(seed=120, num_users=15, num_events=8, num_intervals=3)
+        result = run_scheduler("ALG", instance, 3, execution=_config(workers=2))
+        assert result.backend == BACKEND
+        assert result.workers == 2
+        assert result.summary()["backend"] == BACKEND
+        record = MetricRecord.from_result(result, experiment_id="x", dataset="d")
+        assert record.params["backend"] == BACKEND
+        assert record.params["workers"] == 2
+
+    def test_harness_forwards_execution(self):
+        instance = make_random_instance(seed=121, num_users=15, num_events=8, num_intervals=3)
+        sink = []
+        records = run_algorithms(
+            instance,
+            3,
+            algorithms=["ALG", "TOP"],
+            execution=_config(workers=2),
+            results=sink,
+        )
+        assert [result.algorithm for result in sink] == ["ALG", "TOP"]
+        assert all(record.params["backend"] == BACKEND for record in records)
+        assert all(result.workers == 2 for result in sink)
+
+
+# --------------------------------------------------------------------------- #
+# CLI plumbing
+# --------------------------------------------------------------------------- #
+class TestCliProcess:
+    def test_solve_with_process_backend(self, capsys):
+        code = main(
+            [
+                "solve", "--dataset", "Unf", "-k", "3",
+                "--users", "20", "--events", "10", "--intervals", "3",
+                "--algorithms", "ALG",
+                "--backend", "process", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "ALG" in capsys.readouterr().out
+
+    def test_unknown_backend_reports_available_names(self, capsys):
+        code = main(
+            [
+                "solve", "--dataset", "Unf", "-k", "2",
+                "--users", "10", "--events", "5", "--intervals", "2",
+                "--algorithms", "TOP",
+                "--backend", "warp-drive",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "warp-drive" in err
+        for name in ("scalar", "batch", "parallel", "process"):
+            assert name in err

@@ -193,3 +193,46 @@ class TestSerializationProperties:
         assert utility_of_schedule(restored, schedule) == pytest.approx(
             utility_of_schedule(instance, schedule), rel=1e-12, abs=1e-12
         )
+
+
+class TestFloatingPointTieRegressions:
+    """Exact-tie instances where FP noise used to break the Φ-bound pruning.
+
+    With one empty interval and no competing events, every event's initial
+    score is *exactly* Σσ (the Luce ratio collapses to σ per user), and all
+    later scores are mathematically zero — but computed as differences of
+    |U|-term sums they land a few ulp apart.  Stale scores then stop being
+    true upper bounds, and INC/HOR-I's pruning could skip the entry ALG/HOR
+    pick by tie-break (found by hypothesis; fixed by the engine's
+    score_noise_tolerance guard in the incremental walks).
+    """
+
+    @staticmethod
+    def _degenerate_instance() -> SESInstance:
+        rng = np.random.default_rng(505)
+        interest = rng.random((4, 7))
+        activity = rng.random((4, 1))
+        locations = [f"loc{rng.integers(0, 3)}" for _ in range(7)]
+        required = rng.uniform(0.0, 3.0, 7)
+        return SESInstance.from_arrays(
+            interest=interest,
+            activity=activity,
+            locations=locations,
+            required_resources=required,
+            available_resources=5.0,
+            name="fp-tie-counterexample",
+        )
+
+    def test_inc_equals_alg_on_all_tie_instance(self):
+        instance = self._degenerate_instance()
+        alg = AlgScheduler(instance).schedule(3)
+        inc = IncScheduler(instance).schedule(3)
+        assert inc.schedule == alg.schedule
+        assert inc.utility == alg.utility
+
+    def test_hor_i_equals_hor_on_all_tie_instance(self):
+        instance = self._degenerate_instance()
+        hor = HorScheduler(instance).schedule(3)
+        hor_i = HorIScheduler(instance).schedule(3)
+        assert hor_i.schedule == hor.schedule
+        assert hor_i.utility == hor.utility

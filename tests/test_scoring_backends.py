@@ -23,6 +23,7 @@ import pytest
 from repro.algorithms.registry import run_scheduler
 from repro.core.errors import SolverError
 from repro.core.instance import SESInstance
+from repro.core.execution import ExecutionConfig
 from repro.core.scoring import DEFAULT_BACKEND, SCORING_BACKENDS, ScoringEngine
 
 from tests.conftest import make_random_instance
@@ -112,9 +113,9 @@ def _apply_prefix(instance: SESInstance, engines, seed: int) -> None:
 @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: f"seed{c['seed']}")
 def test_score_matrix_matches_scalar_reference(config):
     instance = make_random_instance(**config)
-    scalar = ScoringEngine(instance, backend="scalar")
-    batch = ScoringEngine(instance, backend="batch")
-    parallel = ScoringEngine(instance, backend="parallel", workers=2)
+    scalar = ScoringEngine(instance, execution=ExecutionConfig(backend="scalar"))
+    batch = ScoringEngine(instance, execution=ExecutionConfig(backend="batch"))
+    parallel = ScoringEngine(instance, execution=ExecutionConfig(backend="parallel", workers=2))
 
     reference = _scalar_reference_matrix(scalar)
     assert np.allclose(batch.score_matrix(count=False), reference, atol=TOLERANCE, rtol=0.0)
@@ -133,8 +134,8 @@ def test_score_matrix_matches_scalar_reference(config):
 @pytest.mark.parametrize("config", ALL_CONFIGS[:6], ids=lambda c: f"seed{c['seed']}")
 def test_interval_scores_subset_matches_scalar(config):
     instance = make_random_instance(**config)
-    scalar = ScoringEngine(instance, backend="scalar")
-    batch = ScoringEngine(instance, backend="batch")
+    scalar = ScoringEngine(instance, execution=ExecutionConfig(backend="scalar"))
+    batch = ScoringEngine(instance, execution=ExecutionConfig(backend="batch"))
     rng = np.random.default_rng(config["seed"])
     subset = list(
         rng.choice(instance.num_events, size=max(1, instance.num_events // 2), replace=False)
@@ -154,7 +155,7 @@ def test_schedulers_identical_across_backends(algorithm, config):
     instance = make_random_instance(**config)
     k = min(instance.num_events, instance.num_intervals + 2)
     results = {
-        backend: run_scheduler(algorithm, instance, k, backend=backend, workers=2)
+        backend: run_scheduler(algorithm, instance, k, execution=ExecutionConfig(backend=backend, workers=2))
         for backend in SCORING_BACKENDS
     }
     scalar = results["scalar"]
@@ -168,18 +169,18 @@ def test_schedulers_identical_across_backends(algorithm, config):
 def test_backend_selection_surface():
     instance = make_random_instance(seed=40, num_users=10, num_events=5, num_intervals=2)
     assert ScoringEngine(instance).backend == DEFAULT_BACKEND
-    assert ScoringEngine(instance, backend="scalar").backend == "scalar"
-    assert ScoringEngine(instance, backend="parallel", workers=2).backend == "parallel"
+    assert ScoringEngine(instance, execution=ExecutionConfig(backend="scalar")).backend == "scalar"
+    assert ScoringEngine(instance, execution=ExecutionConfig(backend="parallel", workers=2)).backend == "parallel"
     with pytest.raises(SolverError):
-        ScoringEngine(instance, backend="gpu")
+        ScoringEngine(instance, execution=ExecutionConfig(backend="gpu"))
     with pytest.raises(SolverError):
-        run_scheduler("HOR", instance, 2, backend="nope")
+        run_scheduler("HOR", instance, 2, execution=ExecutionConfig(backend="nope"))
 
 
 def test_score_matrix_counts_one_score_per_pair():
     instance = make_random_instance(seed=41, num_users=12, num_events=6, num_intervals=3)
     for backend in SCORING_BACKENDS:
-        engine = ScoringEngine(instance, backend=backend)
+        engine = ScoringEngine(instance, execution=ExecutionConfig(backend=backend))
         engine.score_matrix(initial=True)
         counter = engine.counter
         pairs = instance.num_events * instance.num_intervals
@@ -217,7 +218,7 @@ def _zero_denominator_instance() -> SESInstance:
 @pytest.mark.parametrize("backend", SCORING_BACKENDS)
 def test_zero_denominator_users_contribute_zero(backend):
     instance = _zero_denominator_instance()
-    engine = ScoringEngine(instance, backend=backend)
+    engine = ScoringEngine(instance, execution=ExecutionConfig(backend=backend))
 
     matrix = engine.score_matrix(count=False)
     assert np.all(np.isfinite(matrix))
@@ -236,7 +237,7 @@ def test_zero_denominator_users_contribute_zero(backend):
     # denominator (its µ column is all zeros) and must stay silently zeroed.
     engine.apply(0, 0)
     follow_up = engine.interval_scores(0, count=False)
-    scalar_engine = ScoringEngine(instance, backend="scalar")
+    scalar_engine = ScoringEngine(instance, execution=ExecutionConfig(backend="scalar"))
     scalar_engine.apply(0, 0)
     for event_index in range(instance.num_events):
         pair = scalar_engine.assignment_score(event_index, 0, count=False)
@@ -252,7 +253,7 @@ def interest_of(instance: SESInstance, user: int, event: int) -> float:
 def test_zero_denominator_instance_schedules_identically(algorithm):
     instance = _zero_denominator_instance()
     results = {
-        backend: run_scheduler(algorithm, instance, 2, backend=backend)
+        backend: run_scheduler(algorithm, instance, 2, execution=ExecutionConfig(backend=backend))
         for backend in SCORING_BACKENDS
     }
     assert results["scalar"].schedule.as_dict() == results["batch"].schedule.as_dict()
