@@ -1,22 +1,31 @@
-"""repro — reproduction of "Attendance Maximization for Successful Social Event Planning".
+"""repro — reproduction of "Social Event Scheduling" (Bikakis, Kalogeraki, Gunopulos; EDBT 2019).
 
-The package implements the Social Event Scheduling (SES) problem introduced by
-Bikakis, Kalogeraki and Gunopulos (EDBT 2019): given candidate events, candidate
-time intervals, already-scheduled competing events and a set of users, select
-and place ``k`` events into intervals so that the expected total attendance is
-maximised, subject to location and resource constraints.
+The package implements the Social Event Scheduling (SES) problem: given
+candidate events, candidate time intervals, already-scheduled competing
+events and a set of users, select and place ``k`` events into intervals so
+that the expected total attendance is maximised, subject to location and
+resource constraints.
 
 Top-level re-exports cover the public API most users need:
 
 * :class:`~repro.core.instance.SESInstance` — the problem instance container.
 * :class:`~repro.core.schedule.Schedule` — an event-to-interval assignment set.
 * :class:`~repro.core.scoring.ScoringEngine` — the Luce-choice attendance model.
+* :class:`~repro.core.execution.ExecutionConfig` and
+  :func:`~repro.core.execution.register_backend` — the execution layer: one
+  config object selecting a registered backend strategy (``scalar``,
+  ``batch``, ``parallel``, ``process``, ``cluster``) and its knobs;
+  :func:`~repro.core.execution.available_backends` lists the registry.
 * :func:`~repro.algorithms.registry.get_scheduler` and the scheduler classes
   (:class:`~repro.algorithms.alg.AlgScheduler`, :class:`~repro.algorithms.inc.IncScheduler`,
   :class:`~repro.algorithms.hor.HorScheduler`, :class:`~repro.algorithms.hor_i.HorIScheduler`,
   :class:`~repro.algorithms.top.TopScheduler`, :class:`~repro.algorithms.rand.RandScheduler`).
 * Dataset builders in :mod:`repro.datasets`.
 * The experiment harness in :mod:`repro.experiments`.
+
+``docs/ARCHITECTURE.md`` has the layer diagram and the backend decision
+table; ``docs/PAPER_MAPPING.md`` maps each paper concept to its module,
+entry point and locking test suite.
 """
 
 from __future__ import annotations

@@ -64,6 +64,10 @@ class SchedulerResult:
     workers:
         The resolved worker count of the run's engine (1 unless a pooled
         backend was asked to fan out).
+    cluster:
+        The remote worker addresses of a ``cluster``-backend run (the empty
+        tuple for in-process runs) — recorded so harness tables can tell a
+        distributed row from a degraded local one.
     """
 
     algorithm: str
@@ -76,6 +80,7 @@ class SchedulerResult:
     extras: Dict[str, object] = field(default_factory=dict)
     backend: str = DEFAULT_BACKEND
     workers: int = 1
+    cluster: Tuple[str, ...] = ()
 
     @property
     def num_scheduled(self) -> int:
@@ -103,6 +108,7 @@ class SchedulerResult:
             "algorithm": self.algorithm,
             "backend": self.backend,
             "workers": self.workers,
+            "cluster": ",".join(self.cluster) if self.cluster else "-",
             "k": self.k,
             "scheduled": self.num_scheduled,
             "utility": self.utility,
@@ -291,6 +297,7 @@ class BaseScheduler(ABC):
             extras=dict(self._extras),
             backend=self._execution.backend,
             workers=self._execution.workers,
+            cluster=self._execution.workers_addr or (),
         )
 
     # ------------------------------------------------------------------ #

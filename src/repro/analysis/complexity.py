@@ -4,7 +4,7 @@ The formulas below count *assignment-score evaluations* (each costing |U|
 user-level operations) for the unconstrained case — no location conflicts and
 no binding resource constraint — which is the setting of the paper's own
 counting arguments.  On such instances the models match the implementation's
-instrumented counters exactly (see ``tests/test_complexity_analysis.py``);
+instrumented counters exactly (see ``tests/test_ablations_analysis.py``);
 with binding constraints they are upper bounds, because infeasible
 assignments drop out of the update loops early.
 """

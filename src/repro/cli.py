@@ -14,6 +14,10 @@ Sub-commands
 ``backends``
     List the registered execution backends with their resolved defaults on
     this machine (also available as the top-level ``--list-backends`` flag).
+``worker``
+    Cluster worker management: ``worker serve`` runs one scoring worker of
+    the distributed ``cluster`` backend on this machine (point clients at it
+    with ``--cluster host:port``).
 ``list``
     List the available datasets, algorithms and experiments.
 ``info``
@@ -30,12 +34,13 @@ from typing import List, Optional, Sequence
 from repro._version import __version__
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import PAPER_METHODS, available_schedulers
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, SolverError
 from repro.core.execution import (
     DEFAULT_BACKEND,
     ExecutionConfig,
     available_backends,
     backend_catalog,
+    get_backend,
     resolve_backend,
 )
 from repro.core.validation import instance_report
@@ -68,14 +73,16 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
     """
     subparser.add_argument(
         "--backend",
-        default=DEFAULT_BACKEND,
-        help="execution backend: 'batch' evaluates whole intervals in "
-        "vectorised NumPy passes, 'parallel' dispatches the batched event "
-        "blocks to a thread pool, 'process' shards score-matrix columns "
-        "across a shared-memory process pool, 'scalar' scores one "
-        "(event, interval) pair at a time (identical results, different "
-        "speed); recorded in the output rows.  Registered backends: "
-        f"{', '.join(available_backends())} (see the 'backends' sub-command)",
+        default=None,
+        help="execution backend: 'batch' (the default) evaluates whole "
+        "intervals in vectorised NumPy passes, 'parallel' dispatches the "
+        "batched event blocks to a thread pool, 'process' shards "
+        "score-matrix columns across a shared-memory process pool, "
+        "'cluster' shards them across remote workers (see --cluster), "
+        "'scalar' scores one (event, interval) pair at a time (identical "
+        "results, different speed); recorded in the output rows.  "
+        f"Registered backends: {', '.join(available_backends())} "
+        "(see the 'backends' sub-command)",
     )
     subparser.add_argument(
         "--chunk-size",
@@ -92,6 +99,20 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
         "processes for 'process' (default: the machine's CPU count; 1 "
         "degrades to the serial batch path; ignored by the other backends)",
     )
+    subparser.add_argument(
+        "--cluster",
+        metavar="ADDR[,ADDR...]",
+        default=None,
+        help="comma-separated 'host:port' addresses of running cluster "
+        "workers (start them with 'worker serve'); implies "
+        "--backend cluster and shards score-matrix columns across them",
+    )
+    subparser.add_argument(
+        "--cluster-key",
+        default=None,
+        help="shared authentication secret of the cluster connections "
+        "(must match the workers'; default: the library key)",
+    )
 
 
 def _execution_from_args(args: argparse.Namespace) -> ExecutionConfig:
@@ -99,13 +120,29 @@ def _execution_from_args(args: argparse.Namespace) -> ExecutionConfig:
 
     The backend name is validated here so a typo fails fast (with the
     available-names list) before any dataset is generated or loaded; the
-    remaining knobs are validated on resolution downstream.
+    remaining knobs are validated on resolution downstream.  ``--cluster``
+    implies ``--backend cluster`` (and combining it with any *other* explicit
+    backend is a contradiction, reported as such).
     """
-    resolve_backend(args.backend)
+    backend = args.backend
+    cluster = getattr(args, "cluster", None)
+    if cluster:
+        if backend is None:
+            backend = "cluster"
+        elif not get_backend(resolve_backend(backend)).uses_cluster:
+            raise SolverError(
+                f"--cluster shards across remote workers, but --backend "
+                f"{backend!r} runs in-process; drop one of the two flags"
+            )
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    resolve_backend(backend)
     return ExecutionConfig(
-        backend=args.backend,
+        backend=backend,
         chunk_size=args.chunk_size,
         workers=args.workers,
+        workers_addr=cluster,
+        cluster_key=getattr(args, "cluster_key", None),
     )
 
 
@@ -167,6 +204,35 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "backends",
         help="list the registered execution backends and their resolved defaults",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="cluster worker management (see the 'cluster' backend)"
+    )
+    worker_commands = worker.add_subparsers(dest="worker_command", required=True)
+    serve = worker_commands.add_parser(
+        "serve",
+        help="run one scoring worker on this machine until shut down "
+        "(prints the bound 'host:port' first — pass it to --cluster)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="address to bind (default: loopback; bind a LAN address to "
+        "serve remote clients)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default: 0 = an ephemeral port, printed on start)",
+    )
+    serve.add_argument(
+        "--cluster-key", default=None,
+        help="shared authentication secret clients must present "
+        "(default: the library key)",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=None,
+        help="instances kept resident in the worker's fingerprint cache "
+        "(default: 4)",
     )
 
     subparsers.add_parser("list", help="list datasets, algorithms and experiments")
@@ -259,6 +325,25 @@ def _command_backends(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    # `worker_command` is required and 'serve' is its only action so far; the
+    # sub-subparser keeps room for future actions (status, drain, …).
+    from repro.core.distributed.cache import DEFAULT_CACHE_CAPACITY
+    from repro.core.distributed.worker import serve
+
+    capacity = args.cache_capacity if args.cache_capacity is not None else DEFAULT_CACHE_CAPACITY
+    serve(
+        args.host,
+        args.port,
+        cluster_key=args.cluster_key,
+        capacity=capacity,
+        announce=lambda address: print(
+            f"ses-repro cluster worker listening on {address}", flush=True
+        ),
+    )
+    return 0
+
+
 def _command_list(_: argparse.Namespace) -> int:
     print("datasets:    " + ", ".join(dataset_names()))
     print("algorithms:  " + ", ".join(available_schedulers()))
@@ -279,6 +364,7 @@ _COMMANDS = {
     "solve": _command_solve,
     "experiment": _command_experiment,
     "backends": _command_backends,
+    "worker": _command_worker,
     "list": _command_list,
     "info": _command_info,
 }

@@ -1,0 +1,79 @@
+"""Worker-side cache of static instance matrices, keyed by fingerprint.
+
+A cluster worker outlives any single client: one ``repro worker serve``
+process typically serves many scheduler runs — and often many *instances* —
+over its lifetime.  The :class:`InstanceCache` is what makes the wire protocol
+cheap: the static matrices of an instance (tens of MB at paper scale) ship
+**once per fingerprint** and every subsequent task against that instance
+streams only its per-interval vectors.
+
+The cache is a small thread-safe LRU (the worker serves each client
+connection on its own thread).  Eviction is safe by construction: a client
+whose fingerprint was evicted gets the well-known
+:data:`~repro.core.distributed.protocol.ERROR_UNKNOWN_INSTANCE` reply and
+re-ships — correctness never depends on residency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.errors import SolverError
+
+#: Instances a worker keeps resident by default.  Paper-scale matrices are a
+#: few tens of MB each, so the default bounds the worker at well under a GB.
+DEFAULT_CACHE_CAPACITY: int = 4
+
+
+class InstanceCache:
+    """Thread-safe LRU mapping instance fingerprints to their static matrices."""
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise SolverError(
+                f"cache capacity must be a positive integer, got {capacity!r}"
+            )
+        self._capacity = capacity
+        self._entries: "OrderedDict[str, Dict[str, np.ndarray]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident instances."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, np.ndarray]]:
+        """The matrices stored under ``fingerprint`` (refreshing its recency)."""
+        with self._lock:
+            arrays = self._entries.get(fingerprint)
+            if arrays is not None:
+                self._entries.move_to_end(fingerprint)
+            return arrays
+
+    def put(self, fingerprint: str, arrays: Dict[str, np.ndarray]) -> None:
+        """Store (or refresh) an instance, evicting the least recently used."""
+        with self._lock:
+            self._entries[fingerprint] = arrays
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every resident instance."""
+        with self._lock:
+            self._entries.clear()
+
+
+__all__ = ["DEFAULT_CACHE_CAPACITY", "InstanceCache"]

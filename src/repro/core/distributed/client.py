@@ -1,0 +1,369 @@
+"""The ``cluster`` execution backend (client side).
+
+:class:`ClusterBackend` shards :meth:`ScoringEngine.score_matrix`'s
+per-interval column tasks across remote worker processes
+(:mod:`repro.core.distributed.worker`) over TCP.  It is the fifth registered
+strategy and the first network boundary in the codebase; the design mirrors
+the in-process ``process`` backend one level up:
+
+* the static instance matrices ship to each worker **once per instance
+  fingerprint** (the TCP analogue of publish-once shared memory) and are
+  cached worker-side across calls, runs and clients;
+* each task streams only the interval's two per-user scheduled-sum vectors
+  (plus the call's selector) and returns one score column;
+* every column is produced by the same
+  :func:`~repro.core.execution.score_block_kernel` under the same event-axis
+  chunking as the serial batch path, so results are **bit-identical** to every
+  other backend regardless of which machine computed which column.
+
+**Failure tolerance.**  Dispatch runs one client thread per live worker, all
+pulling interval tasks from one shared pending pool.  A worker that dies
+mid-run (connection reset / EOF) has its in-flight task re-queued and its
+remaining share drained by the surviving workers; if every worker is lost the
+leftover columns are computed locally with the serial batch kernel — the run
+always completes with the exact same matrix, just slower.
+
+**Degradation.**  With no workers configured
+(:attr:`~repro.core.execution.ExecutionConfig.workers_addr` unset) the backend
+behaves exactly like the in-process ``process`` backend it subclasses, so
+``backend="cluster"`` is safe to hard-code in configs that only sometimes run
+with remote workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import threading
+import warnings
+from multiprocessing.connection import Client, Connection
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.distributed.protocol import (
+    ERROR_UNKNOWN_INSTANCE,
+    ERROR_UNKNOWN_SELECTION,
+    OP_HAS_INSTANCE,
+    OP_PING,
+    OP_PUT_INSTANCE,
+    OP_SCORE_COLUMN,
+    PROTOCOL_VERSION,
+    SELECTOR_CACHED,
+    STATUS_OK,
+    ColumnTask,
+    authkey_bytes,
+    instance_fingerprint,
+    parse_worker_address,
+)
+from repro.core.errors import SolverError
+from repro.core.execution import BatchBackend, ExecutionConfig, ProcessBackend
+
+#: Exceptions that mean "this worker (or its link) is gone" — the task is
+#: re-dispatched instead of failing the run.
+_LINK_FAILURES = (OSError, EOFError, BrokenPipeError, ConnectionError)
+
+
+class ClusterWorkerWarning(RuntimeWarning):
+    """Warned when a configured worker is unreachable or dies mid-run."""
+
+
+class _WorkerLink:
+    """One live connection to a remote worker (driven by one client thread)."""
+
+    __slots__ = ("address", "connection", "alive", "shipped", "selection_token")
+
+    def __init__(self, address: str, connection: Connection) -> None:
+        self.address = address
+        self.connection = connection
+        self.alive = True
+        #: Fingerprints this client has confirmed resident on the worker.
+        self.shipped: set = set()
+        #: Call token whose selector already crossed this connection (the
+        #: selector ships once per call per link; later tasks reference it).
+        self.selection_token: Optional[int] = None
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class ClusterBackend(ProcessBackend):
+    """Distributed strategy: score-matrix columns sharded across TCP workers.
+
+    Selected with ``ExecutionConfig(backend="cluster",
+    workers_addr=("host:port", ...))``; start the workers with
+    ``repro worker serve``.  Single-interval bulk calls
+    (:meth:`~ScoringEngine.interval_scores`, the incremental refresh path) use
+    the local serial batch kernel — shipping one column's work over TCP cannot
+    beat computing it in place.  With no ``workers_addr`` the backend degrades
+    to the inherited in-process ``process`` behaviour.
+    """
+
+    name = "cluster"
+    is_bulk = True
+    uses_workers = True
+    uses_processes = True
+    uses_cluster = True
+
+    def __init__(self, config: ExecutionConfig) -> None:
+        super().__init__(config)
+        self._links: Optional[List[_WorkerLink]] = None
+        self._fingerprint: Optional[str] = None
+        self._arrays: Optional[Dict[str, np.ndarray]] = None
+        self._call_tokens = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Instance shipping
+    # ------------------------------------------------------------------ #
+    def _instance_arrays(self) -> Tuple[str, Dict[str, np.ndarray]]:
+        """The static matrices to ship, plus their fingerprint (computed once)."""
+        if self._arrays is None:
+            engine = self.engine
+            self._arrays = {
+                "mu_rows": engine._mu_rows,
+                "value_mu_rows": engine._value_mu_rows,
+                "comp": np.ascontiguousarray(engine._comp),
+                "sigma": np.ascontiguousarray(engine._sigma),
+            }
+            self._fingerprint = instance_fingerprint(self._arrays)
+        return self._fingerprint, self._arrays  # type: ignore[return-value]
+
+    def _connect(self, address: str) -> _WorkerLink:
+        """Open, authenticate and version-check one worker connection."""
+        host, port = parse_worker_address(address)
+        try:
+            connection = Client((host, port), authkey=authkey_bytes(self._config.cluster_key))
+        except multiprocessing.AuthenticationError:
+            # A key mismatch is a configuration error, not a dead worker —
+            # re-dispatching would silently hide it.
+            raise SolverError(
+                f"cluster worker {address} rejected the authentication key; "
+                "client and worker must share the same cluster_key"
+            ) from None
+        link = _WorkerLink(address, connection)
+        status, payload = self._roundtrip(link, (OP_PING,))
+        if status != STATUS_OK:
+            link.close()
+            raise SolverError(f"cluster worker {address} rejected the handshake: {payload}")
+        version = payload.get("version") if isinstance(payload, dict) else None
+        if version != PROTOCOL_VERSION:
+            link.close()
+            raise SolverError(
+                f"cluster worker {address} speaks protocol {version!r}, "
+                f"this client speaks {PROTOCOL_VERSION}"
+            )
+        return link
+
+    @staticmethod
+    def _roundtrip(link: _WorkerLink, request: tuple):
+        """One request/response exchange on a link."""
+        link.connection.send(request)
+        return link.connection.recv()
+
+    def _ship_instance(self, link: _WorkerLink) -> None:
+        """Make the engine's matrices resident on the worker (once per fingerprint)."""
+        fingerprint, arrays = self._instance_arrays()
+        if fingerprint in link.shipped:
+            return
+        status, resident = self._roundtrip(link, (OP_HAS_INSTANCE, fingerprint))
+        if status != STATUS_OK:
+            raise SolverError(f"cluster worker {link.address} failed: {resident}")
+        if not resident:
+            status, payload = self._roundtrip(link, (OP_PUT_INSTANCE, fingerprint, arrays))
+            if status != STATUS_OK:
+                raise SolverError(f"cluster worker {link.address} failed: {payload}")
+        link.shipped.add(fingerprint)
+
+    def _live_links(self) -> List[_WorkerLink]:
+        """Connect lazily to every configured worker; skip the unreachable.
+
+        Connections persist across calls (a worker keeps the instance cached,
+        so reconnecting per call would only add latency).  Dead links are
+        pruned here, so a worker that was unreachable at first contact — or
+        that died and was restarted on the same address — is retried on the
+        next call.
+        """
+        addresses = self._config.workers_addr or ()
+        if self._links is None:
+            self._links = []
+        else:
+            self._links = [link for link in self._links if link.alive]
+        linked = {link.address for link in self._links}
+        for address in addresses:
+            if address in linked:
+                continue
+            try:
+                link = self._connect(address)
+                self._ship_instance(link)
+            except _LINK_FAILURES as error:
+                warnings.warn(
+                    f"cluster worker {address} is unreachable ({error}); "
+                    "its share re-dispatches to the remaining workers",
+                    ClusterWorkerWarning,
+                    stacklevel=3,
+                )
+                continue
+            self._links.append(link)
+        return [link for link in self._links if link.alive]
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def score_matrix(self, selector: Optional[np.ndarray]) -> np.ndarray:
+        engine = self.engine
+        num_intervals = engine.instance.num_intervals
+        num_rows = engine.instance.num_events if selector is None else int(selector.size)
+        if not self._config.workers_addr:
+            # Degraded mode: no cluster configured — the inherited in-process
+            # process backend (which itself degrades to serial batch when it
+            # cannot pay off).
+            return super().score_matrix(selector)
+        if num_intervals <= 1 or num_rows == 0:
+            return self._local_matrix(selector)
+        links = self._live_links()
+        if not links:
+            warnings.warn(
+                "no cluster worker is reachable; computing locally",
+                ClusterWorkerWarning,
+                stacklevel=2,
+            )
+            return self._local_matrix(selector)
+        # An explicit workers=N caps the dispatch lanes (the default resolves
+        # to len(workers_addr), i.e. every reachable worker) — what actually
+        # fans out must match what results/records report.
+        links = links[: max(1, self._config.workers)]
+
+        mu_rows, value_mu_rows = engine._select_event_rows(selector)
+        token = next(self._call_tokens)
+        step = self._config.chunk_size
+        matrix = np.empty((num_rows, num_intervals), dtype=np.float64)
+        tasks = {
+            interval_index: ColumnTask(
+                interval_index=interval_index,
+                token=token,
+                selector=selector,
+                scheduled=engine._scheduled_interest[interval_index],
+                scheduled_value=engine._scheduled_value_interest[interval_index],
+                utility=float(engine._interval_utility[interval_index]),
+                step=step,
+            )
+            for interval_index in range(num_intervals)
+        }
+        pending: List[int] = list(tasks)
+        lock = threading.Lock()
+        errors: List[BaseException] = []
+
+        def drive(link: _WorkerLink) -> None:
+            while True:
+                with lock:
+                    if not pending:
+                        return
+                    interval_index = pending.pop()
+                try:
+                    column = self._remote_column(link, tasks[interval_index])
+                except _LINK_FAILURES as error:
+                    with lock:
+                        pending.append(interval_index)
+                    link.close()
+                    warnings.warn(
+                        f"cluster worker {link.address} died mid-run "
+                        f"({type(error).__name__}: {error}); "
+                        "re-dispatching its pending intervals",
+                        ClusterWorkerWarning,
+                        stacklevel=2,
+                    )
+                    return
+                except BaseException as error:  # noqa: BLE001 - surfaced after join
+                    with lock:
+                        pending.append(interval_index)
+                        errors.append(error)
+                    return
+                matrix[:, interval_index] = column
+
+        threads = [
+            threading.Thread(target=drive, args=(link,), name=f"ses-cluster-{index}")
+            for index, link in enumerate(links)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        # Every interval a dead worker left behind (and anything never
+        # dispatched because all workers were lost) is computed locally with
+        # the bit-identical serial batch kernel.
+        for interval_index in pending:
+            matrix[:, interval_index] = self._sharded_scores(
+                interval_index, mu_rows, value_mu_rows
+            )
+        return matrix
+
+    def _remote_column(self, link: _WorkerLink, task: ColumnTask) -> np.ndarray:
+        """One task round-trip, healing evictions transparently.
+
+        The selector of a subset call crosses each connection once: the first
+        task of a call carries the index array, later tasks reference it with
+        :data:`SELECTOR_CACHED`.  A worker that lost state mid-call answers
+        with a well-known error — :data:`ERROR_UNKNOWN_INSTANCE` triggers an
+        instance re-ship, :data:`ERROR_UNKNOWN_SELECTION` a retry with the
+        full selector attached — so restarts only cost the re-shipping.
+        """
+        fingerprint, _ = self._instance_arrays()
+        wire_task = task
+        if task.selector is not None:
+            if link.selection_token == task.token:
+                wire_task = dataclasses.replace(task, selector=SELECTOR_CACHED)
+            else:
+                link.selection_token = task.token
+        reshipped = False
+        while True:
+            status, payload = self._roundtrip(link, (OP_SCORE_COLUMN, fingerprint, wire_task))
+            if status == STATUS_OK:
+                interval_index, scores = payload
+                if interval_index != task.interval_index:  # pragma: no cover - defensive
+                    raise SolverError(
+                        f"cluster worker {link.address} answered interval "
+                        f"{interval_index} for task {task.interval_index}"
+                    )
+                return scores
+            if payload == ERROR_UNKNOWN_INSTANCE and not reshipped:
+                # Evicted (or the worker restarted): re-ship and retry once,
+                # with the full selector — the selection cache is gone too.
+                reshipped = True
+                link.shipped.discard(fingerprint)
+                self._ship_instance(link)
+                wire_task = task
+                continue
+            if payload == ERROR_UNKNOWN_SELECTION and wire_task is not task:
+                wire_task = task
+                continue
+            raise SolverError(f"cluster worker {link.address} failed: {payload}")
+
+    def _local_matrix(self, selector: Optional[np.ndarray]) -> np.ndarray:
+        """The serial in-process batch computation (the local fallback path).
+
+        Explicitly the grandparent's implementation: ``super()`` would hit
+        :class:`ProcessBackend`, which spins up a local pool — not wanted
+        when a *configured* cluster is merely unreachable.
+        """
+        return BatchBackend.score_matrix(self, selector)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the worker connections (workers keep running) and any local pool."""
+        if self._links is not None:
+            for link in self._links:
+                link.close()
+            self._links = None
+        super().close()
+
+
+__all__ = ["ClusterBackend", "ClusterWorkerWarning"]

@@ -1,0 +1,191 @@
+"""Wire protocol of the ``cluster`` execution backend.
+
+The cluster backend and its workers talk over TCP through
+:mod:`multiprocessing.connection` (stdlib ``Listener``/``Client``), which
+provides message framing, pickling and HMAC challenge–response authentication
+— there is no hand-rolled socket code and no new runtime dependency.  This
+module defines everything both sides must agree on:
+
+* the **operations** a client may request (:data:`OP_PING`,
+  :data:`OP_HAS_INSTANCE`, :data:`OP_PUT_INSTANCE`, :data:`OP_SCORE_COLUMN`,
+  :data:`OP_SHUTDOWN`) and the two response statuses (:data:`STATUS_OK`,
+  :data:`STATUS_ERROR`);
+* the **task unit** (:class:`ColumnTask`): one per-interval score column —
+  interval index plus the interval's two per-user scheduled-sum vectors —
+  which is the same RPC unit the in-process ``process`` backend dispatches to
+  its pool;
+* the **instance fingerprint** (:func:`instance_fingerprint`): a content hash
+  of the static instance matrices.  The matrices ship to a worker **once per
+  fingerprint** (mirroring the process backend's publish-once shared-memory
+  model) and are cached worker-side, so repeated runs on the same instance —
+  and every task of every run — stream only a few KB each;
+* address (:func:`parse_worker_address`) and authkey
+  (:func:`authkey_bytes`) handling.
+
+Every request is a tuple ``(op, *payload)`` and every response a pair
+``(status, payload)``.  Responses to :data:`OP_SCORE_COLUMN` carry
+``(interval_index, scores)`` so columns can complete out of order; the
+well-known error payload :data:`ERROR_UNKNOWN_INSTANCE` tells the client the
+worker evicted (or never had) the fingerprint, and the client re-ships the
+matrices and retries — a worker restart is therefore invisible apart from the
+one-off reshipping cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import SolverError
+
+#: Version tag exchanged in the :data:`OP_PING` handshake; bumped whenever the
+#: message layout changes incompatibly.
+PROTOCOL_VERSION: int = 1
+
+#: Shared secret used for ``multiprocessing.connection``'s HMAC handshake when
+#: :attr:`~repro.core.execution.ExecutionConfig.cluster_key` is left unset.
+#: It gates accidental cross-talk between unrelated clusters, not hostile
+#: networks — run real deployments with an explicit key on a trusted network.
+DEFAULT_CLUSTER_KEY: str = "ses-repro-cluster"
+
+#: Default bind host of a worker server (loopback: explicit opt-in for LAN use).
+DEFAULT_WORKER_HOST: str = "127.0.0.1"
+
+# -- operations ------------------------------------------------------------- #
+OP_PING = "ping"
+OP_HAS_INSTANCE = "has-instance"
+OP_PUT_INSTANCE = "put-instance"
+OP_SCORE_COLUMN = "score-column"
+OP_SHUTDOWN = "shutdown"
+
+# -- response statuses ------------------------------------------------------ #
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+#: Error payload meaning "this worker does not hold the fingerprint" — the
+#: client responds by re-shipping the instance matrices and retrying.
+ERROR_UNKNOWN_INSTANCE = "unknown-instance"
+
+#: Error payload meaning "a task referenced its call's cached selection, but
+#: this connection has no selection cached under that token" (e.g. the worker
+#: restarted mid-call) — the client retries with the full selector attached.
+ERROR_UNKNOWN_SELECTION = "unknown-selection"
+
+#: Sentinel selector meaning "use the selection cached under this task's
+#: token": one subset ``score_matrix`` call attaches the index array to the
+#: first task it sends down each connection and this marker to the rest, so
+#: the selector crosses the wire once per (connection, call) instead of once
+#: per interval.
+SELECTOR_CACHED = "cached"
+
+
+@dataclass(frozen=True)
+class ColumnTask:
+    """One unit of remote work: one interval's score column.
+
+    The static instance matrices live worker-side (shipped once per
+    fingerprint), so a task carries only the engine's *mutable* per-interval
+    state — exactly the payload of the process backend's pool tasks:
+
+    Attributes
+    ----------
+    interval_index:
+        The column to score.
+    token:
+        Client-call token: every task of one ``score_matrix`` call shares it,
+        so the worker materialises a subset selection once per call (cached by
+        token) instead of once per task.
+    selector:
+        Event-row selection of the call: ``None`` (every event), the index
+        array itself (the worker caches it under ``token``), or
+        :data:`SELECTOR_CACHED` (use the selection already cached under
+        ``token``; the worker answers :data:`ERROR_UNKNOWN_SELECTION` if it
+        has none, and the client retries with the array attached).
+    scheduled, scheduled_value:
+        The interval's per-user scheduled-interest and value-weighted sums.
+    utility:
+        The interval's current utility (subtracted to turn utilities into
+        assignment scores).
+    step:
+        Event-axis chunk size the worker must apply (the memory guard — and a
+        bit-identity requirement: the serial batch path chunks with the same
+        step).
+    """
+
+    interval_index: int
+    token: int
+    selector: object  # None | ndarray | SELECTOR_CACHED
+    scheduled: np.ndarray
+    scheduled_value: np.ndarray
+    utility: float
+    step: int
+
+
+def parse_worker_address(address: str) -> Tuple[str, int]:
+    """Split a ``"host:port"`` worker address, validating both parts."""
+    if not isinstance(address, str) or address.count(":") != 1:
+        raise SolverError(
+            f"worker address must be a 'host:port' string, got {address!r}"
+        )
+    host, _, port_text = address.partition(":")
+    host = host.strip()
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SolverError(f"invalid port in worker address {address!r}") from None
+    if not host or not (0 < port < 65536):
+        raise SolverError(f"invalid worker address {address!r}")
+    return host, port
+
+
+def format_worker_address(host: str, port: int) -> str:
+    """The canonical ``"host:port"`` form of a worker address."""
+    return f"{host}:{int(port)}"
+
+
+def authkey_bytes(cluster_key: Optional[str]) -> bytes:
+    """The connection authkey as bytes (``None`` selects the library default)."""
+    return (cluster_key or DEFAULT_CLUSTER_KEY).encode("utf-8")
+
+
+def instance_fingerprint(arrays: Dict[str, np.ndarray]) -> str:
+    """Content hash of the static instance matrices (the ship-once key).
+
+    Hashes every array's name, shape, dtype and raw bytes, so two engines
+    built from equal instances share one fingerprint (and one worker-side
+    cache entry), while any change to the matrices — even a single element —
+    produces a different key.
+    """
+    digest = hashlib.sha1()
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.dtype.str.encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_CLUSTER_KEY",
+    "DEFAULT_WORKER_HOST",
+    "OP_PING",
+    "OP_HAS_INSTANCE",
+    "OP_PUT_INSTANCE",
+    "OP_SCORE_COLUMN",
+    "OP_SHUTDOWN",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "ERROR_UNKNOWN_INSTANCE",
+    "ERROR_UNKNOWN_SELECTION",
+    "SELECTOR_CACHED",
+    "ColumnTask",
+    "parse_worker_address",
+    "format_worker_address",
+    "authkey_bytes",
+    "instance_fingerprint",
+]

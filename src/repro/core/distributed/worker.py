@@ -1,0 +1,392 @@
+"""The cluster worker server (``repro worker serve``).
+
+A worker is one OS process that listens on a TCP address, caches the static
+matrices of the instances it has been sent (see
+:class:`~repro.core.distributed.cache.InstanceCache`) and answers
+:data:`~repro.core.distributed.protocol.OP_SCORE_COLUMN` tasks by running the
+library's single bit-identity-critical kernel
+(:func:`~repro.core.execution.score_block_kernel`) over one interval column —
+exactly what the in-process ``process`` backend's pool workers do, with a
+socket in place of shared memory.
+
+One worker computes one column at a time (the kernel is a NumPy pass that
+holds the CPU); parallelism comes from running **several workers** — on one
+machine or many — and letting the client stream tasks to all of them.  Each
+client connection is served on its own thread, so a worker can also be shared
+by several clients; the per-connection selection cache keeps a client's
+subset-selected rows materialised once per ``score_matrix`` call.
+
+Lifecycle is deterministic: :data:`~repro.core.distributed.protocol.OP_SHUTDOWN`
+(or :meth:`WorkerServer.stop`) closes the listener and ends
+:meth:`WorkerServer.serve_forever`; :func:`start_local_worker` spawns a worker
+as a child process and returns a :class:`WorkerHandle` whose :meth:`~WorkerHandle.stop`
+performs that handshake (used by the tests, the benchmark and
+``examples/cluster_quickstart.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+from multiprocessing.connection import Client, Connection, Listener
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.distributed.cache import DEFAULT_CACHE_CAPACITY, InstanceCache
+from repro.core.distributed.protocol import (
+    DEFAULT_WORKER_HOST,
+    ERROR_UNKNOWN_INSTANCE,
+    ERROR_UNKNOWN_SELECTION,
+    OP_HAS_INSTANCE,
+    OP_PING,
+    OP_PUT_INSTANCE,
+    OP_SCORE_COLUMN,
+    OP_SHUTDOWN,
+    PROTOCOL_VERSION,
+    SELECTOR_CACHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    ColumnTask,
+    authkey_bytes,
+    format_worker_address,
+    parse_worker_address,
+)
+from repro.core.errors import SolverError
+
+
+def score_column(arrays: Dict[str, np.ndarray], task: ColumnTask,
+                 selected_rows: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """One interval's score column against cached instance matrices.
+
+    Runs the same :func:`~repro.core.execution.score_block_kernel` as the
+    in-process batch path, chunked along the event axis with the task's step,
+    so the returned column is bit-identical to the serial batch computation
+    regardless of which machine produced it.
+    """
+    from repro.core.execution import score_block_kernel
+
+    mu_rows, value_mu_rows = selected_rows
+    comp_column = arrays["comp"][:, task.interval_index]
+    sigma_column = arrays["sigma"][:, task.interval_index]
+    num_rows = int(mu_rows.shape[0])
+    scores = np.empty(num_rows, dtype=np.float64)
+    for start in range(0, num_rows, task.step):
+        stop = min(start + task.step, num_rows)
+        scores[start:stop] = score_block_kernel(
+            mu_rows[start:stop],
+            value_mu_rows[start:stop],
+            comp_column,
+            sigma_column,
+            task.scheduled,
+            task.scheduled_value,
+            task.utility,
+        )
+    return scores
+
+
+def _is_loopback(host: str) -> bool:
+    """Whether a bind host stays on this machine (loopback / localhost)."""
+    return host == "localhost" or host == "::1" or host.startswith("127.")
+
+
+class WorkerServer:
+    """One cluster worker: a TCP listener over an instance cache.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` binds an ephemeral port; the actual address
+        is available as :attr:`address` once constructed.
+    cluster_key:
+        Shared secret of the connection handshake (``None`` selects
+        :data:`~repro.core.distributed.protocol.DEFAULT_CLUSTER_KEY`); clients
+        must present the same key.  Binding a **non-loopback** host with the
+        default key is refused: the key is public (it ships in this
+        repository) and an authenticated connection deserialises pickles, so
+        serving beyond loopback demands an explicit secret.
+    capacity:
+        Instances kept resident (see
+        :class:`~repro.core.distributed.cache.InstanceCache`).
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_WORKER_HOST,
+        port: int = 0,
+        *,
+        cluster_key: Optional[str] = None,
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> None:
+        if cluster_key is None and not _is_loopback(host):
+            raise SolverError(
+                f"refusing to bind cluster worker to non-loopback {host!r} with "
+                "the default (public) cluster key: authenticated peers can send "
+                "arbitrary pickles — pass an explicit secret via cluster_key "
+                "(CLI: --cluster-key) shared with your clients"
+            )
+        self._cache = InstanceCache(capacity)
+        self._stop_event = threading.Event()
+        try:
+            self._listener = Listener((host, int(port)), authkey=authkey_bytes(cluster_key))
+        except OSError as error:
+            raise SolverError(f"cannot bind cluster worker to {host}:{port}: {error}") from None
+        bound_host, bound_port = self._listener.address  # type: ignore[misc]
+        self._address = format_worker_address(bound_host, bound_port)
+
+    @property
+    def address(self) -> str:
+        """The actual ``"host:port"`` the worker is listening on."""
+        return self._address
+
+    @property
+    def cache(self) -> InstanceCache:
+        """The worker's instance cache."""
+        return self._cache
+
+    def serve_forever(self) -> None:
+        """Accept connections until a shutdown request (or :meth:`stop`)."""
+        while not self._stop_event.is_set():
+            try:
+                connection = self._listener.accept()
+            except (OSError, EOFError):
+                # Listener closed by stop()/shutdown, or a client failed the
+                # authentication handshake / dropped mid-accept — keep serving
+                # unless we were asked to stop.
+                if self._stop_event.is_set():
+                    break
+                continue
+            except multiprocessing.AuthenticationError:
+                continue
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            )
+            thread.start()
+        self.stop()
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener (safe to call repeatedly)."""
+        first_stop = not self._stop_event.is_set()
+        self._stop_event.set()
+        if first_stop:
+            # Closing a listening socket does not interrupt a concurrent
+            # blocking accept() on Linux — wake it with a throwaway
+            # connection so serve_forever observes the stop flag.
+            host, port = parse_worker_address(self._address)
+            if host in ("0.0.0.0", "::"):  # wildcard binds are not connectable
+                host = "127.0.0.1"
+            try:
+                with socket.create_connection((host, port), timeout=1.0):
+                    pass
+            except OSError:
+                pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    def _serve_connection(self, connection: Connection) -> None:
+        """Serve one client until it disconnects (one thread per connection)."""
+        # Per-connection cache of the last subset selection: one score_matrix
+        # call dispatches many tasks with the same token, so the fancy-indexed
+        # row copy happens once per call instead of once per task.
+        selection: Dict[str, object] = {"token": None, "rows": None}
+        try:
+            while not self._stop_event.is_set():
+                try:
+                    request = connection.recv()
+                except (EOFError, OSError):
+                    break
+                try:
+                    response, shutdown = self._dispatch(request, selection)
+                except Exception as error:  # noqa: BLE001 - reported to the client
+                    response, shutdown = (
+                        (STATUS_ERROR, f"{type(error).__name__}: {error}"),
+                        False,
+                    )
+                try:
+                    connection.send(response)
+                except (OSError, BrokenPipeError):
+                    break
+                if shutdown:
+                    self.stop()
+                    break
+        finally:
+            connection.close()
+
+    def _dispatch(self, request, selection: Dict[str, object]):
+        """Handle one request tuple; returns ``(response, shutdown)``."""
+        if not isinstance(request, tuple) or not request:
+            return (STATUS_ERROR, f"malformed request: {request!r}"), False
+        op = request[0]
+        if op == OP_PING:
+            payload = {"version": PROTOCOL_VERSION, "pid": os.getpid(),
+                       "instances": len(self._cache)}
+            return (STATUS_OK, payload), False
+        if op == OP_HAS_INSTANCE:
+            (fingerprint,) = request[1:]
+            return (STATUS_OK, fingerprint in self._cache), False
+        if op == OP_PUT_INSTANCE:
+            fingerprint, arrays = request[1:]
+            self._cache.put(fingerprint, arrays)
+            return (STATUS_OK, True), False
+        if op == OP_SCORE_COLUMN:
+            fingerprint, task = request[1:]
+            arrays = self._cache.get(fingerprint)
+            if arrays is None:
+                return (STATUS_ERROR, ERROR_UNKNOWN_INSTANCE), False
+            rows = self._selected_rows(arrays, task, selection)
+            if rows is None:
+                return (STATUS_ERROR, ERROR_UNKNOWN_SELECTION), False
+            scores = score_column(arrays, task, rows)
+            return (STATUS_OK, (task.interval_index, scores)), False
+        if op == OP_SHUTDOWN:
+            return (STATUS_OK, True), True
+        return (STATUS_ERROR, f"unknown operation {op!r}"), False
+
+    @staticmethod
+    def _selected_rows(
+        arrays: Dict[str, np.ndarray], task: ColumnTask, selection: Dict[str, object]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The (possibly subset-selected) event rows of one task.
+
+        A task may reference its call's cached selection instead of carrying
+        the index array (:data:`SELECTOR_CACHED` — the selector crosses the
+        wire once per connection per call); ``None`` is returned when that
+        cache entry is missing (worker restarted mid-call) so the dispatcher
+        can answer :data:`ERROR_UNKNOWN_SELECTION` and the client retries
+        with the array attached.
+        """
+        if task.selector is None:
+            return arrays["mu_rows"], arrays["value_mu_rows"]
+        if isinstance(task.selector, str) and task.selector == SELECTOR_CACHED:
+            if selection["token"] != task.token:
+                return None
+            return selection["rows"]  # type: ignore[return-value]
+        if selection["token"] != task.token:
+            selection["token"] = task.token
+            selection["rows"] = (
+                arrays["mu_rows"][task.selector],
+                arrays["value_mu_rows"][task.selector],
+            )
+        return selection["rows"]  # type: ignore[return-value]
+
+
+def serve(
+    host: str = DEFAULT_WORKER_HOST,
+    port: int = 0,
+    *,
+    cluster_key: Optional[str] = None,
+    capacity: int = DEFAULT_CACHE_CAPACITY,
+    announce=None,
+) -> str:
+    """Run a worker server in this process until it is shut down.
+
+    ``announce`` (when given) is called with the bound ``"host:port"`` before
+    serving — the CLI prints it so scripts can scrape the ephemeral port.
+    Returns the address after the server stops.
+    """
+    server = WorkerServer(host, port, cluster_key=cluster_key, capacity=capacity)
+    if announce is not None:
+        announce(server.address)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        server.stop()
+    return server.address
+
+
+def _local_worker_main(host, port, cluster_key, capacity, channel) -> None:
+    """Child-process entry point of :func:`start_local_worker`."""
+    server = WorkerServer(host, port, cluster_key=cluster_key, capacity=capacity)
+    channel.send(server.address)
+    channel.close()
+    server.serve_forever()
+
+
+class WorkerHandle:
+    """A locally-spawned worker process and its address.
+
+    Returned by :func:`start_local_worker`; :meth:`stop` performs the
+    deterministic shutdown handshake (falling back to ``terminate`` if the
+    worker does not comply), :meth:`kill` hard-kills the process — the tests
+    use it to exercise the client's failure re-dispatch.
+    """
+
+    def __init__(self, process: multiprocessing.Process, address: str,
+                 cluster_key: Optional[str]) -> None:
+        self.process = process
+        self.address = address
+        self._cluster_key = cluster_key
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Ask the worker to shut down; terminate it if it does not."""
+        if self.process.is_alive():
+            try:
+                host, port = parse_worker_address(self.address)
+                connection = Client((host, port), authkey=authkey_bytes(self._cluster_key))
+                try:
+                    connection.send((OP_SHUTDOWN,))
+                    connection.recv()
+                finally:
+                    connection.close()
+            except (OSError, EOFError, multiprocessing.AuthenticationError):
+                pass
+            self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - unresponsive worker
+            self.process.terminate()
+            self.process.join(timeout)
+
+    def kill(self, timeout: float = 5.0) -> None:
+        """Hard-kill the worker (simulates a machine/process failure)."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+
+
+def start_local_worker(
+    host: str = DEFAULT_WORKER_HOST,
+    port: int = 0,
+    *,
+    cluster_key: Optional[str] = None,
+    capacity: int = DEFAULT_CACHE_CAPACITY,
+) -> WorkerHandle:
+    """Spawn a worker server as a child process and wait for its address.
+
+    The child is started with the ``spawn`` method (safe regardless of this
+    process's threads) and binds before the call returns, so the returned
+    :class:`WorkerHandle.address` is immediately connectable.
+    """
+    context = multiprocessing.get_context("spawn")
+    parent_end, child_end = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_local_worker_main,
+        args=(host, port, cluster_key, capacity, child_end),
+        daemon=True,
+    )
+    process.start()
+    child_end.close()
+    try:
+        if not parent_end.poll(30.0):
+            raise SolverError("cluster worker did not report its address within 30s")
+        address = parent_end.recv()
+    except (EOFError, OSError):
+        process.terminate()
+        raise SolverError("cluster worker died before binding its address") from None
+    finally:
+        parent_end.close()
+    return WorkerHandle(process, address, cluster_key)
+
+
+__all__ = [
+    "WorkerServer",
+    "WorkerHandle",
+    "score_column",
+    "serve",
+    "start_local_worker",
+]

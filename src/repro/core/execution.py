@@ -17,13 +17,19 @@ are computed (never *what* they are):
   - ``"process"`` (:class:`ProcessBackend`) — :meth:`ScoringEngine.score_matrix`'s
     per-interval columns sharded across a ``multiprocessing`` pool, with the
     static instance matrices published once through POSIX shared memory so the
-    workers never re-pickle them.
+    workers never re-pickle them;
+  - ``"cluster"`` (:class:`~repro.core.distributed.client.ClusterBackend`) —
+    the same per-interval column tasks sharded across **remote** worker
+    processes over TCP (``repro worker serve``), with the static matrices
+    shipped once per instance fingerprint and cached worker-side.
 
 * ``chunk_size`` — events per vectorised pass (the ~64 MB memory guard);
 * ``workers`` — fan-out of the pooled backends (threads or processes);
 * ``start_method`` — the ``multiprocessing`` start method of the process
   backend (``"fork"`` where available, with full ``"spawn"`` /
-  ``"forkserver"`` support).
+  ``"forkserver"`` support);
+* ``workers_addr`` / ``cluster_key`` — the cluster backend's remote worker
+  addresses and shared authentication secret.
 
 Custom strategies plug in through :func:`register_backend`; everything else —
 engine, schedulers, harness, figures, CLI — talks to the layer only through
@@ -53,6 +59,11 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
+from repro.core.distributed.protocol import (
+    DEFAULT_CLUSTER_KEY,
+    format_worker_address,
+    parse_worker_address,
+)
 from repro.core.errors import SolverError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scoring imports us)
@@ -139,12 +150,18 @@ def resolve_chunk_size(chunk_size: Optional[int], num_users: int) -> int:
     return chunk_size
 
 
-def resolve_workers(workers: Optional[int], backend: Optional[str] = None) -> int:
+def resolve_workers(
+    workers: Optional[int],
+    backend: Optional[str] = None,
+    workers_addr: Optional[Tuple[str, ...]] = None,
+) -> int:
     """Validate the pooled backends' worker count (``None`` means auto).
 
-    The automatic default is the machine's CPU count (at least 1).  An
-    explicit value must be a positive integer; ``1`` makes the pooled backends
-    degrade to the serial batch path.
+    The automatic default is the machine's CPU count (at least 1) — except for
+    a cluster run with configured worker addresses, where it is the number of
+    remote workers (one dispatch lane per worker).  An explicit value must be
+    a positive integer; ``1`` makes the in-process pooled backends degrade to
+    the serial batch path.
 
     When ``backend`` is given and its strategy does not fan out
     (:attr:`ExecutionBackend.uses_workers` is false), the resolved count is
@@ -159,6 +176,8 @@ def resolve_workers(workers: Optional[int], backend: Optional[str] = None) -> in
     if backend is not None and not get_backend(resolve_backend(backend)).uses_workers:
         return 1
     if workers is None:
+        if workers_addr:
+            return len(workers_addr)
         return max(1, os.cpu_count() or 1)
     return workers
 
@@ -214,6 +233,50 @@ def _auto_start_method() -> str:
     return "spawn"
 
 
+def resolve_workers_addr(
+    workers_addr, backend: Optional[str] = None
+) -> Tuple[str, ...]:
+    """Validate and normalise the cluster backend's worker addresses.
+
+    Accepts ``None`` (no cluster configured), a single ``"host:port[,...]"``
+    string, or an iterable of ``"host:port"`` strings; every entry is
+    validated by :func:`~repro.core.distributed.protocol.parse_worker_address`
+    and returned in canonical form.  Backends that are not distributed
+    (:attr:`ExecutionBackend.uses_cluster` is false) resolve to the empty
+    tuple — the knob does not apply to them.
+    """
+    if workers_addr is None:
+        addresses: Tuple[str, ...] = ()
+    elif isinstance(workers_addr, str):
+        addresses = tuple(part.strip() for part in workers_addr.split(",") if part.strip())
+    else:
+        addresses = tuple(workers_addr)
+    normalized = tuple(format_worker_address(*parse_worker_address(a)) for a in addresses)
+    if backend is not None and not get_backend(resolve_backend(backend)).uses_cluster:
+        return ()
+    return normalized
+
+
+def resolve_cluster_key(
+    cluster_key: Optional[str], backend: Optional[str] = None
+) -> Optional[str]:
+    """Validate the cluster backend's shared authentication secret.
+
+    ``None`` selects :data:`~repro.core.distributed.protocol.DEFAULT_CLUSTER_KEY`
+    for cluster backends (and stays ``None`` for every other backend — the
+    knob does not apply to them).  Client and workers must share the key:
+    ``multiprocessing.connection`` uses it for an HMAC challenge–response
+    handshake on every connection.
+    """
+    if cluster_key is not None and (not isinstance(cluster_key, str) or not cluster_key):
+        raise SolverError(
+            f"cluster_key must be a non-empty string or None, got {cluster_key!r}"
+        )
+    if backend is not None and not get_backend(resolve_backend(backend)).uses_cluster:
+        return None
+    return cluster_key if cluster_key is not None else DEFAULT_CLUSTER_KEY
+
+
 # --------------------------------------------------------------------------- #
 # Configuration
 # --------------------------------------------------------------------------- #
@@ -247,12 +310,26 @@ class ExecutionConfig:
         ``"forkserver"``/``"spawn"`` explicitly when the host process carries
         *native* threads the check cannot see).  ``None`` for every other
         backend.
+    workers_addr:
+        Remote worker addresses of the ``"cluster"`` backend — an iterable of
+        ``"host:port"`` strings (or one comma-separated string); start the
+        workers with ``repro worker serve``.  ``None``/empty makes the cluster
+        backend degrade to the in-process ``"process"`` strategy; resolves to
+        the empty tuple for every non-distributed backend.  When set, the
+        automatic ``workers`` default becomes the number of remote workers.
+    cluster_key:
+        Shared secret of the cluster connections' HMAC handshake; ``None``
+        selects :data:`~repro.core.distributed.protocol.DEFAULT_CLUSTER_KEY`
+        for cluster backends (``None`` for every other backend).  Client and
+        workers must agree on it.
     """
 
     backend: Optional[str] = None
     chunk_size: Optional[int] = None
     workers: Optional[int] = None
     start_method: Optional[str] = None
+    workers_addr: Optional[Tuple[str, ...]] = None
+    cluster_key: Optional[str] = None
 
     def resolve(self, num_users: int) -> "ExecutionConfig":
         """Return a copy with every ``None`` replaced by its concrete default.
@@ -261,11 +338,14 @@ class ExecutionConfig:
         an equal config.
         """
         backend = resolve_backend(self.backend)
+        workers_addr = resolve_workers_addr(self.workers_addr, backend)
         return ExecutionConfig(
             backend=backend,
             chunk_size=resolve_chunk_size(self.chunk_size, num_users),
-            workers=resolve_workers(self.workers, backend),
+            workers=resolve_workers(self.workers, backend, workers_addr),
             start_method=resolve_start_method(self.start_method, backend),
+            workers_addr=workers_addr,
+            cluster_key=resolve_cluster_key(self.cluster_key, backend),
         )
 
     @property
@@ -336,12 +416,16 @@ class ExecutionBackend:
         ``workers`` knob's resolution).
     uses_processes:
         Whether the pool is made of OS processes (drives ``start_method``).
+    uses_cluster:
+        Whether the strategy dispatches to remote workers over the network
+        (drives the ``workers_addr`` / ``cluster_key`` knobs' resolution).
     """
 
     name: str = "abstract"
     is_bulk: bool = False
     uses_workers: bool = False
     uses_processes: bool = False
+    uses_cluster: bool = False
 
     def __init__(self, config: ExecutionConfig) -> None:
         self._config = config
@@ -791,9 +875,13 @@ def register_backend(
     return cls
 
 
+#: Names of the backends this module registers itself (populated at import).
+_BUILTIN_BACKEND_NAMES: set = set()
+
+
 def unregister_backend(name: str) -> None:
     """Remove a registered backend (primarily for tests of custom backends)."""
-    if name in (ScalarBackend.name, BatchBackend.name, ThreadBackend.name, ProcessBackend.name):
+    if name in _BUILTIN_BACKEND_NAMES:
         raise SolverError(f"the built-in backend {name!r} cannot be unregistered")
     _BACKEND_REGISTRY.pop(name, None)
 
@@ -826,10 +914,13 @@ def backend_catalog() -> List[Dict[str, object]]:
             {
                 "backend": name + (" (default)" if name == DEFAULT_BACKEND else ""),
                 "bulk": "yes" if cls.is_bulk else "no",
-                "pool": "processes" if cls.uses_processes else (
-                    "threads" if cls.uses_workers else "-"
+                "pool": "remote workers" if cls.uses_cluster else (
+                    "processes" if cls.uses_processes else (
+                        "threads" if cls.uses_workers else "-"
+                    )
                 ),
-                "workers": resolve_workers(None, name),
+                "workers": "len(workers_addr)" if cls.uses_cluster
+                else resolve_workers(None, name),
                 "chunk_size": f"auto ({DEFAULT_CHUNK_ELEMENTS:,} elements / |U|)"
                 if cls.is_bulk
                 else "-",
@@ -842,8 +933,16 @@ def backend_catalog() -> List[Dict[str, object]]:
     return rows
 
 
-for _builtin in (ScalarBackend, BatchBackend, ThreadBackend, ProcessBackend):
+# The cluster strategy lives in its own package (it is the one-module
+# addition the registry was built for) but registers here with the other
+# built-ins so it is selectable everywhere by name.  The import is deferred
+# to the bottom of this module: ClusterBackend subclasses ProcessBackend, so
+# everything it needs is already defined.
+from repro.core.distributed.client import ClusterBackend  # noqa: E402
+
+for _builtin in (ScalarBackend, BatchBackend, ThreadBackend, ProcessBackend, ClusterBackend):
     register_backend(_builtin)
+    _BUILTIN_BACKEND_NAMES.add(_builtin.name)
 del _builtin
 
 
@@ -871,6 +970,7 @@ __all__ = [
     "BatchBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "ClusterBackend",
     "available_backends",
     "backend_catalog",
     "get_backend",
@@ -879,8 +979,10 @@ __all__ = [
     "unregister_backend",
     "resolve_backend",
     "resolve_chunk_size",
+    "resolve_cluster_key",
     "resolve_start_method",
     "resolve_workers",
+    "resolve_workers_addr",
     "score_block_kernel",
     "SCORING_BACKENDS",
     "BULK_BACKENDS",

@@ -24,9 +24,11 @@ exactly.
 selects one of the registered :class:`~repro.core.execution.ExecutionBackend`
 strategies — ``"scalar"`` (the per-pair reference), ``"batch"`` (the default:
 whole candidate blocks per vectorised NumPy pass), ``"parallel"`` (the batch
-blocks dispatched to a GIL-releasing thread pool) or ``"process"`` (the score
-matrix's per-interval columns sharded across a shared-memory process pool) —
-plus the ``chunk_size`` / ``workers`` / ``start_method`` knobs.  All backends
+blocks dispatched to a GIL-releasing thread pool), ``"process"`` (the score
+matrix's per-interval columns sharded across a shared-memory process pool) or
+``"cluster"`` (the same column tasks sharded across remote TCP workers) —
+plus the ``chunk_size`` / ``workers`` / ``start_method`` /
+``workers_addr`` / ``cluster_key`` knobs.  All backends
 perform the same elementary operations in the same order per (user, event)
 element, so their scores agree bit-for-bit among the bulk strategies (and to
 machine precision with the scalar reference), and all report one score
@@ -213,8 +215,8 @@ class ScoringEngine:
         """Name of the active execution backend.
 
         One of the registered strategies — ``"scalar"``, ``"batch"``,
-        ``"parallel"``, ``"process"``, or any custom backend added through
-        :func:`~repro.core.execution.register_backend`.
+        ``"parallel"``, ``"process"``, ``"cluster"``, or any custom backend
+        added through :func:`~repro.core.execution.register_backend`.
         """
         return self._execution.backend
 

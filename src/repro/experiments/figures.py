@@ -4,7 +4,7 @@ Every function sweeps the figure's x-axis parameter, builds the appropriate
 dataset instances, runs the algorithms and returns a :class:`FigureResult`
 containing one :class:`~repro.experiments.metrics.MetricRecord` per
 (x-value, dataset, algorithm).  The benchmark harness prints these as tables;
-EXPERIMENTS.md compares their shape against the paper's plots.
+``docs/PAPER_MAPPING.md`` maps each figure to its entry point and benchmark.
 
 The paper ran with up to one million users and ``k`` up to 500 on a C++
 implementation; the reproduction keeps every *ratio* of Table 1 (``|E| = 3k``,

@@ -49,11 +49,14 @@ class MetricRecord:
         ``params["backend"]`` and its resolved worker count under
         ``params["workers"]`` (unless the caller already set them), so rows of
         different backends / fan-outs can be grouped and compared in figure
-        tables.
+        tables.  A distributed run additionally records its remote worker
+        addresses under ``params["cluster"]`` (in-process runs omit the key).
         """
         merged_params = dict(params or {})
         merged_params.setdefault("backend", result.backend)
         merged_params.setdefault("workers", result.workers)
+        if result.cluster:
+            merged_params.setdefault("cluster", ",".join(result.cluster))
         return cls(
             experiment_id=experiment_id,
             dataset=dataset,

@@ -1,0 +1,120 @@
+"""Docs-drift guard: README and docs/ must match the live code.
+
+The docs subsystem promises the same reproducibility discipline as the
+equivalence suites: what the documentation *lists* is checked against what
+the code *registers*.  Concretely:
+
+* the backend tables in ``README.md`` and ``docs/ARCHITECTURE.md`` must name
+  **exactly** the backends in the live ``register_backend()`` registry — no
+  missing backend, no phantom row;
+* every CLI sub-command built by :func:`repro.cli.build_parser` must appear
+  in the README's command reference (and vice versa);
+* every test-suite path cited in ``docs/PAPER_MAPPING.md`` must exist.
+
+If one of these tests fails you either added code without documenting it or
+documented something that does not exist — fix the side that is wrong.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core.execution import available_backends
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+ARCHITECTURE = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+PAPER_MAPPING = REPO_ROOT / "docs" / "PAPER_MAPPING.md"
+
+#: First-column code span of a markdown table row: ``| `name` … | …``.
+_TABLE_NAME = re.compile(r"^\|\s*`([^`]+)`")
+
+
+def _section(text: str, heading: str) -> str:
+    """The markdown section following ``heading``, up to the next heading."""
+    start = text.index(heading) + len(heading)
+    match = re.search(r"^#{1,6} ", text[start:], flags=re.MULTILINE)
+    return text[start : start + match.start()] if match else text[start:]
+
+
+def _table_names(section: str) -> list:
+    """First-column backticked names of every table row in a section."""
+    names = []
+    for line in section.splitlines():
+        match = _TABLE_NAME.match(line.strip())
+        if match:
+            names.append(match.group(1))
+    return names
+
+
+def _cli_subcommands() -> list:
+    parser = build_parser()
+    action = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    return list(action.choices)
+
+
+class TestBackendTables:
+    def test_readme_backend_table_matches_registry(self):
+        section = _section(README.read_text(encoding="utf-8"), "## Execution backends")
+        names = _table_names(section)
+        assert names, "README's execution-backends section lost its table"
+        assert sorted(names) == sorted(available_backends()), (
+            "README backend table drifted from the register_backend() registry"
+        )
+
+    def test_architecture_decision_table_matches_registry(self):
+        section = _section(
+            ARCHITECTURE.read_text(encoding="utf-8"), "## Backend decision table"
+        )
+        names = _table_names(section)
+        assert names, "docs/ARCHITECTURE.md lost its backend decision table"
+        assert sorted(names) == sorted(available_backends()), (
+            "docs/ARCHITECTURE.md decision table drifted from the registry"
+        )
+
+    def test_tables_preserve_registration_order(self):
+        """The docs list backends in the registry's (registration) order."""
+        expected = list(available_backends())
+        for path, heading in (
+            (README, "## Execution backends"),
+            (ARCHITECTURE, "## Backend decision table"),
+        ):
+            names = _table_names(_section(path.read_text(encoding="utf-8"), heading))
+            assert names == expected, f"{path.name} lists backends out of order"
+
+
+class TestCliReference:
+    def test_every_subcommand_is_documented(self):
+        section = _section(README.read_text(encoding="utf-8"), "## CLI command reference")
+        documented = _table_names(section)
+        assert sorted(documented) == sorted(_cli_subcommands()), (
+            "README's CLI command reference drifted from build_parser(): "
+            f"documented={sorted(documented)}, actual={sorted(_cli_subcommands())}"
+        )
+
+
+class TestPaperMapping:
+    @pytest.mark.parametrize("kind", ["tests", "benchmarks", "examples"])
+    def test_cited_paths_exist(self, kind):
+        text = PAPER_MAPPING.read_text(encoding="utf-8") + README.read_text(
+            encoding="utf-8"
+        ) + ARCHITECTURE.read_text(encoding="utf-8")
+        cited = set(re.findall(rf"`({kind}/[\w./]+\.py)`", text))
+        assert cited or kind == "examples", f"no {kind} paths cited at all?"
+        missing = sorted(path for path in cited if not (REPO_ROOT / path).exists())
+        assert not missing, f"docs cite nonexistent files: {missing}"
+
+    def test_mapping_covers_every_scheduler(self):
+        """Each registered scheduler name appears in the mapping tables."""
+        from repro.algorithms.registry import available_schedulers
+
+        text = PAPER_MAPPING.read_text(encoding="utf-8")
+        missing = [name for name in available_schedulers() if name not in text]
+        assert not missing, f"docs/PAPER_MAPPING.md does not mention: {missing}"

@@ -77,10 +77,10 @@ class TestConfigResolution:
 
 class TestRegistry:
     def test_builtins_registered_in_order(self):
-        assert available_backends() == ("scalar", "batch", "parallel", "process")
+        assert available_backends() == ("scalar", "batch", "parallel", "process", "cluster")
         # The compatibility tuples are registry-backed views.
-        assert SCORING_BACKENDS == ("scalar", "batch", "parallel", "process")
-        assert BULK_BACKENDS == ("batch", "parallel", "process")
+        assert SCORING_BACKENDS == ("scalar", "batch", "parallel", "process", "cluster")
+        assert BULK_BACKENDS == ("batch", "parallel", "process", "cluster")
 
     def test_get_backend_unknown_is_friendly(self):
         with pytest.raises(SolverError) as excinfo:

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Markdown link checker for the CI docs leg (stdlib only).
+
+Scans the given markdown files/directories for inline links and images
+(``[text](target)`` / ``![alt](target)``) and verifies that
+
+* every **relative file link** points at an existing file or directory
+  (resolved against the markdown file's location);
+* every **anchor** (``#fragment`` — own-page or on a linked markdown file)
+  matches a heading in the target file, using GitHub's slugging rules
+  (lowercase, spaces to dashes, punctuation dropped);
+* no link is empty.
+
+External ``http(s)``/``mailto`` targets are *not* fetched — CI runs offline —
+only recorded.  Exit status is the number of broken links (0 = green).
+
+Usage::
+
+    python tools/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown link or image: [text](target) — target without spaces,
+#: code spans excluded by the tokenizer below.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]*)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX heading line.
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug of a heading (close enough for ASCII docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _strip_code(text: str) -> str:
+    """Remove fenced blocks and inline code spans (links inside are literal)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def heading_slugs(path: Path) -> List[str]:
+    slugs = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slugs.append(github_slug(match.group(1)))
+    return slugs
+
+
+def iter_markdown_files(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def check_file(path: Path) -> Tuple[int, int]:
+    """Check one markdown file; returns (links checked, links broken)."""
+    checked = broken = 0
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        checked += 1
+        if target.startswith(_EXTERNAL):
+            continue  # not fetched: CI runs offline
+        if not target:
+            print(f"{path}: empty link target")
+            broken += 1
+            continue
+        file_part, _, fragment = target.partition("#")
+        target_path = (path.parent / file_part).resolve() if file_part else path
+        if not target_path.exists():
+            print(f"{path}: broken link -> {target}")
+            broken += 1
+            continue
+        if fragment and target_path.suffix == ".md":
+            if github_slug(fragment) not in heading_slugs(target_path):
+                print(f"{path}: broken anchor -> {target}")
+                broken += 1
+    return checked, broken
+
+
+def main(argv: List[str]) -> int:
+    files = iter_markdown_files(argv or ["README.md", "docs"])
+    total_checked = total_broken = 0
+    for path in files:
+        checked, broken = check_file(path)
+        total_checked += checked
+        total_broken += broken
+    print(
+        f"checked {total_checked} links in {len(files)} markdown files: "
+        f"{total_broken} broken"
+    )
+    return total_broken
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
