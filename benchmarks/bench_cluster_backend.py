@@ -21,7 +21,21 @@ Scales (``REPRO_BENCH_SCALE``):
   size, default): ≥1.3× over batch with 2 workers on a multi-core runner;
 * ``default`` — 900 events × 90 intervals × 4000 users.
 
-The speedup floor is only enforced when the machine has at least two CPUs —
+A second benchmark (``test_protocol_v2_beats_per_column_dispatch``) measures
+what protocol v2 itself bought: the same ``score_matrix`` dispatched with the
+v1 wire shape — one column per request, no pipelining (``task_batch=1`` with
+a pipeline window of 1) — against the batched, pipelined v2 default, on
+*interval-heavy* instances where the per-request wire latency dominates:
+
+* ``tiny``  — 50 events × 400 intervals × 50 users (the CI smoke leg);
+* ``small`` — 50 events × 2000 intervals × 50 users (acceptance size):
+  v2 ≥1.5× over the per-column v1 dispatch;
+* ``default`` — 80 events × 4000 intervals × 80 users.
+
+Both benchmarks persist the client's per-run wire counters (tasks, batches,
+round-trips, bytes each way, locally-computed columns) next to the timings.
+
+The speedup floors are only enforced when the machine has at least two CPUs —
 on a single core two worker processes time-slice one another and the
 "cluster" degenerates to serial execution plus wire overhead.
 """
@@ -46,6 +60,16 @@ CLUSTER_SCALES = {
     "tiny": (120, 12, 200, None),
     "small": (500, 50, 2000, 1.3),
     "default": (900, 90, 4000, 1.3),
+}
+
+#: Interval-heavy shapes of the wire-protocol benchmark:
+#: (num_events, num_intervals, num_users, minimum accepted v2-over-v1 speedup
+#: or None).  Many cheap columns make the per-request round-trip latency the
+#: dominant cost — exactly what v2's batching and pipelining removed.
+V2_SCALES = {
+    "tiny": (50, 400, 50, None),
+    "small": (50, 2000, 50, 1.5),
+    "default": (80, 4000, 80, 1.5),
 }
 
 #: Localhost workers spawned for the cluster leg (the acceptance criterion's
@@ -108,6 +132,7 @@ def compare_backends(scale: str):
             )
             results[backend] = result
             timings[backend] = elapsed
+            stats = result.cluster_stats
             rows.append(
                 {
                     "scale": scale,
@@ -119,6 +144,13 @@ def compare_backends(scale: str):
                     "time_sec": round(elapsed, 4),
                     "utility": round(result.utility, 4),
                     "score_computations": result.score_computations,
+                    # Wire counters of the (last) run — zero for the local leg.
+                    "tasks": stats.get("tasks", 0),
+                    "batches": stats.get("batches", 0),
+                    "round_trips": stats.get("round_trips", 0),
+                    "bytes_sent": stats.get("bytes_sent", 0),
+                    "bytes_received": stats.get("bytes_received", 0),
+                    "local_columns": stats.get("local_columns", 0),
                 }
             )
         for row in rows:
@@ -167,4 +199,115 @@ def test_cluster_backend_speedup(benchmark, bench_scale, results_dir):
         assert speedup >= minimum, (
             f"cluster backend speedup {speedup:.2f}x below the {minimum}x floor "
             f"at scale {scale!r} on {os.cpu_count()} CPUs"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Protocol v2 (batched, pipelined) vs the v1 per-column wire shape
+# --------------------------------------------------------------------------- #
+def time_score_matrix(instance, addresses, *, task_batch, pipeline_depth, repetitions=3):
+    """Best-of-N ``score_matrix`` timing under one wire configuration.
+
+    ``task_batch=1`` with ``pipeline_depth=1`` reproduces the v1 dispatch
+    exactly: one column per request, the next request only after the previous
+    reply.  One engine serves every repetition, so the instance ships once and
+    the links stay warm — the timing isolates the dispatch loop itself.
+    """
+    engine = ScoringEngine(
+        instance,
+        execution=ExecutionConfig(
+            backend="cluster",
+            chunk_size=CHUNK_SIZE,
+            workers_addr=tuple(addresses),
+            task_batch=task_batch,
+        ),
+    )
+    engine.execution_backend._pipeline_depth = pipeline_depth
+    try:
+        engine.score_matrix(count=False)  # warm-up: ship + link establishment
+        best, matrix = float("inf"), None
+        for _ in range(repetitions):
+            started = time.perf_counter()
+            matrix = engine.score_matrix(count=False)
+            best = min(best, time.perf_counter() - started)
+        stats = engine.execution_backend.stats()
+    finally:
+        engine.close()
+    return best, matrix, stats
+
+
+def compare_wire_protocols(scale: str):
+    num_events, num_intervals, num_users, _ = V2_SCALES[scale]
+    workers = [start_local_worker() for _ in range(NUM_WORKERS)]
+    addresses = [worker.address for worker in workers]
+    try:
+        instance = build_instance(num_events, num_intervals, num_users)
+        modes = {
+            "v1-per-column": {"task_batch": 1, "pipeline_depth": 1},
+            "v2-batched": {"task_batch": None, "pipeline_depth": None},
+        }
+        rows, matrices, timings = [], {}, {}
+        for mode, knobs in modes.items():
+            from repro.core.distributed.protocol import PIPELINE_DEPTH
+
+            elapsed, matrix, stats = time_score_matrix(
+                instance,
+                addresses,
+                task_batch=knobs["task_batch"],
+                pipeline_depth=knobs["pipeline_depth"] or PIPELINE_DEPTH,
+            )
+            matrices[mode] = matrix
+            timings[mode] = elapsed
+            rows.append(
+                {
+                    "scale": scale,
+                    "mode": mode,
+                    "workers": NUM_WORKERS,
+                    "events": num_events,
+                    "intervals": num_intervals,
+                    "users": num_users,
+                    "time_sec": round(elapsed, 4),
+                    "task_batch": stats["task_batch"],
+                    "tasks": stats["tasks"],
+                    "batches": stats["batches"],
+                    "round_trips": stats["round_trips"],
+                    "bytes_sent": stats["bytes_sent"],
+                    "bytes_received": stats["bytes_received"],
+                    "local_columns": stats["local_columns"],
+                }
+            )
+        speedup = timings["v1-per-column"] / max(timings["v2-batched"], 1e-9)
+        for row in rows:
+            row["speedup_vs_v1"] = round(
+                timings["v1-per-column"] / max(timings[row["mode"]], 1e-9), 2
+            )
+        batch_engine = ScoringEngine(
+            instance, execution=ExecutionConfig(backend="batch", chunk_size=CHUNK_SIZE)
+        )
+        reference = batch_engine.score_matrix(count=False)
+        identical = all(
+            bool(np.array_equal(matrix, reference)) for matrix in matrices.values()
+        )
+    finally:
+        for worker in workers:
+            worker.stop()
+    return rows, speedup, identical
+
+
+def test_protocol_v2_beats_per_column_dispatch(benchmark, bench_scale, results_dir):
+    scale = bench_scale if bench_scale in V2_SCALES else "small"
+    rows, speedup, identical = run_once(benchmark, compare_wire_protocols, scale)
+    text = persist_rows("cluster_protocol_v2", rows, results_dir)
+    print("\n" + text)
+    print(
+        f"protocol v2 speedup over per-column v1 dispatch: {speedup:.2f}x "
+        f"({NUM_WORKERS} localhost workers, {os.cpu_count()} CPUs)"
+    )
+
+    assert identical, "a wire mode produced a matrix differing from batch"
+    minimum = V2_SCALES[scale][3]
+    if minimum is not None and (os.cpu_count() or 1) >= 2:
+        assert speedup >= minimum, (
+            f"protocol v2 speedup {speedup:.2f}x below the {minimum}x floor "
+            f"over v1 per-column dispatch at scale {scale!r} on {os.cpu_count()} CPUs"
         )

@@ -68,6 +68,15 @@ class SchedulerResult:
         The remote worker addresses of a ``cluster``-backend run (the empty
         tuple for in-process runs) — recorded so harness tables can tell a
         distributed row from a degraded local one.
+    cluster_stats:
+        The cluster backend's dispatch counters
+        (:meth:`~repro.core.execution.ExecutionBackend.stats`): per-address
+        tasks / batches / round-trips / bytes, plus the locally-computed
+        column count.  Empty for in-process runs.
+    task_batch:
+        The resolved :attr:`~repro.core.execution.ExecutionConfig.task_batch`
+        knob of a cluster run (``None`` means the batch size was auto-derived
+        per call; also ``None`` for in-process runs).
     """
 
     algorithm: str
@@ -81,6 +90,8 @@ class SchedulerResult:
     backend: str = DEFAULT_BACKEND
     workers: int = 1
     cluster: Tuple[str, ...] = ()
+    cluster_stats: Dict[str, object] = field(default_factory=dict)
+    task_batch: Optional[int] = None
 
     @property
     def num_scheduled(self) -> int:
@@ -102,13 +113,42 @@ class SchedulerResult:
         """The paper's Fig. 10b search-space metric."""
         return int(self.counters.get("assignments_examined", 0))
 
+    def _cluster_summary(self) -> object:
+        """The ``cluster`` summary cell: dispatch counters for cluster runs.
+
+        In-process runs report ``"-"``.  Cluster runs report a mapping with
+        the worker addresses plus the per-run dispatch totals (tasks served
+        remotely, wire batches, round-trips, bytes each way, columns computed
+        locally), so harness tables and the benchmark JSON expose shipping
+        overhead next to compute time.
+        """
+        if not self.cluster:
+            return "-"
+        cell: Dict[str, object] = {"workers": ",".join(self.cluster)}
+        for key in (
+            "tasks",
+            "batches",
+            "round_trips",
+            "bytes_sent",
+            "bytes_received",
+            "local_columns",
+        ):
+            if key in self.cluster_stats:
+                cell[key] = self.cluster_stats[key]
+        return cell
+
     def summary(self) -> Dict[str, object]:
         """Flat dictionary used by the experiment harness and reports."""
         return {
             "algorithm": self.algorithm,
             "backend": self.backend,
             "workers": self.workers,
-            "cluster": ",".join(self.cluster) if self.cluster else "-",
+            "cluster": self._cluster_summary(),
+            "task_batch": (
+                (self.task_batch if self.task_batch is not None else "auto")
+                if self.cluster
+                else "-"
+            ),
             "k": self.k,
             "scheduled": self.num_scheduled,
             "utility": self.utility,
@@ -280,6 +320,10 @@ class BaseScheduler(ABC):
 
             utility = self._engine.evaluate_schedule(schedule)
             net_utility = self._engine.evaluate_schedule(schedule, include_costs=True)
+            # Snapshot the backend's dispatch counters before close() — the
+            # cluster backend keys them by worker address (not link objects),
+            # so the snapshot stays valid after the connections are gone.
+            backend_stats = self._engine.execution_backend.stats()
         finally:
             # Release the pooled backends' workers (and the process backend's
             # shared-memory block) deterministically — the engine stays usable
@@ -298,6 +342,8 @@ class BaseScheduler(ABC):
             backend=self._execution.backend,
             workers=self._execution.workers,
             cluster=self._execution.workers_addr or (),
+            cluster_stats=backend_stats if self._execution.workers_addr else {},
+            task_batch=self._execution.task_batch,
         )
 
     # ------------------------------------------------------------------ #

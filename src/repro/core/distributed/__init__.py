@@ -3,7 +3,9 @@
 This package scales the execution layer past one host.  The natural RPC unit
 was established by the in-process ``process`` backend: one *per-interval
 column task* — interval index plus two per-user scheduled-sum vectors in, one
-score column out.  Here that unit travels over TCP instead of a pool queue:
+score column out.  Here those units travel over TCP instead of a pool queue,
+grouped into pipelined batches (protocol v2) so a dispatch round-trip is paid
+per batch rather than per column:
 
 * :mod:`~repro.core.distributed.protocol` — the wire protocol (operations,
   the :class:`~repro.core.distributed.protocol.ColumnTask` unit, instance
@@ -37,8 +39,12 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis aliases
     from repro.core.distributed.client import ClusterBackend, ClusterWorkerWarning
     from repro.core.distributed.protocol import (
         DEFAULT_CLUSTER_KEY,
+        MAX_TASK_BATCH,
+        PIPELINE_DEPTH,
         PROTOCOL_VERSION,
+        TASK_OVERSUBSCRIBE,
         ColumnTask,
+        derive_task_batch,
         instance_fingerprint,
         parse_worker_address,
     )
@@ -55,8 +61,12 @@ _EXPORTS = {
     "ClusterBackend": "repro.core.distributed.client",
     "ClusterWorkerWarning": "repro.core.distributed.client",
     "DEFAULT_CLUSTER_KEY": "repro.core.distributed.protocol",
+    "MAX_TASK_BATCH": "repro.core.distributed.protocol",
+    "PIPELINE_DEPTH": "repro.core.distributed.protocol",
     "PROTOCOL_VERSION": "repro.core.distributed.protocol",
+    "TASK_OVERSUBSCRIBE": "repro.core.distributed.protocol",
     "ColumnTask": "repro.core.distributed.protocol",
+    "derive_task_batch": "repro.core.distributed.protocol",
     "instance_fingerprint": "repro.core.distributed.protocol",
     "parse_worker_address": "repro.core.distributed.protocol",
     "WorkerHandle": "repro.core.distributed.worker",

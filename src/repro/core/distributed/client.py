@@ -9,19 +9,46 @@ the in-process ``process`` backend one level up:
 * the static instance matrices ship to each worker **once per instance
   fingerprint** (the TCP analogue of publish-once shared memory) and are
   cached worker-side across calls, runs and clients;
-* each task streams only the interval's two per-user scheduled-sum vectors
-  (plus the call's selector) and returns one score column;
+* tasks move in **batches** (protocol v2): one
+  :data:`~repro.core.distributed.protocol.OP_SCORE_COLUMNS` request carries
+  ``ceil(|T| / (lanes * TASK_OVERSUBSCRIBE))`` columns (clamped; overridable
+  via :attr:`~repro.core.execution.ExecutionConfig.task_batch`), and each
+  link keeps :data:`~repro.core.distributed.protocol.PIPELINE_DEPTH` batches
+  in flight, so the worker prefetches the next batch from its socket buffer
+  instead of idling one wire round-trip per column;
 * every column is produced by the same
   :func:`~repro.core.execution.score_block_kernel` under the same event-axis
   chunking as the serial batch path, so results are **bit-identical** to every
   other backend regardless of which machine computed which column.
 
-**Failure tolerance.**  Dispatch runs one client thread per live worker, all
-pulling interval tasks from one shared pending pool.  A worker that dies
-mid-run (connection reset / EOF) has its in-flight task re-queued and its
-remaining share drained by the surviving workers; if every worker is lost the
-leftover columns are computed locally with the serial batch kernel — the run
-always completes with the exact same matrix, just slower.
+**Dispatch.**  ``score_matrix`` runs one *lane* thread per ``workers`` (capped
+by the number of configured addresses — the knob caps concurrency, never the
+candidate worker set).  A lane acquires an idle live link, or dials a
+configured address that has none; connecting and instance shipping happen
+inside the lane, and while no link is serving yet the main thread computes
+columns locally from the tail of the queue, so shipping overlaps with the
+first locally-computed columns instead of blocking dispatch start.
+
+**Failure tolerance and elasticity.**  A worker that dies mid-run (connection
+reset / EOF) has its in-flight batches re-queued — re-split across the
+surviving links so no single survivor inherits the whole share — and its lane
+dials a replacement.  Failed addresses are retried with exponential backoff
+(:data:`~repro.core.distributed.protocol.RECONNECT_BACKOFF_BASE`), and idle
+lanes re-poll the configured addresses every
+:data:`~repro.core.distributed.protocol.REDISCOVERY_INTERVAL` seconds, so a
+worker restarted (or newly started) on a configured address joins an
+*in-flight* ``score_matrix`` call instead of waiting for the next one.  If
+every worker is lost the leftover columns are computed locally with the
+serial batch kernel — the run always completes with the exact same matrix,
+just slower.  A fatal (non-link) error sets a shared abort flag checked in
+every lane's dispatch loop, so a run that is guaranteed to fail stops paying
+for remote columns promptly.
+
+**Observability.**  Per-link counters — tasks served, batches, round-trips,
+bytes sent/received — accumulate per worker address (independent of link
+objects, so they survive reconnects and :meth:`~ClusterBackend.close`) and
+are exposed through :meth:`ClusterBackend.stats`, which the scheduler records
+into :meth:`SchedulerResult.summary`.
 
 **Degradation.**  With no workers configured
 (:attr:`~repro.core.execution.ExecutionConfig.workers_addr` unset) the backend
@@ -32,13 +59,16 @@ with remote workers.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import itertools
 import multiprocessing
+import pickle
 import threading
+import time
 import warnings
 from multiprocessing.connection import Client, Connection
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -48,21 +78,31 @@ from repro.core.distributed.protocol import (
     OP_HAS_INSTANCE,
     OP_PING,
     OP_PUT_INSTANCE,
-    OP_SCORE_COLUMN,
+    OP_SCORE_COLUMNS,
+    PIPELINE_DEPTH,
     PROTOCOL_VERSION,
+    RECONNECT_BACKOFF_BASE,
+    RECONNECT_BACKOFF_MAX,
+    REDISCOVERY_INTERVAL,
     SELECTOR_CACHED,
     STATUS_OK,
     ColumnTask,
     authkey_bytes,
+    derive_task_batch,
     instance_fingerprint,
     parse_worker_address,
 )
 from repro.core.errors import SolverError
 from repro.core.execution import BatchBackend, ExecutionConfig, ProcessBackend
 
-#: Exceptions that mean "this worker (or its link) is gone" — the task is
+#: Exceptions that mean "this worker (or its link) is gone" — the batch is
 #: re-dispatched instead of failing the run.
 _LINK_FAILURES = (OSError, EOFError, BrokenPipeError, ConnectionError)
+
+#: Heal-and-resend cycles tolerated per link per call before the worker is
+#: declared broken (a healthy worker needs at most one instance re-ship and
+#: one selector re-attach per call).
+_MAX_HEALS = 4
 
 
 class ClusterWorkerWarning(RuntimeWarning):
@@ -70,7 +110,7 @@ class ClusterWorkerWarning(RuntimeWarning):
 
 
 class _WorkerLink:
-    """One live connection to a remote worker (driven by one client thread)."""
+    """One live connection to a remote worker (driven by one lane at a time)."""
 
     __slots__ = ("address", "connection", "alive", "shipped", "selection_token")
 
@@ -90,6 +130,57 @@ class _WorkerLink:
             self.connection.close()
         except OSError:  # pragma: no cover - already closed
             pass
+
+
+class _CallState:
+    """Shared state of one ``score_matrix`` dispatch (lanes + the main thread)."""
+
+    __slots__ = (
+        "tasks",
+        "matrix",
+        "pending",
+        "lock",
+        "errors",
+        "abort",
+        "token",
+        "selector",
+        "serving",
+        "available",
+        "connecting",
+        "warned",
+    )
+
+    def __init__(
+        self,
+        tasks: Dict[int, ColumnTask],
+        matrix: np.ndarray,
+        pending: "Deque[List[int]]",
+        token: int,
+        selector: Optional[np.ndarray],
+        available: List[_WorkerLink],
+    ) -> None:
+        self.tasks = tasks
+        self.matrix = matrix
+        #: Batches not yet dispatched (lanes pop from the left, the local
+        #: overlap helper from the right).
+        self.pending = pending
+        self.lock = threading.Lock()
+        self.errors: List[BaseException] = []
+        #: Set on the first fatal (non-link) error: every lane checks it in
+        #: its dispatch loop and stops sending promptly instead of draining
+        #: the whole pending pool for a run that is guaranteed to fail.
+        self.abort = threading.Event()
+        self.token = token
+        self.selector = selector
+        #: Set when the first link is ready to serve — ends the main thread's
+        #: ship-overlap local compute.
+        self.serving = threading.Event()
+        #: Idle live links (a lane holding a link is its only driver).
+        self.available = available
+        #: Addresses currently being dialled by some lane.
+        self.connecting: Set[str] = set()
+        #: Addresses already warned about this call (one warning per call).
+        self.warned: Set[str] = set()
 
 
 class ClusterBackend(ProcessBackend):
@@ -116,6 +207,19 @@ class ClusterBackend(ProcessBackend):
         self._fingerprint: Optional[str] = None
         self._arrays: Optional[Dict[str, np.ndarray]] = None
         self._call_tokens = itertools.count()
+        #: Per-address dispatch counters.  Keyed by address — not by link —
+        #: so they survive reconnects and remain readable after close().
+        self._link_stats: Dict[str, Dict[str, int]] = {}
+        self._local_columns = 0
+        self._last_task_batch: Optional[int] = None
+        #: Per-address reconnection backoff (seconds) and next-attempt
+        #: deadline — exponential within a call, reset at every call start.
+        self._backoff: Dict[str, float] = {}
+        self._retry_at: Dict[str, float] = {}
+        #: Batches kept in flight per link.  The benchmark pins this to 1
+        #: (together with ``task_batch=1``) to measure the v1 per-column
+        #: dispatch this protocol replaced.
+        self._pipeline_depth = PIPELINE_DEPTH
 
     # ------------------------------------------------------------------ #
     # Instance shipping
@@ -159,11 +263,45 @@ class ClusterBackend(ProcessBackend):
             )
         return link
 
-    @staticmethod
-    def _roundtrip(link: _WorkerLink, request: tuple):
-        """One request/response exchange on a link."""
-        link.connection.send(request)
-        return link.connection.recv()
+    # ------------------------------------------------------------------ #
+    # Wire primitives (byte-counting)
+    # ------------------------------------------------------------------ #
+    def _link_stat(self, address: str) -> Dict[str, int]:
+        """The per-address counter record, created on first use."""
+        stat = self._link_stats.get(address)
+        if stat is None:
+            stat = self._link_stats[address] = {
+                "tasks": 0,
+                "batches": 0,
+                "round_trips": 0,
+                "bytes_sent": 0,
+                "bytes_received": 0,
+            }
+        return stat
+
+    def _send(self, link: _WorkerLink, request: tuple) -> None:
+        """Send one request (explicitly pickled so the byte counters see it).
+
+        ``send_bytes`` of a ``pickle.dumps`` payload is wire-compatible with
+        the worker's plain ``Connection.recv()`` — framing is identical, only
+        the serialisation moves client-side where its size can be counted.
+        """
+        payload = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+        link.connection.send_bytes(payload)
+        stat = self._link_stat(link.address)
+        stat["bytes_sent"] += len(payload)
+        stat["round_trips"] += 1
+
+    def _recv(self, link: _WorkerLink):
+        """Receive one response, counting its wire size."""
+        payload = link.connection.recv_bytes()
+        self._link_stat(link.address)["bytes_received"] += len(payload)
+        return pickle.loads(payload)
+
+    def _roundtrip(self, link: _WorkerLink, request: tuple):
+        """One synchronous request/response exchange on a link."""
+        self._send(link, request)
+        return self._recv(link)
 
     def _ship_instance(self, link: _WorkerLink) -> None:
         """Make the engine's matrices resident on the worker (once per fingerprint)."""
@@ -179,37 +317,83 @@ class ClusterBackend(ProcessBackend):
                 raise SolverError(f"cluster worker {link.address} failed: {payload}")
         link.shipped.add(fingerprint)
 
-    def _live_links(self) -> List[_WorkerLink]:
-        """Connect lazily to every configured worker; skip the unreachable.
+    # ------------------------------------------------------------------ #
+    # Link pool (lanes acquire; reconnection backoff + re-discovery)
+    # ------------------------------------------------------------------ #
+    def _candidate_addresses(self, state: _CallState) -> List[str]:
+        """Configured addresses with no live link that no lane is dialling.
 
-        Connections persist across calls (a worker keeps the instance cached,
-        so reconnecting per call would only add latency).  Dead links are
-        pruned here, so a worker that was unreachable at first contact — or
-        that died and was restarted on the same address — is retried on the
-        next call.
+        Call under ``state.lock``.  This is the *candidate worker set* — it
+        always spans every configured address; the ``workers`` knob caps the
+        number of concurrent lanes, never this set, so a healthy worker
+        beyond the cap picks up the share of a dead one.
         """
-        addresses = self._config.workers_addr or ()
-        if self._links is None:
-            self._links = []
-        else:
-            self._links = [link for link in self._links if link.alive]
-        linked = {link.address for link in self._links}
-        for address in addresses:
-            if address in linked:
-                continue
-            try:
-                link = self._connect(address)
-                self._ship_instance(link)
-            except _LINK_FAILURES as error:
+        linked = {link.address for link in self._links if link.alive}
+        return [
+            address
+            for address in self._config.workers_addr
+            if address not in linked and address not in state.connecting
+        ]
+
+    def _note_failure(self, address: str) -> None:
+        """Push an address's next reconnection attempt out (exponential backoff)."""
+        backoff = self._backoff.get(address)
+        backoff = (
+            RECONNECT_BACKOFF_BASE
+            if backoff is None
+            else min(backoff * 2.0, RECONNECT_BACKOFF_MAX)
+        )
+        self._backoff[address] = backoff
+        self._retry_at[address] = time.monotonic() + backoff
+
+    def _acquire_link(self, state: _CallState) -> Optional[_WorkerLink]:
+        """An idle live link, or a fresh connection to an unlinked address.
+
+        Returns ``None`` when nothing is connectable right now (every
+        candidate is in reconnection backoff, being dialled by another lane,
+        or refused the connection).  Configuration errors — authentication or
+        protocol-version mismatch — propagate: they must fail the run, not
+        demote it to local compute.
+        """
+        now = time.monotonic()
+        with state.lock:
+            while state.available:
+                link = state.available.pop()
+                if link.alive:
+                    state.serving.set()
+                    return link
+            ready = [
+                address
+                for address in self._candidate_addresses(state)
+                if self._retry_at.get(address, 0.0) <= now
+            ]
+            if not ready:
+                return None
+            address = ready[0]
+            state.connecting.add(address)
+        try:
+            link = self._connect(address)
+            self._ship_instance(link)
+        except _LINK_FAILURES as error:
+            self._note_failure(address)
+            if address not in state.warned:
+                state.warned.add(address)
                 warnings.warn(
                     f"cluster worker {address} is unreachable ({error}); "
                     "its share re-dispatches to the remaining workers",
                     ClusterWorkerWarning,
                     stacklevel=3,
                 )
-                continue
+            return None
+        finally:
+            with state.lock:
+                state.connecting.discard(address)
+        with state.lock:
             self._links.append(link)
-        return [link for link in self._links if link.alive]
+        self._backoff.pop(address, None)
+        self._retry_at.pop(address, None)
+        state.serving.set()
+        return link
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -225,18 +409,14 @@ class ClusterBackend(ProcessBackend):
             return super().score_matrix(selector)
         if num_intervals <= 1 or num_rows == 0:
             return self._local_matrix(selector)
-        links = self._live_links()
-        if not links:
-            warnings.warn(
-                "no cluster worker is reachable; computing locally",
-                ClusterWorkerWarning,
-                stacklevel=2,
-            )
-            return self._local_matrix(selector)
-        # An explicit workers=N caps the dispatch lanes (the default resolves
-        # to len(workers_addr), i.e. every reachable worker) — what actually
-        # fans out must match what results/records report.
-        links = links[: max(1, self._config.workers)]
+        if self._links is None:
+            self._links = []
+        else:
+            self._links = [link for link in self._links if link.alive]
+        # A new call grants every configured address a fresh immediate
+        # (re)connection attempt; backoff only paces retries *within* a call.
+        self._backoff.clear()
+        self._retry_at.clear()
 
         mu_rows, value_mu_rows = engine._select_event_rows(selector)
         token = next(self._call_tokens)
@@ -254,96 +434,261 @@ class ClusterBackend(ProcessBackend):
             )
             for interval_index in range(num_intervals)
         }
-        pending: List[int] = list(tasks)
-        lock = threading.Lock()
-        errors: List[BaseException] = []
-
-        def drive(link: _WorkerLink) -> None:
-            while True:
-                with lock:
-                    if not pending:
-                        return
-                    interval_index = pending.pop()
-                try:
-                    column = self._remote_column(link, tasks[interval_index])
-                except _LINK_FAILURES as error:
-                    with lock:
-                        pending.append(interval_index)
-                    link.close()
-                    warnings.warn(
-                        f"cluster worker {link.address} died mid-run "
-                        f"({type(error).__name__}: {error}); "
-                        "re-dispatching its pending intervals",
-                        ClusterWorkerWarning,
-                        stacklevel=2,
-                    )
-                    return
-                except BaseException as error:  # noqa: BLE001 - surfaced after join
-                    with lock:
-                        pending.append(interval_index)
-                        errors.append(error)
-                    return
-                matrix[:, interval_index] = column
-
+        num_lanes = min(max(1, self._config.workers), len(self._config.workers_addr))
+        batch_size = derive_task_batch(num_intervals, num_lanes, self._config.task_batch)
+        self._last_task_batch = batch_size
+        pending: Deque[List[int]] = collections.deque(
+            list(range(start, min(start + batch_size, num_intervals)))
+            for start in range(0, num_intervals, batch_size)
+        )
+        state = _CallState(tasks, matrix, pending, token, selector, list(self._links))
         threads = [
-            threading.Thread(target=drive, args=(link,), name=f"ses-cluster-{index}")
-            for index, link in enumerate(links)
+            threading.Thread(
+                target=self._drive_lane, args=(state,), name=f"ses-cluster-{index}"
+            )
+            for index in range(num_lanes)
         ]
         for thread in threads:
             thread.start()
+        # Ship overlap: while no link is serving yet (first contact pays
+        # connect + instance ship), compute columns locally from the tail of
+        # the queue — but leave enough batches to fill every lane's pipeline,
+        # so a fast local CPU never starves the remote dispatch on small
+        # instances.
+        floor = num_lanes * max(1, self._pipeline_depth)
+        while not state.serving.is_set():
+            with state.lock:
+                if len(state.pending) <= floor:
+                    break
+                batch = state.pending.pop()
+            for interval_index in batch:
+                matrix[:, interval_index] = self._sharded_scores(
+                    interval_index, mu_rows, value_mu_rows
+                )
+            self._local_columns += len(batch)
         for thread in threads:
             thread.join()
-        if errors:
-            raise errors[0]
-        # Every interval a dead worker left behind (and anything never
-        # dispatched because all workers were lost) is computed locally with
-        # the bit-identical serial batch kernel.
-        for interval_index in pending:
-            matrix[:, interval_index] = self._sharded_scores(
-                interval_index, mu_rows, value_mu_rows
-            )
+        if state.errors:
+            raise state.errors[0]
+        # Every batch a dead worker left behind (and anything never dispatched
+        # because every worker was lost) is computed locally with the
+        # bit-identical serial batch kernel.
+        while state.pending:
+            batch = state.pending.popleft()
+            for interval_index in batch:
+                matrix[:, interval_index] = self._sharded_scores(
+                    interval_index, mu_rows, value_mu_rows
+                )
+            self._local_columns += len(batch)
         return matrix
 
-    def _remote_column(self, link: _WorkerLink, task: ColumnTask) -> np.ndarray:
-        """One task round-trip, healing evictions transparently.
+    def _drive_lane(self, state: _CallState) -> None:
+        """One dispatch lane: acquire a link and stream batches until done.
+
+        A lane whose link dies re-queues the in-flight batches (re-split
+        across the survivors) and dials a replacement address — including
+        addresses that had no worker at call start, which is what lets a
+        restarted worker join an in-flight call.  A lane with nothing to dial
+        waits out reconnection backoff in
+        :data:`~repro.core.distributed.protocol.REDISCOVERY_INTERVAL` ticks
+        while any *other* link is still making progress; once no link is
+        alive the lane exits and the leftovers fall to local compute.
+        """
+        while not state.abort.is_set():
+            with state.lock:
+                if not state.pending:
+                    return
+            try:
+                link = self._acquire_link(state)
+            except BaseException as error:  # noqa: BLE001 - surfaced after join
+                with state.lock:
+                    state.errors.append(error)
+                state.abort.set()
+                return
+            if link is None:
+                with state.lock:
+                    # A dial in progress counts as "alive": its link may land
+                    # any moment, so this lane keeps polling for re-discovery
+                    # instead of abandoning an address that is merely slow.
+                    others_alive = any(l.alive for l in self._links) or bool(
+                        state.connecting
+                    )
+                    candidates = bool(self._candidate_addresses(state))
+                if not others_alive or not candidates:
+                    return
+                time.sleep(REDISCOVERY_INTERVAL)
+                continue
+            try:
+                self._drive_link(state, link)
+            except _LINK_FAILURES:
+                continue  # died mid-run: batches re-queued, dial a replacement
+            except BaseException as error:  # noqa: BLE001 - surfaced after join
+                # In-flight replies may be unread — the connection is
+                # desynchronised, so it is dropped rather than reused.
+                link.close()
+                with state.lock:
+                    state.errors.append(error)
+                state.abort.set()
+                return
+            else:
+                if link.alive:
+                    with state.lock:
+                        state.available.append(link)
+                return
+
+    def _drive_link(self, state: _CallState, link: _WorkerLink) -> None:
+        """Stream batches down one link, keeping the pipeline window full.
+
+        Replies arrive in request order (the worker serves a connection on a
+        single thread), so a FIFO of in-flight batches maps each reply back
+        to its batch.  Link failures re-queue the window — re-split across
+        the survivors — and propagate so the lane can dial a replacement.
+        """
+        depth = max(1, self._pipeline_depth)
+        inflight: Deque[List[int]] = collections.deque()
+        heals = 0
+        try:
+            while True:
+                while len(inflight) < depth and not state.abort.is_set():
+                    with state.lock:
+                        if not state.pending:
+                            break
+                        batch = state.pending.popleft()
+                    try:
+                        self._send_batch(state, link, batch)
+                    except _LINK_FAILURES:
+                        with state.lock:
+                            state.pending.appendleft(batch)
+                        raise
+                    inflight.append(batch)
+                if not inflight:
+                    return
+                if state.abort.is_set():
+                    # Another lane hit a fatal error: stop now.  The unread
+                    # in-flight replies would desynchronise the connection,
+                    # so it is dropped rather than drained.
+                    with state.lock:
+                        state.pending.extendleft(reversed(inflight))
+                    link.close()
+                    return
+                status, payload = self._recv(link)
+                batch = inflight.popleft()
+                if status == STATUS_OK:
+                    self._store_batch(state, link, batch, payload)
+                    continue
+                # A well-known error reply.  Every later in-flight batch will
+                # answer the same way (the worker replies in order), and the
+                # healing round-trips cannot interleave with outstanding
+                # score replies — so drain the window first, then heal, then
+                # re-queue the failed batches.
+                failed = [batch]
+                while inflight:
+                    drained_status, drained_payload = self._recv(link)
+                    drained = inflight.popleft()
+                    if drained_status == STATUS_OK:
+                        self._store_batch(state, link, drained, drained_payload)
+                    else:
+                        failed.append(drained)
+                heals += 1
+                if heals > _MAX_HEALS:
+                    raise SolverError(
+                        f"cluster worker {link.address} keeps rejecting tasks: {payload}"
+                    )
+                self._heal(link, payload)
+                with state.lock:
+                    state.pending.extendleft(reversed(failed))
+        except _LINK_FAILURES as error:
+            self._discard_link(state, link, inflight, error)
+            raise
+
+    def _send_batch(self, state: _CallState, link: _WorkerLink, batch: List[int]) -> None:
+        """One :data:`OP_SCORE_COLUMNS` request.
 
         The selector of a subset call crosses each connection once: the first
-        task of a call carries the index array, later tasks reference it with
-        :data:`SELECTOR_CACHED`.  A worker that lost state mid-call answers
-        with a well-known error — :data:`ERROR_UNKNOWN_INSTANCE` triggers an
-        instance re-ship, :data:`ERROR_UNKNOWN_SELECTION` a retry with the
-        full selector attached — so restarts only cost the re-shipping.
+        task sent down a link carries the index array, every later task
+        references it with :data:`SELECTOR_CACHED`.
         """
         fingerprint, _ = self._instance_arrays()
-        wire_task = task
-        if task.selector is not None:
-            if link.selection_token == task.token:
-                wire_task = dataclasses.replace(task, selector=SELECTOR_CACHED)
-            else:
-                link.selection_token = task.token
-        reshipped = False
-        while True:
-            status, payload = self._roundtrip(link, (OP_SCORE_COLUMN, fingerprint, wire_task))
-            if status == STATUS_OK:
-                interval_index, scores = payload
-                if interval_index != task.interval_index:  # pragma: no cover - defensive
-                    raise SolverError(
-                        f"cluster worker {link.address} answered interval "
-                        f"{interval_index} for task {task.interval_index}"
-                    )
-                return scores
-            if payload == ERROR_UNKNOWN_INSTANCE and not reshipped:
-                # Evicted (or the worker restarted): re-ship and retry once,
-                # with the full selector — the selection cache is gone too.
-                reshipped = True
-                link.shipped.discard(fingerprint)
-                self._ship_instance(link)
-                wire_task = task
-                continue
-            if payload == ERROR_UNKNOWN_SELECTION and wire_task is not task:
-                wire_task = task
-                continue
-            raise SolverError(f"cluster worker {link.address} failed: {payload}")
+        wire: List[ColumnTask] = []
+        for interval_index in batch:
+            task = state.tasks[interval_index]
+            if state.selector is not None:
+                if link.selection_token == state.token:
+                    task = dataclasses.replace(task, selector=SELECTOR_CACHED)
+                else:
+                    link.selection_token = state.token
+            wire.append(task)
+        self._send(link, (OP_SCORE_COLUMNS, fingerprint, tuple(wire)))
+
+    def _store_batch(
+        self, state: _CallState, link: _WorkerLink, batch: List[int], payload
+    ) -> None:
+        """Write one batch reply's columns into the result matrix."""
+        if not isinstance(payload, tuple) or len(payload) != len(batch):
+            raise SolverError(
+                f"cluster worker {link.address} answered a malformed batch "
+                f"reply for a {len(batch)}-task batch"
+            )
+        for expected, (interval_index, scores) in zip(batch, payload):
+            if interval_index != expected:  # pragma: no cover - defensive
+                raise SolverError(
+                    f"cluster worker {link.address} answered interval "
+                    f"{interval_index} for task {expected}"
+                )
+            state.matrix[:, interval_index] = scores
+        stat = self._link_stat(link.address)
+        stat["tasks"] += len(batch)
+        stat["batches"] += 1
+
+    def _heal(self, link: _WorkerLink, payload) -> None:
+        """Recover a link whose worker answered a well-known error payload.
+
+        :data:`ERROR_UNKNOWN_INSTANCE` — evicted (or the worker restarted
+        behind the connection): re-ship the matrices and re-attach the
+        selector, the selection cache may be gone too.
+        :data:`ERROR_UNKNOWN_SELECTION` — re-attach the selector on resend.
+        Anything else is a real worker-side failure and raises.
+        """
+        fingerprint, _ = self._instance_arrays()
+        if payload == ERROR_UNKNOWN_INSTANCE:
+            link.shipped.discard(fingerprint)
+            link.selection_token = None
+            self._ship_instance(link)
+            return
+        if payload == ERROR_UNKNOWN_SELECTION:
+            link.selection_token = None
+            return
+        raise SolverError(f"cluster worker {link.address} failed: {payload}")
+
+    def _discard_link(
+        self,
+        state: _CallState,
+        link: _WorkerLink,
+        inflight: "Deque[List[int]]",
+        error: BaseException,
+    ) -> None:
+        """Close a dead link; re-split its in-flight batches across survivors.
+
+        Whole-batch re-queueing would hand one survivor the dead worker's
+        entire window; splitting each batch into per-survivor shares keeps
+        the re-dispatch balanced.
+        """
+        link.close()
+        self._note_failure(link.address)
+        with state.lock:
+            self._links = [other for other in self._links if other is not link]
+            survivors = max(1, sum(1 for other in self._links if other.alive))
+            for batch in reversed(inflight):
+                share = max(1, -(-len(batch) // survivors))
+                for start in range(0, len(batch), share):
+                    state.pending.appendleft(batch[start : start + share])
+        warnings.warn(
+            f"cluster worker {link.address} died mid-run "
+            f"({type(error).__name__}: {error}); "
+            "re-dispatching its in-flight batches across the survivors",
+            ClusterWorkerWarning,
+            stacklevel=3,
+        )
 
     def _local_matrix(self, selector: Optional[np.ndarray]) -> np.ndarray:
         """The serial in-process batch computation (the local fallback path).
@@ -353,6 +698,32 @@ class ClusterBackend(ProcessBackend):
         when a *configured* cluster is merely unreachable.
         """
         return BatchBackend.score_matrix(self, selector)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Per-link dispatch counters accumulated over this backend's lifetime.
+
+        ``workers`` maps each contacted address to its counters (``tasks``,
+        ``batches``, ``round_trips``, ``bytes_sent``, ``bytes_received``);
+        the top level carries the totals plus ``local_columns`` (columns the
+        client computed itself — ship overlap and failure fallback) and
+        ``task_batch`` (the batch size of the most recent dispatch).  The
+        counters are keyed by address, not link, so the snapshot stays valid
+        after reconnects and :meth:`close`.
+        """
+        workers = {address: dict(stat) for address, stat in self._link_stats.items()}
+        totals = {
+            key: sum(stat[key] for stat in self._link_stats.values())
+            for key in ("tasks", "batches", "round_trips", "bytes_sent", "bytes_received")
+        }
+        return {
+            "workers": workers,
+            "local_columns": self._local_columns,
+            "task_batch": self._last_task_batch,
+            **totals,
+        }
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -8,12 +8,18 @@ module defines everything both sides must agree on:
 
 * the **operations** a client may request (:data:`OP_PING`,
   :data:`OP_HAS_INSTANCE`, :data:`OP_PUT_INSTANCE`, :data:`OP_SCORE_COLUMN`,
-  :data:`OP_SHUTDOWN`) and the two response statuses (:data:`STATUS_OK`,
-  :data:`STATUS_ERROR`);
+  :data:`OP_SCORE_COLUMNS`, :data:`OP_SHUTDOWN`) and the two response
+  statuses (:data:`STATUS_OK`, :data:`STATUS_ERROR`);
 * the **task unit** (:class:`ColumnTask`): one per-interval score column —
   interval index plus the interval's two per-user scheduled-sum vectors —
   which is the same RPC unit the in-process ``process`` backend dispatches to
   its pool;
+* the **batch sizing rule** (:func:`derive_task_batch`): protocol v2 moves
+  tasks in batches of ``ceil(|T| / (lanes * TASK_OVERSUBSCRIBE))`` columns
+  (clamped to :data:`MAX_TASK_BATCH`), and the client keeps
+  :data:`PIPELINE_DEPTH` batches in flight per link, so the per-request wire
+  latency is amortised over many columns and the workers prefetch instead of
+  idling between round-trips;
 * the **instance fingerprint** (:func:`instance_fingerprint`): a content hash
   of the static instance matrices.  The matrices ship to a worker **once per
   fingerprint** (mirroring the process backend's publish-once shared-memory
@@ -24,7 +30,8 @@ module defines everything both sides must agree on:
 
 Every request is a tuple ``(op, *payload)`` and every response a pair
 ``(status, payload)``.  Responses to :data:`OP_SCORE_COLUMN` carry
-``(interval_index, scores)`` so columns can complete out of order; the
+``(interval_index, scores)``; responses to :data:`OP_SCORE_COLUMNS` carry a
+tuple of such pairs, one per task of the batch, in task order.  The
 well-known error payload :data:`ERROR_UNKNOWN_INSTANCE` tells the client the
 worker evicted (or never had) the fingerprint, and the client re-ships the
 matrices and retries — a worker restart is therefore invisible apart from the
@@ -42,8 +49,10 @@ import numpy as np
 from repro.core.errors import SolverError
 
 #: Version tag exchanged in the :data:`OP_PING` handshake; bumped whenever the
-#: message layout changes incompatibly.
-PROTOCOL_VERSION: int = 1
+#: message layout changes incompatibly.  v2 added batched dispatch
+#: (:data:`OP_SCORE_COLUMNS`); a v1 peer is rejected at connect time with a
+#: clear error instead of failing mid-run on an unknown operation.
+PROTOCOL_VERSION: int = 2
 
 #: Shared secret used for ``multiprocessing.connection``'s HMAC handshake when
 #: :attr:`~repro.core.execution.ExecutionConfig.cluster_key` is left unset.
@@ -59,7 +68,35 @@ OP_PING = "ping"
 OP_HAS_INSTANCE = "has-instance"
 OP_PUT_INSTANCE = "put-instance"
 OP_SCORE_COLUMN = "score-column"
+OP_SCORE_COLUMNS = "score-columns"
 OP_SHUTDOWN = "shutdown"
+
+# -- batched, pipelined dispatch (protocol v2) ------------------------------- #
+#: Batches a lane aims to produce per dispatch lane when the batch size is
+#: auto-derived: enough slack that a fast worker can steal share from a slow
+#: one, without collapsing back into per-column round-trips.
+TASK_OVERSUBSCRIBE: int = 4
+
+#: Upper clamp of the auto-derived batch size: one reply carries at most this
+#: many score columns, which bounds both the reply's memory footprint and the
+#: share a dying worker can strand in flight.
+MAX_TASK_BATCH: int = 64
+
+#: Batches the client keeps in flight per link (send the next batch before
+#: receiving the current reply): the worker's OS socket buffer holds the next
+#: request while it computes, so it never idles on the wire between batches.
+PIPELINE_DEPTH: int = 2
+
+#: Seconds before the first reconnection attempt to a failed worker address;
+#: doubled per consecutive failure up to :data:`RECONNECT_BACKOFF_MAX`.
+RECONNECT_BACKOFF_BASE: float = 0.05
+
+#: Ceiling of the reconnection backoff (seconds).
+RECONNECT_BACKOFF_MAX: float = 0.5
+
+#: Poll interval (seconds) of an idle dispatch lane waiting for a configured
+#: address to leave backoff — the period of mid-run re-discovery.
+REDISCOVERY_INTERVAL: float = 0.02
 
 # -- response statuses ------------------------------------------------------ #
 STATUS_OK = "ok"
@@ -124,6 +161,29 @@ class ColumnTask:
     step: int
 
 
+def derive_task_batch(
+    num_intervals: int, lanes: int, task_batch: Optional[int] = None
+) -> int:
+    """Columns per :data:`OP_SCORE_COLUMNS` batch for one ``score_matrix`` call.
+
+    The automatic size spreads the intervals over
+    ``lanes * TASK_OVERSUBSCRIBE`` batches — enough batches that lanes keep
+    re-balancing against each other (and against worker death), while each
+    batch still amortises one round-trip over many columns:
+    ``ceil(num_intervals / (lanes * TASK_OVERSUBSCRIBE))`` clamped to
+    ``[1, MAX_TASK_BATCH]``.  An explicit ``task_batch`` (the
+    :attr:`~repro.core.execution.ExecutionConfig.task_batch` knob) bypasses
+    the derivation and is clamped only to ``[1, num_intervals]`` —
+    ``task_batch=1`` reproduces v1's per-column dispatch unit.
+    """
+    num_intervals = max(1, int(num_intervals))
+    if task_batch is not None:
+        return max(1, min(int(task_batch), num_intervals))
+    lanes = max(1, int(lanes))
+    derived = -(-num_intervals // (lanes * TASK_OVERSUBSCRIBE))
+    return max(1, min(derived, MAX_TASK_BATCH))
+
+
 def parse_worker_address(address: str) -> Tuple[str, int]:
     """Split a ``"host:port"`` worker address, validating both parts."""
     if not isinstance(address, str) or address.count(":") != 1:
@@ -177,13 +237,21 @@ __all__ = [
     "OP_HAS_INSTANCE",
     "OP_PUT_INSTANCE",
     "OP_SCORE_COLUMN",
+    "OP_SCORE_COLUMNS",
     "OP_SHUTDOWN",
     "STATUS_OK",
     "STATUS_ERROR",
     "ERROR_UNKNOWN_INSTANCE",
     "ERROR_UNKNOWN_SELECTION",
     "SELECTOR_CACHED",
+    "TASK_OVERSUBSCRIBE",
+    "MAX_TASK_BATCH",
+    "PIPELINE_DEPTH",
+    "RECONNECT_BACKOFF_BASE",
+    "RECONNECT_BACKOFF_MAX",
+    "REDISCOVERY_INTERVAL",
     "ColumnTask",
+    "derive_task_batch",
     "parse_worker_address",
     "format_worker_address",
     "authkey_bytes",

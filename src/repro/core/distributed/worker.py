@@ -3,9 +3,10 @@
 A worker is one OS process that listens on a TCP address, caches the static
 matrices of the instances it has been sent (see
 :class:`~repro.core.distributed.cache.InstanceCache`) and answers
-:data:`~repro.core.distributed.protocol.OP_SCORE_COLUMN` tasks by running the
-library's single bit-identity-critical kernel
-(:func:`~repro.core.execution.score_block_kernel`) over one interval column —
+:data:`~repro.core.distributed.protocol.OP_SCORE_COLUMNS` batches (and the
+single-column :data:`~repro.core.distributed.protocol.OP_SCORE_COLUMN`) by
+running the library's single bit-identity-critical kernel
+(:func:`~repro.core.execution.score_block_kernel`) over each interval column —
 exactly what the in-process ``process`` backend's pool workers do, with a
 socket in place of shared memory.
 
@@ -44,6 +45,7 @@ from repro.core.distributed.protocol import (
     OP_PING,
     OP_PUT_INSTANCE,
     OP_SCORE_COLUMN,
+    OP_SCORE_COLUMNS,
     OP_SHUTDOWN,
     PROTOCOL_VERSION,
     SELECTOR_CACHED,
@@ -245,6 +247,23 @@ class WorkerServer:
                 return (STATUS_ERROR, ERROR_UNKNOWN_SELECTION), False
             scores = score_column(arrays, task, rows)
             return (STATUS_OK, (task.interval_index, scores)), False
+        if op == OP_SCORE_COLUMNS:
+            # Protocol v2: one request carries a whole batch of column tasks
+            # and one reply carries every column, in task order — same kernel,
+            # same chunking, one round-trip.  The batch fails as a unit (the
+            # client re-sends it after healing), so the instance/selection
+            # checks run before any column is computed.
+            fingerprint, batch = request[1:]
+            arrays = self._cache.get(fingerprint)
+            if arrays is None:
+                return (STATUS_ERROR, ERROR_UNKNOWN_INSTANCE), False
+            columns = []
+            for task in batch:
+                rows = self._selected_rows(arrays, task, selection)
+                if rows is None:
+                    return (STATUS_ERROR, ERROR_UNKNOWN_SELECTION), False
+                columns.append((task.interval_index, score_column(arrays, task, rows)))
+            return (STATUS_OK, tuple(columns)), False
         if op == OP_SHUTDOWN:
             return (STATUS_OK, True), True
         return (STATUS_ERROR, f"unknown operation {op!r}"), False
@@ -343,9 +362,14 @@ class WorkerHandle:
             self.process.join(timeout)
 
     def kill(self, timeout: float = 5.0) -> None:
-        """Hard-kill the worker (simulates a machine/process failure)."""
+        """Hard-kill the worker (simulates a machine/process failure).
+
+        SIGKILL, not SIGTERM: the point is abrupt death with no Python
+        cleanup — no flushed buffers, no closed sockets — so the failure
+        tests exercise what a powered-off machine looks like to the client.
+        """
         if self.process.is_alive():
-            self.process.terminate()
+            self.process.kill()
             self.process.join(timeout)
 
 

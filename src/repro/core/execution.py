@@ -29,7 +29,10 @@ are computed (never *what* they are):
   backend (``"fork"`` where available, with full ``"spawn"`` /
   ``"forkserver"`` support);
 * ``workers_addr`` / ``cluster_key`` — the cluster backend's remote worker
-  addresses and shared authentication secret.
+  addresses and shared authentication secret;
+* ``task_batch`` — columns per cluster wire batch (``None`` auto-derives
+  ``ceil(|T| / (lanes * TASK_OVERSUBSCRIBE))``, clamped — see
+  :func:`~repro.core.distributed.protocol.derive_task_batch`).
 
 Custom strategies plug in through :func:`register_backend`; everything else —
 engine, schedulers, harness, figures, CLI — talks to the layer only through
@@ -257,6 +260,30 @@ def resolve_workers_addr(
     return normalized
 
 
+def resolve_task_batch(
+    task_batch: Optional[int], backend: Optional[str] = None
+) -> Optional[int]:
+    """Validate the cluster backend's wire batch size (``None`` means auto).
+
+    ``None`` keeps the per-call automatic derivation
+    (:func:`~repro.core.distributed.protocol.derive_task_batch` — the size
+    depends on the instance's interval count, so it cannot be fixed at config
+    time).  An explicit value must be a positive integer; ``1`` reproduces the
+    v1 per-column dispatch unit.  Backends that are not distributed
+    (:attr:`ExecutionBackend.uses_cluster` is false) resolve to ``None`` —
+    the knob does not apply to them.
+    """
+    if task_batch is not None and (
+        not isinstance(task_batch, int) or isinstance(task_batch, bool) or task_batch < 1
+    ):
+        raise SolverError(
+            f"task_batch must be a positive integer or None, got {task_batch!r}"
+        )
+    if backend is not None and not get_backend(resolve_backend(backend)).uses_cluster:
+        return None
+    return task_batch
+
+
 def resolve_cluster_key(
     cluster_key: Optional[str], backend: Optional[str] = None
 ) -> Optional[str]:
@@ -322,6 +349,14 @@ class ExecutionConfig:
         selects :data:`~repro.core.distributed.protocol.DEFAULT_CLUSTER_KEY`
         for cluster backends (``None`` for every other backend).  Client and
         workers must agree on it.
+    task_batch:
+        Columns per wire batch of the ``"cluster"`` backend's ``score_matrix``
+        dispatch.  ``None`` (the default) auto-derives
+        ``ceil(|T| / (lanes * TASK_OVERSUBSCRIBE))``, clamped — see
+        :func:`~repro.core.distributed.protocol.derive_task_batch`; ``1``
+        reproduces the v1 per-column round-trips.  ``None`` for every
+        non-distributed backend.  Never changes a result bit — only the wire
+        traffic shape.
     """
 
     backend: Optional[str] = None
@@ -330,6 +365,7 @@ class ExecutionConfig:
     start_method: Optional[str] = None
     workers_addr: Optional[Tuple[str, ...]] = None
     cluster_key: Optional[str] = None
+    task_batch: Optional[int] = None
 
     def resolve(self, num_users: int) -> "ExecutionConfig":
         """Return a copy with every ``None`` replaced by its concrete default.
@@ -346,6 +382,7 @@ class ExecutionConfig:
             start_method=resolve_start_method(self.start_method, backend),
             workers_addr=workers_addr,
             cluster_key=resolve_cluster_key(self.cluster_key, backend),
+            task_batch=resolve_task_batch(self.task_batch, backend),
         )
 
     @property
@@ -458,6 +495,18 @@ class ExecutionBackend:
     def score_matrix(self, selector: Optional[np.ndarray]) -> np.ndarray:
         """The ``(|selection|, |T|)`` score matrix against the current state."""
         raise NotImplementedError
+
+    # -- observability ---------------------------------------------------- #
+    def stats(self) -> Dict[str, object]:
+        """Execution counters accumulated since this backend was created.
+
+        The in-process strategies have nothing to report (empty dict); the
+        cluster backend returns its per-link dispatch counters (tasks,
+        batches, round-trips, bytes shipped) so results and benchmarks can
+        report shipping overhead vs. compute.  The returned mapping is a
+        snapshot — it stays valid after :meth:`close`.
+        """
+        return {}
 
     # -- lifecycle -------------------------------------------------------- #
     def close(self) -> None:
@@ -981,6 +1030,7 @@ __all__ = [
     "resolve_chunk_size",
     "resolve_cluster_key",
     "resolve_start_method",
+    "resolve_task_batch",
     "resolve_workers",
     "resolve_workers_addr",
     "score_block_kernel",

@@ -26,9 +26,9 @@ strategies — ``"scalar"`` (the per-pair reference), ``"batch"`` (the default:
 whole candidate blocks per vectorised NumPy pass), ``"parallel"`` (the batch
 blocks dispatched to a GIL-releasing thread pool), ``"process"`` (the score
 matrix's per-interval columns sharded across a shared-memory process pool) or
-``"cluster"`` (the same column tasks sharded across remote TCP workers) —
-plus the ``chunk_size`` / ``workers`` / ``start_method`` /
-``workers_addr`` / ``cluster_key`` knobs.  All backends
+``"cluster"`` (the same column tasks batched and sharded across remote TCP
+workers) — plus the ``chunk_size`` / ``workers`` / ``start_method`` /
+``workers_addr`` / ``cluster_key`` / ``task_batch`` knobs.  All backends
 perform the same elementary operations in the same order per (user, event)
 element, so their scores agree bit-for-bit among the bulk strategies (and to
 machine precision with the scalar reference), and all report one score

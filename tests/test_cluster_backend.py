@@ -460,16 +460,22 @@ class TestSchedulerEquivalence:
         assert result.backend == "cluster"
         assert result.workers == len(addresses)
         assert result.cluster == addresses
-        assert result.summary()["cluster"] == ",".join(addresses)
+        cluster_cell = result.summary()["cluster"]
+        assert cluster_cell["workers"] == ",".join(addresses)
+        assert cluster_cell["tasks"] + cluster_cell["local_columns"] > 0
+        assert result.summary()["task_batch"] == "auto"
         record = MetricRecord.from_result(result, experiment_id="x", dataset="d")
         assert record.params["backend"] == "cluster"
         assert record.params["cluster"] == ",".join(addresses)
+        assert record.params["task_batch"] == "auto"
         # In-process runs must not grow a cluster param.
         local = run_scheduler("ALG", instance, 3, execution=ExecutionConfig(backend="batch"))
         assert local.cluster == ()
         assert local.summary()["cluster"] == "-"
+        assert local.summary()["task_batch"] == "-"
         local_record = MetricRecord.from_result(local, experiment_id="x", dataset="d")
         assert "cluster" not in local_record.params
+        assert "task_batch" not in local_record.params
 
     def test_harness_forwards_execution(self, worker_pair):
         instance = make_random_instance(seed=227, num_users=15, num_events=8, num_intervals=3)

@@ -8,7 +8,11 @@ the code *registers*.  Concretely:
   **exactly** the backends in the live ``register_backend()`` registry — no
   missing backend, no phantom row;
 * every CLI sub-command built by :func:`repro.cli.build_parser` must appear
-  in the README's command reference (and vice versa);
+  in the README's command reference (and vice versa), and the shared
+  execution flags named there must all exist on the parser (and vice versa);
+* the wire-protocol op table in ``docs/ARCHITECTURE.md`` must list exactly
+  the ``OP_*`` constants of ``repro.core.distributed.protocol``, and the
+  documented batch-sizing formula must quote the live constants;
 * every test-suite path cited in ``docs/PAPER_MAPPING.md`` must exist.
 
 If one of these tests fails you either added code without documenting it or
@@ -90,6 +94,21 @@ class TestBackendTables:
             assert names == expected, f"{path.name} lists backends out of order"
 
 
+def _backend_flags() -> list:
+    """The long option strings attached by ``_add_backend_arguments``."""
+    parser = build_parser()
+    action = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    solve = action.choices["solve"]
+    flags = []
+    for option in solve._actions:
+        for string in option.option_strings:
+            if string.startswith("--") and string not in ("--help",):
+                flags.append(string)
+    return flags
+
+
 class TestCliReference:
     def test_every_subcommand_is_documented(self):
         section = _section(README.read_text(encoding="utf-8"), "## CLI command reference")
@@ -97,6 +116,62 @@ class TestCliReference:
         assert sorted(documented) == sorted(_cli_subcommands()), (
             "README's CLI command reference drifted from build_parser(): "
             f"documented={sorted(documented)}, actual={sorted(_cli_subcommands())}"
+        )
+
+    def test_every_execution_flag_is_documented(self):
+        """The shared execution flags named below the command table are real
+        parser options, and every ``_add_backend_arguments`` flag is named."""
+        section = _section(README.read_text(encoding="utf-8"), "## CLI command reference")
+        documented = set(re.findall(r"`(--[\w-]+)`", section))
+        execution_flags = {
+            "--backend", "--chunk-size", "--workers",
+            "--cluster", "--cluster-key", "--task-batch",
+        }
+        parser_flags = set(_backend_flags())
+        missing_from_parser = execution_flags - parser_flags
+        assert not missing_from_parser, (
+            f"README documents execution flags the parser lost: {sorted(missing_from_parser)}"
+        )
+        missing_from_readme = execution_flags - documented
+        assert not missing_from_readme, (
+            f"README's command reference omits execution flags: {sorted(missing_from_readme)}"
+        )
+
+
+class TestWireProtocolTable:
+    def test_architecture_op_table_matches_protocol_module(self):
+        """The op table documents exactly the OP_* constants of protocol.py."""
+        from repro.core.distributed import protocol
+
+        section = _section(
+            ARCHITECTURE.read_text(encoding="utf-8"),
+            "## Data flow: the wire protocol (`cluster`)",
+        )
+        documented = _table_names(section)
+        assert documented, "docs/ARCHITECTURE.md lost its wire-protocol op table"
+        ops = sorted(
+            value
+            for name, value in vars(protocol).items()
+            if name.startswith("OP_")
+        )
+        assert sorted(documented) == ops, (
+            "docs/ARCHITECTURE.md op table drifted from protocol.py's OP_* "
+            f"constants: documented={sorted(documented)}, actual={ops}"
+        )
+
+    def test_architecture_documents_the_batch_sizing_rule(self):
+        """The documented formula names the live constants' values."""
+        from repro.core.distributed.protocol import MAX_TASK_BATCH, TASK_OVERSUBSCRIBE
+
+        section = _section(
+            ARCHITECTURE.read_text(encoding="utf-8"),
+            "## Data flow: the wire protocol (`cluster`)",
+        )
+        assert f"lanes × {TASK_OVERSUBSCRIBE}" in section, (
+            "ARCHITECTURE.md batch-sizing formula drifted from TASK_OVERSUBSCRIBE"
+        )
+        assert str(MAX_TASK_BATCH) in section, (
+            "ARCHITECTURE.md batch-sizing clamp drifted from MAX_TASK_BATCH"
         )
 
 
