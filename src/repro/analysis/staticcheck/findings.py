@@ -1,0 +1,63 @@
+"""Structured lint findings (the unit of output of every rule).
+
+A :class:`Finding` is deliberately a plain, hashable record — ``rule id,
+path, line, message, severity`` — so the CLI can render it as text, the CI
+job can serialise it to JSON, and the tests can compare sets of findings
+without caring which rule produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+#: A finding that must fail the build.
+SEVERITY_ERROR = "error"
+#: A finding that is reported (and still fails ``repro lint``) but flags a
+#: discipline problem rather than a correctness hazard.
+SEVERITY_WARNING = "warning"
+
+#: The closed set of severities, in decreasing order of gravity.
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Project-root-relative POSIX path of the offending file.
+    line:
+        1-based line number of the violation (0 when the finding concerns
+        the file as a whole, e.g. a syntax error with no position).
+    rule:
+        Registry id of the rule that produced the finding.
+    message:
+        Human-readable description, including the remedy where one exists.
+    severity:
+        :data:`SEVERITY_ERROR` or :data:`SEVERITY_WARNING`.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def format(self) -> str:
+        """The one-line ``path:line: [rule] message`` rendering."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        """A plain-dict copy with a stable key set (for ``--json`` output)."""
+        return asdict(self)
+
+
+__all__ = [
+    "Finding",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+]

@@ -1,0 +1,58 @@
+"""Text rendering of lint reports (the ``repro lint`` terminal output).
+
+JSON rendering lives on :meth:`~repro.analysis.staticcheck.walker.LintReport.to_json`
+(it *is* the schema); this module owns the human-facing side: one
+``path:line: [rule] message`` line per finding plus a summary, and the
+``--list-rules`` catalogue table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.staticcheck.registry import rule_catalog
+from repro.analysis.staticcheck.walker import LintReport
+
+
+def format_report(report: LintReport) -> str:
+    """The full text rendering: findings (sorted) then the summary line."""
+    lines = [finding.format() for finding in report.findings]
+    lines.append(format_summary(report))
+    return "\n".join(lines)
+
+
+def format_summary(report: LintReport) -> str:
+    """One line: finding/waiver/file totals (and per-rule counts if any)."""
+    if report.clean:
+        status = "clean"
+    else:
+        by_rule = [
+            f"{rule_id}: {count}"
+            for rule_id, count in sorted(report.rule_counts.items())
+            if count
+        ]
+        status = f"{len(report.findings)} finding(s) ({', '.join(by_rule)})"
+    return (
+        f"repro lint: {status} — {report.files_scanned} file(s) scanned, "
+        f"{report.waivers} waiver(s), {report.waived_findings} finding(s) waived"
+    )
+
+
+def format_rule_table(rows: Sequence[Dict[str, str]] | None = None) -> str:
+    """An aligned table of the rule catalogue (``--list-rules``)."""
+    rows = list(rows) if rows is not None else rule_catalog()
+    if not rows:
+        return "(no rules registered)"
+    headers = list(rows[0])
+    widths = {
+        header: max(len(header), *(len(str(row[header])) for row in rows))
+        for header in headers
+    }
+    def _line(values: List[str]) -> str:
+        return "  ".join(str(value).ljust(widths[h]) for h, value in zip(headers, values))
+    out = [_line(headers), _line(["-" * widths[h] for h in headers])]
+    out.extend(_line([row[h] for h in headers]) for row in rows)
+    return "\n".join(out)
+
+
+__all__ = ["format_report", "format_rule_table", "format_summary"]

@@ -1,0 +1,83 @@
+"""Per-line lint waivers: ``# staticcheck: allow(<rule>) -- justification``.
+
+A waiver comment suppresses findings of the named rule(s) **on the physical
+line carrying the comment** — the narrowest possible escape hatch.  Waivers
+are themselves checked: one without a justification, or one naming a rule id
+that is not registered, is reported by the ``waiver-discipline`` rule, so
+every suppression in the tree documents *why* the invariant does not apply.
+
+Comments are found with :mod:`tokenize` (never string matching), so a waiver
+spelled inside a string literal is inert.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Shape: a ``staticcheck:`` comment naming one or more rule ids in
+#: ``allow(<rule-id>, ...)``, then a justification after ``--``, ``—`` or
+#: ``:`` — everything past the separator is the justification text.
+WAIVER_PATTERN = re.compile(
+    r"#\s*staticcheck:\s*allow\(\s*(?P<rules>[A-Za-z0-9_,\s\-]*?)\s*\)"
+    r"\s*(?:(?:--|—|:)\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One waiver comment: its line, the rule ids it names, its justification."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        """Whether this waiver suppresses a finding of ``rule_id`` at ``line``."""
+        return line == self.line and rule_id in self.rules
+
+
+def collect_waivers(source: str) -> List[Waiver]:
+    """Every waiver comment in ``source``, via the token stream.
+
+    Tokenisation errors yield no waivers — the walker reports the underlying
+    syntax error separately, and a file that does not parse has nothing to
+    waive.
+    """
+    waivers: List[Waiver] = []
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return waivers
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = WAIVER_PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        waivers.append(
+            Waiver(
+                line=token.start[0],
+                rules=rules,
+                justification=(match.group("why") or "").strip(),
+            )
+        )
+    return waivers
+
+
+def waived_lines(waivers: List[Waiver]) -> Dict[int, Tuple[str, ...]]:
+    """Map each waived line to the union of rule ids waived there."""
+    lines: Dict[int, Tuple[str, ...]] = {}
+    for waiver in waivers:
+        lines[waiver.line] = tuple(set(lines.get(waiver.line, ()) + waiver.rules))
+    return lines
+
+
+__all__ = ["WAIVER_PATTERN", "Waiver", "collect_waivers", "waived_lines"]

@@ -18,6 +18,10 @@ Sub-commands
     Cluster worker management: ``worker serve`` runs one scoring worker of
     the distributed ``cluster`` backend on this machine (point clients at it
     with ``--cluster host:port``).
+``lint``
+    Statically check the project invariants (AST-based rules from
+    ``repro.analysis.staticcheck``); exits non-zero on findings, ``--json``
+    emits the stable machine-readable report the CI gate archives.
 ``list``
     List the available datasets, algorithms and experiments.
 ``info``
@@ -244,6 +248,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 4)",
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically check the project invariants (exit 1 on findings)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools", "benchmarks"],
+        help="files/directories to scan (default: src tools benchmarks, "
+        "resolved from the current directory)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stable JSON report (schema_version, files_scanned, "
+        "per-rule counts, waivers, findings) instead of text",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: every registered "
+        "rule; see --list-rules)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule catalogue (id, scope, severity, "
+        "summary) and exit",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="project root for rule path scoping (default: auto-detected "
+        "from the nearest setup.py/pyproject.toml/.git ancestor)",
+    )
+
     subparsers.add_parser("list", help="list datasets, algorithms and experiments")
 
     info = subparsers.add_parser("info", help="summarise a saved instance")
@@ -353,6 +394,31 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported lazily (like the worker machinery): the lint framework pulls
+    # in the rule registry, which ordinary CLI commands never need.
+    from repro.analysis.staticcheck import (
+        format_report,
+        format_rule_table,
+        run_lint,
+    )
+
+    if args.list_rules:
+        print(format_rule_table())
+        return 0
+    rule_ids = (
+        [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+        if args.rules is not None
+        else None
+    )
+    report = run_lint(args.paths, root=args.root, rule_ids=rule_ids)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(format_report(report))
+    return 0 if report.clean else 1
+
+
 def _command_list(_: argparse.Namespace) -> int:
     print("datasets:    " + ", ".join(dataset_names()))
     print("algorithms:  " + ", ".join(available_schedulers()))
@@ -374,6 +440,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "backends": _command_backends,
     "worker": _command_worker,
+    "lint": _command_lint,
     "list": _command_list,
     "info": _command_info,
 }

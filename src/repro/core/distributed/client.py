@@ -500,7 +500,7 @@ class ClusterBackend(ProcessBackend):
                     return
             try:
                 link = self._acquire_link(state)
-            except BaseException as error:  # noqa: BLE001 - surfaced after join
+            except BaseException as error:  # staticcheck: allow(broad-except) -- collected into state.errors and re-raised by score_matrix after the lanes join; lane threads have no caller to propagate to
                 with state.lock:
                     state.errors.append(error)
                 state.abort.set()
@@ -522,7 +522,7 @@ class ClusterBackend(ProcessBackend):
                 self._drive_link(state, link)
             except _LINK_FAILURES:
                 continue  # died mid-run: batches re-queued, dial a replacement
-            except BaseException as error:  # noqa: BLE001 - surfaced after join
+            except BaseException as error:  # staticcheck: allow(broad-except) -- collected into state.errors and re-raised by score_matrix after the lanes join; lane threads have no caller to propagate to
                 # In-flight replies may be unread — the connection is
                 # desynchronised, so it is dropped rather than reused.
                 link.close()

@@ -206,7 +206,7 @@ class WorkerServer:
                     break
                 try:
                     response, shutdown = self._dispatch(request, selection)
-                except Exception as error:  # noqa: BLE001 - reported to the client
+                except Exception as error:  # staticcheck: allow(broad-except) -- serialised into the STATUS_ERROR reply below: the client raises it as SolverError, and letting it kill this connection thread would hide it instead
                     response, shutdown = (
                         (STATUS_ERROR, f"{type(error).__name__}: {error}"),
                         False,

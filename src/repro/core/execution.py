@@ -862,9 +862,14 @@ class ProcessBackend(BatchBackend):
                 # Preload this module into the server so the workers it forks
                 # inherit the imports instead of re-importing per pool (a
                 # no-op once the server is running).
+                # Preloading is a pure optimisation: a ValueError (bad module
+                # list) or RuntimeError (server already running on some
+                # versions) must not fail the pool — the workers just
+                # re-import per process.  Anything else is a real bug and
+                # propagates.
                 try:  # pragma: no cover - depends on server state
                     context.set_forkserver_preload(["repro.core.execution"])
-                except Exception:
+                except (ValueError, RuntimeError):
                     pass
             try:
                 executor = ProcessPoolExecutor(

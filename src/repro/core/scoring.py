@@ -242,7 +242,7 @@ class ScoringEngine:
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # staticcheck: allow(broad-except) -- __del__ during interpreter teardown: modules may be half-gone and there is no caller to report to; close() is retried nowhere
             pass
 
     # ------------------------------------------------------------------ #

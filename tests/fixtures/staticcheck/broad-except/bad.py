@@ -1,0 +1,23 @@
+# lintpath: tools/fixture_bad.py
+"""Bad: silent swallows — bare, Exception, and BaseException-in-tuple."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        return None
+
+
+def probe(worker):
+    try:
+        worker.ping()
+    except:  # noqa: E722
+        pass
+
+
+def shield(callback):
+    try:
+        callback()
+    except (KeyboardInterrupt, BaseException):
+        return False

@@ -1,0 +1,25 @@
+# lintpath: tools/fixture_good.py
+"""Good: narrow types, re-raising handlers, and a justified waiver."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except (OSError, UnicodeDecodeError):
+        return None
+
+
+def publish(block):
+    try:
+        return block.publish()
+    except Exception:
+        block.unlink()  # cleanup, then surface the original error
+        raise
+
+
+def reactor_tick(handlers):
+    for handler in handlers:
+        try:
+            handler()
+        except Exception as error:  # staticcheck: allow(broad-except) -- logged to the reactor journal below; one bad handler must not stop the loop
+            handlers.journal(error)

@@ -1,0 +1,16 @@
+# lintpath: src/repro/algorithms/fixture_bad.py
+"""Bad: counter totals advanced raw, bypassing the canonical helpers."""
+
+
+def generate_entries(counter, entries, num_users):
+    counter.score_computations += len(entries)  # bypasses user weighting
+    counter.user_computations += len(entries) * num_users
+    counter.assignments_examined = counter.assignments_examined + 1
+    return entries
+
+
+class Walker:
+    def select(self, assignment):
+        self._counter.selections += 1  # bypasses count_selection
+        self._counter.extra["walks"] = 1  # bypasses bump
+        return assignment

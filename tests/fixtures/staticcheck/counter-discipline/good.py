@@ -1,0 +1,16 @@
+# lintpath: src/repro/algorithms/fixture_good.py
+"""Good: counters advance through the canonical helpers only."""
+
+
+def generate_entries(counter, entries, num_users):
+    counter.count_scores(len(entries), initial=True, num_users=num_users)
+    counter.count_examined()
+    counter.num_users = num_users  # configuration, not a total: assignable
+    return entries
+
+
+class Walker:
+    def select(self, assignment):
+        self._counter.count_selection()
+        self._counter.bump("walks")
+        return assignment

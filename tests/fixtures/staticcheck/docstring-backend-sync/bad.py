@@ -1,0 +1,8 @@
+# lintpath: src/repro/core/fixture_bad.py
+"""Helpers documented against the ``warp`` backend, which does not exist."""
+
+
+def dispatch(engine):
+    """Shard the matrix like the 'turbo' backend, falling back to
+    backend="hyper" when the pool is busy."""
+    return engine

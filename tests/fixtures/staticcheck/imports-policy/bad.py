@@ -1,0 +1,11 @@
+# lintpath: src/repro/core/fixture_bad.py
+"""Bad: an unguarded third-party import and an upward layer import."""
+
+import requests  # third-party outside the stdlib+NumPy policy
+
+from repro.experiments.harness import run_algorithms  # core -> experiments is upward
+
+
+def fetch_and_solve(url, instance):
+    payload = requests.get(url)
+    return run_algorithms(instance, 3)

@@ -1,0 +1,18 @@
+# lintpath: src/repro/experiments/fixture_good.py
+"""Good: stdlib + NumPy + downward repro imports + a guarded optional extra."""
+
+import json
+import math
+
+import numpy as np
+
+from repro.core.counters import ComputationCounter
+from repro.algorithms.registry import get_scheduler
+
+
+def co_membership(instance):
+    try:
+        import networkx as nx
+    except ImportError:
+        raise RuntimeError("networkx is required for the co-membership graph")
+    return nx.Graph()

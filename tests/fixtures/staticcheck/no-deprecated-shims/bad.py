@@ -1,0 +1,9 @@
+# lintpath: src/repro/experiments/fixture_bad.py
+"""Bad: internal call sites still using the pre-ExecutionConfig loose kwargs."""
+
+
+def solve_all(instance, scheduler_cls, HorScheduler, run_algorithms, ScoringEngine):
+    engine = ScoringEngine(instance, backend="batch", chunk_size=64)
+    scheduler = scheduler_cls(instance, workers=4)
+    horizontal = HorScheduler(instance, backend="process")
+    return run_algorithms(instance, 3, workers=2), engine, scheduler, horizontal

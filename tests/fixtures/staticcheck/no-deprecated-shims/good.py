@@ -1,0 +1,9 @@
+# lintpath: src/repro/experiments/fixture_good.py
+"""Good: one ExecutionConfig everywhere; the config constructor itself is legal."""
+
+
+def solve_all(instance, scheduler_cls, run_algorithms, ScoringEngine, ExecutionConfig):
+    execution = ExecutionConfig(backend="batch", chunk_size=64, workers=2)
+    engine = ScoringEngine(instance, execution=execution)
+    scheduler = scheduler_cls(instance, execution=execution)
+    return run_algorithms(instance, 3, execution=execution), engine, scheduler

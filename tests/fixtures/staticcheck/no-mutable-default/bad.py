@@ -1,0 +1,17 @@
+# lintpath: benchmarks/fixture_bad.py
+"""Bad: mutable default argument values, literal and constructed."""
+
+
+def record(row, sink=[]):
+    sink.append(row)
+    return sink
+
+
+def tally(row, *, counts={}, seen=set()):
+    counts[row] = counts.get(row, 0) + 1
+    seen.add(row)
+    return counts
+
+
+def build(make=dict()):
+    return make

@@ -1,0 +1,14 @@
+# lintpath: benchmarks/fixture_good.py
+"""Good: None/tuple defaults with the object created per call."""
+
+
+def record(row, sink=None):
+    sink = [] if sink is None else sink
+    sink.append(row)
+    return sink
+
+
+def tally(row, *, counts=None, order=()):
+    counts = {} if counts is None else counts
+    counts[row] = counts.get(row, 0) + 1
+    return counts, tuple(order)

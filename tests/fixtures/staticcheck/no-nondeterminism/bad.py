@@ -1,0 +1,27 @@
+# lintpath: src/repro/core/fixture_bad.py
+"""Bad: every determinism hazard the rule bans, in one deterministic-layer file."""
+
+import random  # banned module import
+import time
+import datetime
+import numpy as np
+
+
+def stamp_schedule(schedule):
+    schedule.created = time.time()  # banned wall-clock read
+    schedule.day = datetime.datetime.now()  # banned wall-clock read
+    return schedule
+
+
+def jitter(scores):
+    return scores + np.random.rand(scores.shape[0])  # banned global RNG
+
+
+def order_hazards(events):
+    seen = {event.id for event in events}
+    ordered = list(set(events))  # banned: set order escapes into a list
+    for event_id in seen | {0}:
+        pass
+    for event_id in set(events):  # banned: iteration over a set
+        ordered.append(event_id)
+    return [event for event in frozenset(events)]  # banned in comprehension

@@ -1,0 +1,15 @@
+# lintpath: src/repro/core/fixture_good.py
+"""Good: elapsed-time metrics and sorted set materialisation are all legal."""
+
+import time
+
+
+def timed_schedule(solver, instance):
+    start = time.perf_counter()  # elapsed-time metric, not a result input
+    schedule = solver(instance)
+    elapsed = time.monotonic()  # also fine
+    return schedule, time.perf_counter() - start, elapsed
+
+
+def ordered_ids(events):
+    return sorted(set(event.id for event in events))  # sorted before use

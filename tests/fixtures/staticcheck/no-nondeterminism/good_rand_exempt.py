@@ -1,0 +1,9 @@
+# lintpath: src/repro/algorithms/rand.py
+"""Good: the seeded RAND baseline is the sanctioned randomness site."""
+
+import random
+
+
+def pick(seed, candidates):
+    rng = random.Random(seed)
+    return rng.choice(candidates)

@@ -1,0 +1,6 @@
+# lintpath: src/repro/core/fixture_bad.py
+"""Bad: the file does not parse at all."""
+
+
+def broken(:
+    return None

@@ -1,0 +1,16 @@
+# lintpath: tools/fixture_bad.py
+"""Bad: a justification-less waiver and a waiver naming an unknown rule."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:  # staticcheck: allow(broad-except)
+        return None
+
+
+def probe(worker):
+    try:
+        return worker.ping()
+    except OSError:  # staticcheck: allow(no-such-rule) -- the rule id is a typo
+        return None

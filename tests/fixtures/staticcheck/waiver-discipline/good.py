@@ -1,0 +1,9 @@
+# lintpath: tools/fixture_good.py
+"""Good: a waiver naming a registered rule, with a justification."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:  # staticcheck: allow(broad-except) -- best-effort preload; a missing or unreadable file is reported by the caller's existence check
+        return None

@@ -465,9 +465,12 @@ class TestFailureModel:
     def test_worker_death_mid_call_redispatches_and_stays_bit_identical(self):
         # die_after=1: the lane pipelines two batches up front, so the worker
         # always answers the first and drops the link on the second —
-        # deterministic death with a batch in flight.
+        # deterministic death with a batch in flight.  The survivor is slowed
+        # too: with a zero-delay survivor the pending pool can drain before
+        # the mortal lane finishes its connect handshake, leaving the mortal
+        # worker a single batch and nothing in flight to die on.
         mortal = _ThreadWorker(delay=0.005, die_after=1)
-        survivor = _ThreadWorker()
+        survivor = _ThreadWorker(delay=0.005)
         instance = make_random_instance(
             seed=607, num_users=12, num_events=10, num_intervals=30
         )

@@ -13,6 +13,8 @@ the code *registers*.  Concretely:
 * the wire-protocol op table in ``docs/ARCHITECTURE.md`` must list exactly
   the ``OP_*`` constants of ``repro.core.distributed.protocol``, and the
   documented batch-sizing formula must quote the live constants;
+* the rule table in ``docs/STATIC_ANALYSIS.md`` must name exactly the rules
+  in the live ``repro.analysis.staticcheck`` registry, in registration order;
 * every test-suite path cited in ``docs/PAPER_MAPPING.md`` must exist.
 
 If one of these tests fails you either added code without documenting it or
@@ -34,6 +36,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 README = REPO_ROOT / "README.md"
 ARCHITECTURE = REPO_ROOT / "docs" / "ARCHITECTURE.md"
 PAPER_MAPPING = REPO_ROOT / "docs" / "PAPER_MAPPING.md"
+STATIC_ANALYSIS = REPO_ROOT / "docs" / "STATIC_ANALYSIS.md"
 
 #: First-column code span of a markdown table row: ``| `name` … | …``.
 _TABLE_NAME = re.compile(r"^\|\s*`([^`]+)`")
@@ -175,12 +178,41 @@ class TestWireProtocolTable:
         )
 
 
+class TestStaticAnalysisDoc:
+    def test_rule_table_matches_registry(self):
+        """docs/STATIC_ANALYSIS.md lists exactly the registered lint rules."""
+        from repro.analysis.staticcheck import available_rules
+
+        section = _section(STATIC_ANALYSIS.read_text(encoding="utf-8"), "## Rules")
+        documented = _table_names(section)
+        assert documented, "docs/STATIC_ANALYSIS.md lost its rule table"
+        assert documented == list(available_rules()), (
+            "docs/STATIC_ANALYSIS.md rule table drifted from the staticcheck "
+            f"registry: documented={documented}, actual={list(available_rules())}"
+        )
+
+    def test_waiver_example_matches_the_live_syntax(self):
+        """The documented waiver example actually parses as a waiver."""
+        from repro.analysis.staticcheck import collect_waivers
+
+        text = STATIC_ANALYSIS.read_text(encoding="utf-8")
+        example = next(
+            line for line in text.splitlines() if "# staticcheck: allow(" in line
+        )
+        (waiver,) = collect_waivers(example + "\n")
+        assert waiver.rules == ("broad-except",)
+        assert waiver.justification
+
+
 class TestPaperMapping:
     @pytest.mark.parametrize("kind", ["tests", "benchmarks", "examples"])
     def test_cited_paths_exist(self, kind):
-        text = PAPER_MAPPING.read_text(encoding="utf-8") + README.read_text(
-            encoding="utf-8"
-        ) + ARCHITECTURE.read_text(encoding="utf-8")
+        text = (
+            PAPER_MAPPING.read_text(encoding="utf-8")
+            + README.read_text(encoding="utf-8")
+            + ARCHITECTURE.read_text(encoding="utf-8")
+            + STATIC_ANALYSIS.read_text(encoding="utf-8")
+        )
         cited = set(re.findall(rf"`({kind}/[\w./]+\.py)`", text))
         assert cited or kind == "examples", f"no {kind} paths cited at all?"
         missing = sorted(path for path in cited if not (REPO_ROOT / path).exists())
