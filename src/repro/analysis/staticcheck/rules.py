@@ -304,7 +304,7 @@ class BroadExceptRule(Rule):
             broad = self._broad_name(node.type)
             if broad is None:
                 continue
-            if any(isinstance(stmt, ast.Raise) for stmt in node.body):
+            if self._reraises(node):
                 continue  # the error is re-raised (possibly wrapped): it surfaces
             label = "bare except:" if broad == "" else f"except {broad}:"
             yield self.finding(
@@ -314,6 +314,26 @@ class BroadExceptRule(Rule):
                 "block can actually raise, re-raise after cleanup, or waive "
                 "with a justification naming where the error is reported",
             )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        """Whether the handler body contains a ``raise`` on some path.
+
+        Conditional re-raises (``raise`` nested in if/try/with/loops) count;
+        a ``raise`` inside a nested function/class definition does not — it
+        runs on that function's call, not on this handler's path.
+        """
+        stack: List[ast.AST] = list(handler.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return False
 
     def _broad_name(self, type_node: Optional[ast.AST]) -> Optional[str]:
         """The broad exception name caught by ``type_node`` (None = narrow)."""
@@ -423,11 +443,16 @@ class LockDisciplineRule(Rule):
                 self._collect(child, method, holds, mutations)
             return
         if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-            for target in targets:
-                attr = self._self_attr(target)
-                if attr is not None:
-                    mutations.append((attr, node, under_lock, method))
+            # A bare annotation (`self.x: int` with no value) declares, never
+            # mutates — only value-carrying assignments count.
+            if not (isinstance(node, ast.AnnAssign) and node.value is None):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    attr = self._self_attr(target)
+                    if attr is not None:
+                        mutations.append((attr, node, under_lock, method))
         elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
             if node.func.attr in _MUTATOR_METHODS:
                 attr = self._self_attr(node.func.value)
@@ -542,6 +567,8 @@ class CounterDisciplineRule(Rule):
     def check(self, context: FileContext) -> Iterator[Finding]:
         for node in ast.walk(context.tree):
             if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    continue  # bare annotation: declares a field, mutates nothing
                 targets = (
                     node.targets if isinstance(node, ast.Assign) else [node.target]
                 )

@@ -16,7 +16,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 #: Shape: a ``staticcheck:`` comment naming one or more rule ids in
 #: ``allow(<rule-id>, ...)``, then a justification after ``--``, ``—`` or
@@ -72,12 +72,4 @@ def collect_waivers(source: str) -> List[Waiver]:
     return waivers
 
 
-def waived_lines(waivers: List[Waiver]) -> Dict[int, Tuple[str, ...]]:
-    """Map each waived line to the union of rule ids waived there."""
-    lines: Dict[int, Tuple[str, ...]] = {}
-    for waiver in waivers:
-        lines[waiver.line] = tuple(set(lines.get(waiver.line, ()) + waiver.rules))
-    return lines
-
-
-__all__ = ["WAIVER_PATTERN", "Waiver", "collect_waivers", "waived_lines"]
+__all__ = ["WAIVER_PATTERN", "Waiver", "collect_waivers"]

@@ -23,7 +23,8 @@ from repro.analysis.staticcheck.waivers import Waiver, collect_waivers
 #: trend consumers (BENCH_*.json style) can tell payloads apart.
 LINT_SCHEMA_VERSION = 1
 
-#: Rule id of the synthesised finding for files that do not parse.
+#: Rule id of the synthesised finding for files that do not parse (or do not
+#: decode as UTF-8 in the first place).
 SYNTAX_ERROR_RULE = "syntax-error"
 
 #: Directory names never descended into.
@@ -154,7 +155,22 @@ def lint_file(
 ) -> Tuple[List[Finding], int, int]:
     """Lint one file; returns ``(findings, waiver_count, waived_count)``."""
     rel_path = _relative_path(path, root)
-    source = path.read_text(encoding="utf-8")
+    try:
+        source = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as error:
+        return (
+            [
+                Finding(
+                    path=rel_path,
+                    line=0,
+                    rule=SYNTAX_ERROR_RULE,
+                    message=f"file is not valid UTF-8: {error}",
+                    severity=SEVERITY_ERROR,
+                )
+            ],
+            0,
+            0,
+        )
     waivers = tuple(collect_waivers(source))
     try:
         tree = ast.parse(source, filename=str(path))

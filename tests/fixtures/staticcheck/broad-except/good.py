@@ -17,6 +17,16 @@ def publish(block):
         raise
 
 
+def retry(action, attempts):
+    for attempt in range(attempts):
+        try:
+            return action()
+        except Exception:
+            if attempt == attempts - 1:
+                raise  # conditional re-raise still surfaces the error
+    return None
+
+
 def reactor_tick(handlers):
     for handler in handlers:
         try:

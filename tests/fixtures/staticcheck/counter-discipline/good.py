@@ -10,6 +10,9 @@ def generate_entries(counter, entries, num_users):
 
 
 class Walker:
+    def declare(self):
+        self.score_computations: int  # bare annotation: declares, mutates nothing
+
     def select(self, assignment):
         self._counter.count_selection()
         self._counter.bump("walks")

@@ -21,6 +21,7 @@ class Dispatcher:
             self.aborted = True
 
     def drain(self):
+        self.pending: list  # bare annotation: declares, mutates nothing
         with self._lock:
             drained = list(self.pending)
             self.pending.clear()

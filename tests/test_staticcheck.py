@@ -118,6 +118,13 @@ class TestFixtures:
         report = lint_fixture(tmp_path, FIXTURES / "syntax-error" / "bad.py")
         assert {f.rule for f in report.findings} == {SYNTAX_ERROR_RULE}
 
+    def test_non_utf8_file_is_reported_not_raised(self, tmp_path):
+        (tmp_path / "latin1.py").write_bytes(b"# caf\xe9\nx = 1\n")
+        report = run_lint([tmp_path], root=tmp_path)
+        (finding,) = report.findings
+        assert finding.rule == SYNTAX_ERROR_RULE
+        assert "not valid UTF-8" in finding.message
+
 
 class TestWaivers:
     def test_waiver_requires_tokenized_comment_not_string(self):
