@@ -25,6 +25,7 @@ from repro.core.errors import SolverError
 from repro.core.execution import DEFAULT_BACKEND, ExecutionConfig, merge_legacy_execution
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
+from repro.core.storage import DEFAULT_STORAGE
 from repro.core.scoring import ScoringEngine
 
 #: Number of stale scores fetched per speculative bulk-refresh call.  Small
@@ -61,6 +62,12 @@ class SchedulerResult:
         Name of the execution backend the run used (``"scalar"``,
         ``"batch"``, ``"parallel"``, ``"process"``, …) — recorded so harness
         tables can tell backend rows apart.
+    storage:
+        Registry name of the instance's interest-matrix storage the run used
+        (``"dense"``, ``"sparse"``, ``"mmap"``, …) — recorded so harness
+        tables can tell storage rows apart.  Every storage produces
+        bit-identical schedules and counters; only footprint and speed
+        differ.
     workers:
         The resolved worker count of the run's engine (1 unless a pooled
         backend was asked to fan out).
@@ -92,6 +99,7 @@ class SchedulerResult:
     cluster: Tuple[str, ...] = ()
     cluster_stats: Dict[str, object] = field(default_factory=dict)
     task_batch: Optional[int] = None
+    storage: str = DEFAULT_STORAGE
 
     @property
     def num_scheduled(self) -> int:
@@ -142,6 +150,7 @@ class SchedulerResult:
         return {
             "algorithm": self.algorithm,
             "backend": self.backend,
+            "storage": self.storage,
             "workers": self.workers,
             "cluster": self._cluster_summary(),
             "task_batch": (
@@ -344,6 +353,7 @@ class BaseScheduler(ABC):
             cluster=self._execution.workers_addr or (),
             cluster_stats=backend_stats if self._execution.workers_addr else {},
             task_batch=self._execution.task_batch,
+            storage=self._instance.storage,
         )
 
     # ------------------------------------------------------------------ #

@@ -695,6 +695,62 @@ class DocstringBackendSyncRule(Rule):
 
 
 @register_rule
+class DocstringStorageSyncRule(Rule):
+    """Storage names quoted in docstrings must exist in the live registry.
+
+    The sibling of :class:`DocstringBackendSyncRule` for the instance-storage
+    axis: the docs subsystem drift-checks the ARCHITECTURE storage table, and
+    this rule closes the same loop for docstrings that name a ``register_store()``
+    entry — a renamed store would otherwise linger in prose forever.
+    """
+
+    id = "docstring-storage-sync"
+    summary = (
+        "storage names mentioned in docstrings exist in the live "
+        "register_store() registry"
+    )
+    path_prefixes = ("src/repro/",)
+
+    #: A store name adjacent to the words "store"/"storage", quoted in any of
+    #: the repo's docstring idioms: ``name`` storage / 'name' store /
+    #: "name" storage / storage="name" / storage 'name'.
+    MENTION_PATTERNS = (
+        re.compile(r"[`'\"]([a-z][a-z0-9_]*)[`'\"]+\s+stor(?:e|age)\b"),
+        re.compile(r"storage\s*=\s*[`'\"]+([a-z][a-z0-9_]*)[`'\"]"),
+        re.compile(r"storage\s+[`'\"]+([a-z][a-z0-9_]*)[`'\"]"),
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        from repro.core.storage import available_stores
+
+        registered = set(available_stores())
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            docstring = ast.get_docstring(node, clean=False)
+            if not docstring or not node.body:
+                continue
+            constant = node.body[0].value  # type: ignore[union-attr]
+            base_line = getattr(constant, "lineno", 1)
+            for pattern in self.MENTION_PATTERNS:
+                for match in pattern.finditer(docstring):
+                    name = match.group(1)
+                    if name in registered:
+                        continue
+                    line = base_line + docstring[: match.start()].count("\n")
+                    yield self.finding(
+                        context,
+                        line,
+                        f"docstring mentions a {name!r} storage but the live "
+                        "registry has no such store (registered: "
+                        f"{', '.join(sorted(registered))}); fix the docstring "
+                        "or register the store",
+                    )
+
+
+@register_rule
 class WaiverDisciplineRule(Rule):
     """Waivers must name registered rules and carry a justification."""
 

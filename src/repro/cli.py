@@ -31,6 +31,7 @@ Sub-commands
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import List, Optional, Sequence
@@ -38,7 +39,8 @@ from typing import List, Optional, Sequence
 from repro._version import __version__
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import PAPER_METHODS, available_schedulers
-from repro.core.errors import ReproError, SolverError
+from repro.core.errors import DatasetError, ReproError, SolverError
+from repro.core.instance import SESInstance
 from repro.core.execution import (
     DEFAULT_BACKEND,
     ExecutionConfig,
@@ -47,12 +49,13 @@ from repro.core.execution import (
     get_backend,
     resolve_backend,
 )
+from repro.core.storage import available_stores, get_store
 from repro.core.validation import instance_report
 from repro.datasets.builders import build_dataset, dataset_names
 from repro.datasets.loaders import load_instance, save_instance
 from repro.experiments.figures import SCALES, available_experiments, run_experiment
 from repro.experiments.report import format_figure_result, format_records, format_table
-from repro.experiments.harness import run_algorithms
+from repro.experiments.harness import apply_storage, run_algorithms
 from repro.experiments.sweeps import summary_sweep
 
 
@@ -87,6 +90,18 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
         "results, different speed); recorded in the output rows.  "
         f"Registered backends: {', '.join(available_backends())} "
         "(see the 'backends' sub-command)",
+    )
+    subparser.add_argument(
+        "--storage",
+        default=None,
+        help="interest-matrix storage the instance is converted to before "
+        "scheduling: 'dense' keeps full user×event arrays (the builders' "
+        "default), 'sparse' keeps an event-major CSR of the non-zero "
+        "entries, 'mmap' streams an uncompressed instance NPZ from disk "
+        "(an .npz --instance is memory-mapped in place when possible; "
+        "anything else is spilled to a temporary directory first); "
+        "identical results, different memory footprint; recorded in the "
+        f"output rows.  Registered stores: {', '.join(available_stores())}",
     )
     subparser.add_argument(
         "--chunk-size",
@@ -157,6 +172,42 @@ def _execution_from_args(args: argparse.Namespace) -> ExecutionConfig:
         cluster_key=getattr(args, "cluster_key", None),
         task_batch=getattr(args, "task_batch", None),
     )
+
+
+def _storage_from_args(args: argparse.Namespace) -> Optional[str]:
+    """The validated ``--storage`` name (``None`` keeps each instance's own).
+
+    Like ``--backend``, the name is checked against the live store registry
+    here so a typo fails fast — before any dataset is generated or loaded —
+    with the currently-available names in the message.
+    """
+    storage = getattr(args, "storage", None)
+    if storage is not None:
+        get_store(storage)
+    return storage
+
+
+def _solve_instance(
+    args: argparse.Namespace, storage: Optional[str], stack: contextlib.ExitStack
+) -> SESInstance:
+    """Load or generate the ``solve`` instance under the requested storage.
+
+    An ``.npz`` instance requested as ``mmap`` is memory-mapped straight from
+    its file when possible — the dense matrices are never materialised, which
+    is what lets ``solve`` handle instances larger than RAM.  A compressed
+    NPZ or JSON source falls back to a normal load followed by a spill to a
+    temporary directory (removed when ``stack`` closes).
+    """
+    if args.instance:
+        if storage == "mmap" and args.instance.endswith(".npz"):
+            try:
+                return load_instance(args.instance, mmap=True)
+            except DatasetError:
+                pass  # compressed / legacy NPZ: load it eagerly, spill below
+        instance = load_instance(args.instance)
+    else:
+        instance = build_dataset(args.dataset, **_generate_overrides(args))
+    return apply_storage(instance, storage, stack)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -315,33 +366,32 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_solve(args: argparse.Namespace) -> int:
-    # Validate the backend name before the (possibly expensive) instance is
-    # generated or loaded, so a typo fails fast.
+    # Validate the backend and storage names before the (possibly expensive)
+    # instance is generated or loaded, so a typo fails fast.
     execution = _execution_from_args(args)
-    if args.instance:
-        instance = load_instance(args.instance)
-    else:
-        instance = build_dataset(args.dataset, **_generate_overrides(args))
-    # The results sink captures each scheduler's run so --show-schedule can
-    # print the assignments without running everything a second time.
-    results: List[SchedulerResult] = []
-    records = run_algorithms(
-        instance,
-        args.k,
-        algorithms=args.algorithms,
-        experiment_id="cli",
-        seed=args.seed,
-        execution=execution,
-        results=results,
-    )
-    print(format_records(records))
-    if args.show_schedule:
-        for name, result in zip(args.algorithms, results):
-            assignments = ", ".join(
-                f"{instance.events[a.event_index].id}@{instance.intervals[a.interval_index].id}"
-                for a in result.schedule.assignments()
-            )
-            print(f"{name}: {assignments}")
+    storage = _storage_from_args(args)
+    with contextlib.ExitStack() as stack:
+        instance = _solve_instance(args, storage, stack)
+        # The results sink captures each scheduler's run so --show-schedule
+        # can print the assignments without running everything a second time.
+        results: List[SchedulerResult] = []
+        records = run_algorithms(
+            instance,
+            args.k,
+            algorithms=args.algorithms,
+            experiment_id="cli",
+            seed=args.seed,
+            execution=execution,
+            results=results,
+        )
+        print(format_records(records))
+        if args.show_schedule:
+            for name, result in zip(args.algorithms, results):
+                assignments = ", ".join(
+                    f"{instance.events[a.event_index].id}@{instance.intervals[a.interval_index].id}"
+                    for a in result.schedule.assignments()
+                )
+                print(f"{name}: {assignments}")
     return 0
 
 
@@ -351,6 +401,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
             scale=args.scale,
             seed=args.seed,
             execution=_execution_from_args(args),
+            storage=_storage_from_args(args),
         )
         if args.json:
             print(json.dumps(stats.as_rows(), indent=2))
@@ -362,6 +413,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         execution=_execution_from_args(args),
+        storage=_storage_from_args(args),
     )
     if args.json:
         print(json.dumps([record.to_row() for record in figure.records], indent=2))
@@ -423,6 +475,7 @@ def _command_list(_: argparse.Namespace) -> int:
     print("datasets:    " + ", ".join(dataset_names()))
     print("algorithms:  " + ", ".join(available_schedulers()))
     print("backends:    " + ", ".join(available_backends()))
+    print("storages:    " + ", ".join(available_stores()))
     print("experiments: " + ", ".join(available_experiments() + ["summary"]))
     print("scales:      " + ", ".join(sorted(SCALES)))
     return 0

@@ -20,8 +20,6 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro.core.errors import SolverError
 
 #: Instances a worker keeps resident by default.  Paper-scale matrices are a
@@ -30,7 +28,12 @@ DEFAULT_CACHE_CAPACITY: int = 4
 
 
 class InstanceCache:
-    """Thread-safe LRU mapping instance fingerprints to their static matrices."""
+    """Thread-safe LRU mapping instance fingerprints to their scoring records.
+
+    A record is whatever :func:`~repro.core.distributed.worker.build_instance_record`
+    rebuilt from the shipped payload — an event-row source plus the static
+    per-interval matrices.
+    """
 
     def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
         if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
@@ -38,7 +41,7 @@ class InstanceCache:
                 f"cache capacity must be a positive integer, got {capacity!r}"
             )
         self._capacity = capacity
-        self._entries: "OrderedDict[str, Dict[str, np.ndarray]]" = OrderedDict()
+        self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self._lock = threading.Lock()
 
     @property
@@ -54,18 +57,18 @@ class InstanceCache:
         with self._lock:
             return fingerprint in self._entries
 
-    def get(self, fingerprint: str) -> Optional[Dict[str, np.ndarray]]:
-        """The matrices stored under ``fingerprint`` (refreshing its recency)."""
+    def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The record stored under ``fingerprint`` (refreshing its recency)."""
         with self._lock:
-            arrays = self._entries.get(fingerprint)
-            if arrays is not None:
+            record = self._entries.get(fingerprint)
+            if record is not None:
                 self._entries.move_to_end(fingerprint)
-            return arrays
+            return record
 
-    def put(self, fingerprint: str, arrays: Dict[str, np.ndarray]) -> None:
+    def put(self, fingerprint: str, record: Dict[str, object]) -> None:
         """Store (or refresh) an instance, evicting the least recently used."""
         with self._lock:
-            self._entries[fingerprint] = arrays
+            self._entries[fingerprint] = record
             self._entries.move_to_end(fingerprint)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)

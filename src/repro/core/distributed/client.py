@@ -6,9 +6,15 @@ per-interval column tasks across remote worker processes
 strategy and the first network boundary in the codebase; the design mirrors
 the in-process ``process`` backend one level up:
 
-* the static instance matrices ship to each worker **once per instance
-  fingerprint** (the TCP analogue of publish-once shared memory) and are
-  cached worker-side across calls, runs and clients;
+* the static instance data ships to each worker **once per instance
+  fingerprint** (the TCP analogue of publish-once shared memory) and is
+  cached worker-side across calls, runs and clients.  The ship payload is
+  shaped by the instance's storage (protocol v3): dense instances ship the
+  precomputed event-major rows, sparse instances the much smaller CSR
+  arrays, and a memory-mapped instance whose backing NPZ the worker can see
+  ships **only the file path** — zero-copy NPZ shipping, with a transparent
+  fallback to byte shipping when the worker answers
+  :data:`~repro.core.distributed.protocol.ERROR_FILE_UNAVAILABLE`;
 * tasks move in **batches** (protocol v2): one
   :data:`~repro.core.distributed.protocol.OP_SCORE_COLUMNS` request carries
   ``ceil(|T| / (lanes * TASK_OVERSUBSCRIBE))`` columns (clamped; overridable
@@ -73,6 +79,7 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.distributed.protocol import (
+    ERROR_FILE_UNAVAILABLE,
     ERROR_UNKNOWN_INSTANCE,
     ERROR_UNKNOWN_SELECTION,
     OP_HAS_INSTANCE,
@@ -89,11 +96,13 @@ from repro.core.distributed.protocol import (
     ColumnTask,
     authkey_bytes,
     derive_task_batch,
+    file_fingerprint,
     instance_fingerprint,
     parse_worker_address,
 )
 from repro.core.errors import SolverError
 from repro.core.execution import BatchBackend, ExecutionConfig, ProcessBackend
+from repro.core.storage import DenseEventRows, as_sparse
 
 #: Exceptions that mean "this worker (or its link) is gone" — the batch is
 #: re-dispatched instead of failing the run.
@@ -205,7 +214,7 @@ class ClusterBackend(ProcessBackend):
         super().__init__(config)
         self._links: Optional[List[_WorkerLink]] = None
         self._fingerprint: Optional[str] = None
-        self._arrays: Optional[Dict[str, np.ndarray]] = None
+        self._payload: Optional[Dict[str, object]] = None
         self._call_tokens = itertools.count()
         #: Per-address dispatch counters.  Keyed by address — not by link —
         #: so they survive reconnects and remain readable after close().
@@ -224,18 +233,54 @@ class ClusterBackend(ProcessBackend):
     # ------------------------------------------------------------------ #
     # Instance shipping
     # ------------------------------------------------------------------ #
-    def _instance_arrays(self) -> Tuple[str, Dict[str, np.ndarray]]:
-        """The static matrices to ship, plus their fingerprint (computed once)."""
-        if self._arrays is None:
+    def _instance_payload(self) -> Tuple[str, Dict[str, object]]:
+        """The instance ship payload, plus its fingerprint (computed once).
+
+        Shaped by the instance's storage (see the protocol module): dense
+        storage ships the precomputed event-major rows (``"arrays"``, exactly
+        the v2 content — same fingerprint, too); sparse storage ships the CSR
+        arrays (``"csr"``); a file-backed instance ships only its path
+        (``"file"``), fingerprinted by the file's bytes — chunk-read, never
+        materialised — with :meth:`_csr_payload` as the byte-ship fallback
+        when the worker answers :data:`ERROR_FILE_UNAVAILABLE`.
+        """
+        if self._payload is None:
             engine = self.engine
-            self._arrays = {
-                "mu_rows": engine._mu_rows,
-                "value_mu_rows": engine._value_mu_rows,
-                "comp": np.ascontiguousarray(engine._comp),
-                "sigma": np.ascontiguousarray(engine._sigma),
-            }
-            self._fingerprint = instance_fingerprint(self._arrays)
-        return self._fingerprint, self._arrays  # type: ignore[return-value]
+            backing_file = engine.instance.backing_file
+            if engine._store.is_file_backed and backing_file is not None:
+                self._payload = {"kind": "file", "path": backing_file}
+                self._fingerprint = file_fingerprint(backing_file)
+            elif isinstance(engine._event_rows, DenseEventRows):
+                mu_rows, value_mu_rows = engine._event_rows.arrays
+                arrays = {
+                    "mu_rows": mu_rows,
+                    "value_mu_rows": value_mu_rows,
+                    "comp": np.ascontiguousarray(engine._comp),
+                    "sigma": np.ascontiguousarray(engine._sigma),
+                }
+                self._payload = {"kind": "arrays", "arrays": arrays}
+                self._fingerprint = instance_fingerprint(arrays)
+            else:
+                self._payload = self._csr_payload()
+                self._fingerprint = instance_fingerprint(
+                    self._payload["arrays"]  # type: ignore[arg-type]
+                )
+        return self._fingerprint, self._payload  # type: ignore[return-value]
+
+    def _csr_payload(self) -> Dict[str, object]:
+        """The byte-ship form of a sparse/mmap instance (CSR arrays + statics)."""
+        engine = self.engine
+        indptr, indices, data = as_sparse(engine._store).csr_arrays
+        arrays = {
+            "csr_shape": np.asarray(engine._store.shape, dtype=np.int64),
+            "csr_indptr": np.ascontiguousarray(indptr, dtype=np.int64),
+            "csr_indices": np.ascontiguousarray(indices, dtype=np.int64),
+            "csr_data": np.ascontiguousarray(data, dtype=np.float64),
+            "values": np.ascontiguousarray(engine._values),
+            "comp": np.ascontiguousarray(engine._comp),
+            "sigma": np.ascontiguousarray(engine._sigma),
+        }
+        return {"kind": "csr", "arrays": arrays}
 
     def _connect(self, address: str) -> _WorkerLink:
         """Open, authenticate and version-check one worker connection."""
@@ -304,17 +349,32 @@ class ClusterBackend(ProcessBackend):
         return self._recv(link)
 
     def _ship_instance(self, link: _WorkerLink) -> None:
-        """Make the engine's matrices resident on the worker (once per fingerprint)."""
-        fingerprint, arrays = self._instance_arrays()
+        """Make the engine's instance resident on the worker (once per fingerprint).
+
+        A file-backed instance ships only its path; a worker without
+        filesystem visibility of that path answers
+        :data:`ERROR_FILE_UNAVAILABLE` and the instance bytes ship instead
+        (under the same fingerprint — the columns are bit-identical either
+        way, only the wire cost differs).
+        """
+        fingerprint, payload = self._instance_payload()
         if fingerprint in link.shipped:
             return
         status, resident = self._roundtrip(link, (OP_HAS_INSTANCE, fingerprint))
         if status != STATUS_OK:
             raise SolverError(f"cluster worker {link.address} failed: {resident}")
         if not resident:
-            status, payload = self._roundtrip(link, (OP_PUT_INSTANCE, fingerprint, arrays))
+            status, reply = self._roundtrip(link, (OP_PUT_INSTANCE, fingerprint, payload))
+            if (
+                status != STATUS_OK
+                and reply == ERROR_FILE_UNAVAILABLE
+                and payload.get("kind") == "file"
+            ):
+                status, reply = self._roundtrip(
+                    link, (OP_PUT_INSTANCE, fingerprint, self._csr_payload())
+                )
             if status != STATUS_OK:
-                raise SolverError(f"cluster worker {link.address} failed: {payload}")
+                raise SolverError(f"cluster worker {link.address} failed: {reply}")
         link.shipped.add(fingerprint)
 
     # ------------------------------------------------------------------ #
@@ -418,7 +478,7 @@ class ClusterBackend(ProcessBackend):
         self._backoff.clear()
         self._retry_at.clear()
 
-        mu_rows, value_mu_rows = engine._select_event_rows(selector)
+        source = engine._select_event_rows(selector)
         token = next(self._call_tokens)
         step = self._config.chunk_size
         matrix = np.empty((num_rows, num_intervals), dtype=np.float64)
@@ -462,9 +522,7 @@ class ClusterBackend(ProcessBackend):
                     break
                 batch = state.pending.pop()
             for interval_index in batch:
-                matrix[:, interval_index] = self._sharded_scores(
-                    interval_index, mu_rows, value_mu_rows
-                )
+                matrix[:, interval_index] = self._sharded_scores(interval_index, source)
             self._local_columns += len(batch)
         for thread in threads:
             thread.join()
@@ -476,9 +534,7 @@ class ClusterBackend(ProcessBackend):
         while state.pending:
             batch = state.pending.popleft()
             for interval_index in batch:
-                matrix[:, interval_index] = self._sharded_scores(
-                    interval_index, mu_rows, value_mu_rows
-                )
+                matrix[:, interval_index] = self._sharded_scores(interval_index, source)
             self._local_columns += len(batch)
         return matrix
 
@@ -608,7 +664,7 @@ class ClusterBackend(ProcessBackend):
         task sent down a link carries the index array, every later task
         references it with :data:`SELECTOR_CACHED`.
         """
-        fingerprint, _ = self._instance_arrays()
+        fingerprint, _ = self._instance_payload()
         wire: List[ColumnTask] = []
         for interval_index in batch:
             task = state.tasks[interval_index]
@@ -649,7 +705,7 @@ class ClusterBackend(ProcessBackend):
         :data:`ERROR_UNKNOWN_SELECTION` — re-attach the selector on resend.
         Anything else is a real worker-side failure and raises.
         """
-        fingerprint, _ = self._instance_arrays()
+        fingerprint, _ = self._instance_payload()
         if payload == ERROR_UNKNOWN_INSTANCE:
             link.shipped.discard(fingerprint)
             link.selection_token = None

@@ -20,22 +20,37 @@ module defines everything both sides must agree on:
   :data:`PIPELINE_DEPTH` batches in flight per link, so the per-request wire
   latency is amortised over many columns and the workers prefetch instead of
   idling between round-trips;
-* the **instance fingerprint** (:func:`instance_fingerprint`): a content hash
-  of the static instance matrices.  The matrices ship to a worker **once per
+* the **instance fingerprint** (:func:`instance_fingerprint` for shipped
+  arrays, :func:`file_fingerprint` for a shared backing file): a content hash
+  of the static instance data.  An instance ships to a worker **once per
   fingerprint** (mirroring the process backend's publish-once shared-memory
-  model) and are cached worker-side, so repeated runs on the same instance —
+  model) and is cached worker-side, so repeated runs on the same instance —
   and every task of every run — stream only a few KB each;
 * address (:func:`parse_worker_address`) and authkey
   (:func:`authkey_bytes`) handling.
 
 Every request is a tuple ``(op, *payload)`` and every response a pair
-``(status, payload)``.  Responses to :data:`OP_SCORE_COLUMN` carry
-``(interval_index, scores)``; responses to :data:`OP_SCORE_COLUMNS` carry a
-tuple of such pairs, one per task of the batch, in task order.  The
-well-known error payload :data:`ERROR_UNKNOWN_INSTANCE` tells the client the
-worker evicted (or never had) the fingerprint, and the client re-ships the
-matrices and retries — a worker restart is therefore invisible apart from the
-one-off reshipping cost.
+``(status, payload)``.  Protocol v3 made :data:`OP_PUT_INSTANCE`'s payload a
+kind-dispatched dict shaped by the instance's storage:
+
+* ``{"kind": "arrays", "arrays": {...}}`` — the classic dense ship: the
+  precomputed event-major µ / value·µ rows plus competing sums and σ;
+* ``{"kind": "csr", "arrays": {...}}`` — the ``"sparse"`` storage ships the
+  (much smaller) event-major CSR arrays plus per-event values, and the
+  worker densifies event blocks on demand;
+* ``{"kind": "file", "path": ...}`` — a memory-mapped instance whose backing
+  NPZ is visible to the worker (same machine or shared filesystem) ships
+  **only its path**: the worker maps the file in place and rebuilds the
+  static arrays itself (zero-copy NPZ shipping).  A worker that cannot open
+  the path answers :data:`ERROR_FILE_UNAVAILABLE` and the client falls back
+  to shipping the CSR bytes under the same fingerprint.
+
+Responses to :data:`OP_SCORE_COLUMN` carry ``(interval_index, scores)``;
+responses to :data:`OP_SCORE_COLUMNS` carry a tuple of such pairs, one per
+task of the batch, in task order.  The well-known error payload
+:data:`ERROR_UNKNOWN_INSTANCE` tells the client the worker evicted (or never
+had) the fingerprint, and the client re-ships the instance and retries — a
+worker restart is therefore invisible apart from the one-off reshipping cost.
 """
 
 from __future__ import annotations
@@ -50,9 +65,11 @@ from repro.core.errors import SolverError
 
 #: Version tag exchanged in the :data:`OP_PING` handshake; bumped whenever the
 #: message layout changes incompatibly.  v2 added batched dispatch
-#: (:data:`OP_SCORE_COLUMNS`); a v1 peer is rejected at connect time with a
-#: clear error instead of failing mid-run on an unknown operation.
-PROTOCOL_VERSION: int = 2
+#: (:data:`OP_SCORE_COLUMNS`); v3 made :data:`OP_PUT_INSTANCE`'s payload
+#: storage-aware (kind-dispatched dict: dense arrays, CSR arrays, or a
+#: backing-file path).  A mismatched peer is rejected at connect time with a
+#: clear error instead of failing mid-run on an unknown message shape.
+PROTOCOL_VERSION: int = 3
 
 #: Shared secret used for ``multiprocessing.connection``'s HMAC handshake when
 #: :attr:`~repro.core.execution.ExecutionConfig.cluster_key` is left unset.
@@ -110,6 +127,12 @@ ERROR_UNKNOWN_INSTANCE = "unknown-instance"
 #: this connection has no selection cached under that token" (e.g. the worker
 #: restarted mid-call) — the client retries with the full selector attached.
 ERROR_UNKNOWN_SELECTION = "unknown-selection"
+
+#: Error payload meaning "this worker cannot open the backing file of a
+#: ``{"kind": "file"}`` instance ship" (no shared filesystem, file deleted,
+#: or compressed/corrupt members) — the client falls back to shipping the
+#: instance bytes under the same fingerprint.
+ERROR_FILE_UNAVAILABLE = "file-unavailable"
 
 #: Sentinel selector meaning "use the selection cached under this task's
 #: token": one subset ``score_matrix`` call attaches the index array to the
@@ -211,22 +234,54 @@ def authkey_bytes(cluster_key: Optional[str]) -> bytes:
     return (cluster_key or DEFAULT_CLUSTER_KEY).encode("utf-8")
 
 
+#: Bytes hashed per digest update when fingerprinting arrays or files — keeps
+#: peak memory flat even when an array is a disk-backed memmap view.
+FINGERPRINT_CHUNK_BYTES: int = 16 * 1024 * 1024
+
+
 def instance_fingerprint(arrays: Dict[str, np.ndarray]) -> str:
     """Content hash of the static instance matrices (the ship-once key).
 
     Hashes every array's name, shape, dtype and raw bytes, so two engines
     built from equal instances share one fingerprint (and one worker-side
     cache entry), while any change to the matrices — even a single element —
-    produces a different key.
+    produces a different key.  The bytes are fed to the digest in
+    :data:`FINGERPRINT_CHUNK_BYTES` chunks — the digest stream (and therefore
+    every historical fingerprint) is unchanged, but a memory-mapped array is
+    never materialised whole.
     """
     digest = hashlib.sha1()
     for name in sorted(arrays):
-        array = np.ascontiguousarray(arrays[name])
+        array = arrays[name]
+        if not array.flags["C_CONTIGUOUS"]:
+            array = np.ascontiguousarray(array)
         digest.update(name.encode("utf-8"))
         digest.update(str(array.shape).encode("utf-8"))
         digest.update(array.dtype.str.encode("utf-8"))
-        digest.update(array.tobytes())
+        flat = array.reshape(-1)
+        step = max(1, FINGERPRINT_CHUNK_BYTES // max(1, array.itemsize))
+        for start in range(0, flat.size, step):
+            digest.update(np.asarray(flat[start : start + step]).tobytes())
     return digest.hexdigest()
+
+
+def file_fingerprint(path: str) -> str:
+    """Content hash of an instance's backing file (the zero-copy ship key).
+
+    Chunk-reads the file, so a multi-GB NPZ fingerprints in bounded memory.
+    Prefixed ``"file:"`` to keep the key space disjoint from
+    :func:`instance_fingerprint` — the same logical instance shipped as
+    arrays and as a file must not collide on one worker-side cache entry
+    built from different payload shapes.
+    """
+    digest = hashlib.sha1()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(FINGERPRINT_CHUNK_BYTES)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return "file:" + digest.hexdigest()
 
 
 __all__ = [
@@ -243,7 +298,9 @@ __all__ = [
     "STATUS_ERROR",
     "ERROR_UNKNOWN_INSTANCE",
     "ERROR_UNKNOWN_SELECTION",
+    "ERROR_FILE_UNAVAILABLE",
     "SELECTOR_CACHED",
+    "FINGERPRINT_CHUNK_BYTES",
     "TASK_OVERSUBSCRIBE",
     "MAX_TASK_BATCH",
     "PIPELINE_DEPTH",
@@ -256,4 +313,5 @@ __all__ = [
     "format_worker_address",
     "authkey_bytes",
     "instance_fingerprint",
+    "file_fingerprint",
 ]

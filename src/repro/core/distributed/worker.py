@@ -32,13 +32,14 @@ import os
 import socket
 import threading
 from multiprocessing.connection import Client, Connection, Listener
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.distributed.cache import DEFAULT_CACHE_CAPACITY, InstanceCache
 from repro.core.distributed.protocol import (
     DEFAULT_WORKER_HOST,
+    ERROR_FILE_UNAVAILABLE,
     ERROR_UNKNOWN_INSTANCE,
     ERROR_UNKNOWN_SELECTION,
     OP_HAS_INSTANCE,
@@ -56,30 +57,98 @@ from repro.core.distributed.protocol import (
     format_worker_address,
     parse_worker_address,
 )
-from repro.core.errors import SolverError
+from repro.core.errors import DatasetError, InstanceValidationError, SolverError
 
 
-def score_column(arrays: Dict[str, np.ndarray], task: ColumnTask,
-                 selected_rows: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
-    """One interval's score column against cached instance matrices.
+class FileUnavailableError(SolverError):
+    """A ``{"kind": "file"}`` instance ship named a file this worker cannot map.
+
+    Answered as the well-known :data:`ERROR_FILE_UNAVAILABLE` payload so the
+    client can fall back to shipping the instance bytes — it is a routing
+    condition, not a run-killing failure.
+    """
+
+
+def build_instance_record(payload) -> Dict[str, object]:
+    """Rebuild one shipped instance into a worker-side scoring record.
+
+    The record is what the cache stores and the scoring ops consume:
+    ``{"rows": EventRowSource, "comp": ndarray, "sigma": ndarray}``.
+    Payload kinds (see the protocol module): ``"arrays"`` wraps the shipped
+    dense event-major rows; ``"csr"`` rebuilds the event-major CSR store over
+    the shipped arrays (structure already validated client-side); ``"file"``
+    memory-maps the named backing NPZ and derives the static arrays from it
+    with the **same** :func:`~repro.core.scoring.build_static_arrays` /
+    :func:`~repro.core.scoring.build_event_rows` code the client's engine
+    ran, so the columns it produces are bit-identical to a byte ship.
+    """
+    from repro.core.storage import DenseEventRows, SparseStore, StoreEventRows
+
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise SolverError(f"malformed instance payload: {type(payload).__name__}")
+    kind = payload["kind"]
+    if kind == "arrays":
+        arrays = payload["arrays"]
+        return {
+            "rows": DenseEventRows(arrays["mu_rows"], arrays["value_mu_rows"]),
+            "comp": arrays["comp"],
+            "sigma": arrays["sigma"],
+        }
+    if kind == "csr":
+        arrays = payload["arrays"]
+        shape = tuple(int(extent) for extent in np.asarray(arrays["csr_shape"]))
+        store = SparseStore(
+            shape,
+            arrays["csr_indptr"],
+            arrays["csr_indices"],
+            arrays["csr_data"],
+            validate=False,
+        )
+        return {
+            "rows": StoreEventRows(store, arrays["values"]),
+            "comp": arrays["comp"],
+            "sigma": arrays["sigma"],
+        }
+    if kind == "file":
+        from repro.core.instance_io import load_npz
+        from repro.core.scoring import build_event_rows, build_static_arrays
+
+        try:
+            instance = load_npz(payload["path"], mmap=True)
+        except (OSError, DatasetError, InstanceValidationError) as error:
+            raise FileUnavailableError(
+                f"cannot map shipped instance file {payload['path']!r}: {error}"
+            ) from error
+        comp, sigma, values, _ = build_static_arrays(instance)
+        return {
+            "rows": build_event_rows(instance.interest.store, values),
+            "comp": comp,
+            "sigma": sigma,
+        }
+    raise SolverError(f"unknown instance payload kind {kind!r}")
+
+
+def score_column(record: Dict[str, object], task: ColumnTask, rows) -> np.ndarray:
+    """One interval's score column against a cached instance record.
 
     Runs the same :func:`~repro.core.execution.score_block_kernel` as the
-    in-process batch path, chunked along the event axis with the task's step,
-    so the returned column is bit-identical to the serial batch computation
-    regardless of which machine produced it.
+    in-process batch path, chunked along the event axis with the task's step
+    — sparse and memory-mapped row sources densify one block at a time — so
+    the returned column is bit-identical to the serial batch computation
+    regardless of which machine (or storage) produced it.
     """
     from repro.core.execution import score_block_kernel
 
-    mu_rows, value_mu_rows = selected_rows
-    comp_column = arrays["comp"][:, task.interval_index]
-    sigma_column = arrays["sigma"][:, task.interval_index]
-    num_rows = int(mu_rows.shape[0])
+    comp_column = record["comp"][:, task.interval_index]
+    sigma_column = record["sigma"][:, task.interval_index]
+    num_rows = rows.num_rows
     scores = np.empty(num_rows, dtype=np.float64)
     for start in range(0, num_rows, task.step):
         stop = min(start + task.step, num_rows)
+        mu_rows, value_mu_rows = rows.block(start, stop)
         scores[start:stop] = score_block_kernel(
-            mu_rows[start:stop],
-            value_mu_rows[start:stop],
+            mu_rows,
+            value_mu_rows,
             comp_column,
             sigma_column,
             task.scheduled,
@@ -234,18 +303,24 @@ class WorkerServer:
             (fingerprint,) = request[1:]
             return (STATUS_OK, fingerprint in self._cache), False
         if op == OP_PUT_INSTANCE:
-            fingerprint, arrays = request[1:]
-            self._cache.put(fingerprint, arrays)
+            fingerprint, payload = request[1:]
+            try:
+                record = build_instance_record(payload)
+            except FileUnavailableError:
+                # A routing condition, not a failure: the client falls back
+                # to shipping the instance bytes under the same fingerprint.
+                return (STATUS_ERROR, ERROR_FILE_UNAVAILABLE), False
+            self._cache.put(fingerprint, record)
             return (STATUS_OK, True), False
         if op == OP_SCORE_COLUMN:
             fingerprint, task = request[1:]
-            arrays = self._cache.get(fingerprint)
-            if arrays is None:
+            record = self._cache.get(fingerprint)
+            if record is None:
                 return (STATUS_ERROR, ERROR_UNKNOWN_INSTANCE), False
-            rows = self._selected_rows(arrays, task, selection)
+            rows = self._selected_rows(record, task, selection)
             if rows is None:
                 return (STATUS_ERROR, ERROR_UNKNOWN_SELECTION), False
-            scores = score_column(arrays, task, rows)
+            scores = score_column(record, task, rows)
             return (STATUS_OK, (task.interval_index, scores)), False
         if op == OP_SCORE_COLUMNS:
             # Protocol v2: one request carries a whole batch of column tasks
@@ -254,15 +329,15 @@ class WorkerServer:
             # client re-sends it after healing), so the instance/selection
             # checks run before any column is computed.
             fingerprint, batch = request[1:]
-            arrays = self._cache.get(fingerprint)
-            if arrays is None:
+            record = self._cache.get(fingerprint)
+            if record is None:
                 return (STATUS_ERROR, ERROR_UNKNOWN_INSTANCE), False
             columns = []
             for task in batch:
-                rows = self._selected_rows(arrays, task, selection)
+                rows = self._selected_rows(record, task, selection)
                 if rows is None:
                     return (STATUS_ERROR, ERROR_UNKNOWN_SELECTION), False
-                columns.append((task.interval_index, score_column(arrays, task, rows)))
+                columns.append((task.interval_index, score_column(record, task, rows)))
             return (STATUS_OK, tuple(columns)), False
         if op == OP_SHUTDOWN:
             return (STATUS_OK, True), True
@@ -270,9 +345,9 @@ class WorkerServer:
 
     @staticmethod
     def _selected_rows(
-        arrays: Dict[str, np.ndarray], task: ColumnTask, selection: Dict[str, object]
-    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """The (possibly subset-selected) event rows of one task.
+        record: Dict[str, object], task: ColumnTask, selection: Dict[str, object]
+    ) -> Optional[object]:
+        """The (possibly subset-selected) event-row source of one task.
 
         A task may reference its call's cached selection instead of carrying
         the index array (:data:`SELECTOR_CACHED` — the selector crosses the
@@ -281,19 +356,17 @@ class WorkerServer:
         can answer :data:`ERROR_UNKNOWN_SELECTION` and the client retries
         with the array attached.
         """
+        rows = record["rows"]
         if task.selector is None:
-            return arrays["mu_rows"], arrays["value_mu_rows"]
+            return rows
         if isinstance(task.selector, str) and task.selector == SELECTOR_CACHED:
             if selection["token"] != task.token:
                 return None
-            return selection["rows"]  # type: ignore[return-value]
+            return selection["rows"]
         if selection["token"] != task.token:
             selection["token"] = task.token
-            selection["rows"] = (
-                arrays["mu_rows"][task.selector],
-                arrays["value_mu_rows"][task.selector],
-            )
-        return selection["rows"]  # type: ignore[return-value]
+            selection["rows"] = rows.select(task.selector)  # type: ignore[attr-defined]
+        return selection["rows"]
 
 
 def serve(
@@ -410,6 +483,8 @@ def start_local_worker(
 __all__ = [
     "WorkerServer",
     "WorkerHandle",
+    "FileUnavailableError",
+    "build_instance_record",
     "score_column",
     "serve",
     "start_local_worker",

@@ -37,6 +37,16 @@ class DatasetError(ReproError):
     """A dataset generator or loader received invalid configuration/data."""
 
 
+class StorageCapacityError(ReproError):
+    """A dense materialisation would exceed the configured capacity limit.
+
+    Raised when an interest matrix is about to be allocated (or densified)
+    with more elements than :func:`repro.core.storage.dense_capacity_limit`
+    allows.  The message points at the ``sparse`` / ``mmap`` stores, which
+    handle such instances without materialising.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment definition or harness invocation is invalid."""
 

@@ -68,6 +68,14 @@ from repro.core.distributed.protocol import (
     parse_worker_address,
 )
 from repro.core.errors import SolverError
+from repro.core.storage import (
+    DenseEventRows,
+    EventRowSource,
+    MmapStore,
+    SparseStore,
+    StoreEventRows,
+    as_sparse,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scoring imports us)
     from repro.core.scoring import ScoringEngine
@@ -551,51 +559,50 @@ class BatchBackend(ExecutionBackend):
     is_bulk = True
 
     def interval_scores(self, interval_index: int, selector: Optional[np.ndarray]) -> np.ndarray:
-        mu_rows, value_mu_rows = self.engine._select_event_rows(selector)
-        return self._sharded_scores(interval_index, mu_rows, value_mu_rows)
+        source = self.engine._select_event_rows(selector)
+        return self._sharded_scores(interval_index, source)
 
     def score_matrix(self, selector: Optional[np.ndarray]) -> np.ndarray:
         # Hoist the event-row selection out of the per-interval loop: the
-        # selection is state-independent, so one copy serves every column.
+        # selection is state-independent, so one row source serves every
+        # column (a dense source materialises the selection once; sparse and
+        # mmap sources re-densify per block, keeping memory bounded).
         engine = self.engine
-        mu_rows, value_mu_rows = engine._select_event_rows(selector)
+        source = engine._select_event_rows(selector)
         num_intervals = engine.instance.num_intervals
-        matrix = np.empty((int(mu_rows.shape[0]), num_intervals), dtype=np.float64)
+        matrix = np.empty((source.num_rows, num_intervals), dtype=np.float64)
         for interval_index in range(num_intervals):
-            matrix[:, interval_index] = self._sharded_scores(
-                interval_index, mu_rows, value_mu_rows
-            )
+            matrix[:, interval_index] = self._sharded_scores(interval_index, source)
         return matrix
 
     def _block_step(self, num_rows: int) -> int:
         """Rows per block of one bulk evaluation (the memory guard)."""
         return self._config.chunk_size
 
-    def _sharded_scores(
-        self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
-    ) -> np.ndarray:
+    def _sharded_scores(self, interval_index: int, source: EventRowSource) -> np.ndarray:
         """One interval's scores, computed block by block.
 
         The event axis is processed in blocks of at most :meth:`_block_step`
-        rows, so the temporaries stay bounded on huge instances.  Each row's
-        reduction is independent of the others, so any block decomposition —
-        serial or pooled, whatever the split — produces bit-identical scores.
+        rows, so the temporaries stay bounded on huge instances — for sparse
+        and memory-mapped storages each block is densified on demand and
+        dropped after its pass.  Each row's reduction is independent of the
+        others, so any block decomposition — serial or pooled, whatever the
+        split or storage — produces bit-identical scores.
         """
         engine = self.engine
-        num_rows = int(mu_rows.shape[0])
+        num_rows = source.num_rows
         step = self._block_step(num_rows)
         if num_rows <= step:
-            return engine._batch_block(interval_index, mu_rows, value_mu_rows)
+            return engine._batch_block(interval_index, *source.block(0, num_rows))
         bounds = [(start, min(start + step, num_rows)) for start in range(0, num_rows, step)]
         scores = np.empty(num_rows, dtype=np.float64)
-        self._run_blocks(interval_index, mu_rows, value_mu_rows, bounds, scores)
+        self._run_blocks(interval_index, source, bounds, scores)
         return scores
 
     def _run_blocks(
         self,
         interval_index: int,
-        mu_rows: np.ndarray,
-        value_mu_rows: np.ndarray,
+        source: EventRowSource,
         bounds: List[Tuple[int, int]],
         scores: np.ndarray,
     ) -> None:
@@ -603,7 +610,7 @@ class BatchBackend(ExecutionBackend):
         engine = self.engine
         for start, stop in bounds:
             scores[start:stop] = engine._batch_block(
-                interval_index, mu_rows[start:stop], value_mu_rows[start:stop]
+                interval_index, *source.block(start, stop)
             )
 
 
@@ -626,21 +633,20 @@ class ThreadBackend(BatchBackend):
             step = max(1, min(step, -(-num_rows // self._config.workers)))
         return step
 
-    def _run_blocks(self, interval_index, mu_rows, value_mu_rows, bounds, scores) -> None:
+    def _run_blocks(self, interval_index, source, bounds, scores) -> None:
         if self._config.workers <= 1 or len(bounds) <= 1:
-            super()._run_blocks(interval_index, mu_rows, value_mu_rows, bounds, scores)
+            super()._run_blocks(interval_index, source, bounds, scores)
             return
         engine = self.engine
         executor = self._ensure_executor()
-        futures = [
-            executor.submit(
-                engine._batch_block,
-                interval_index,
-                mu_rows[start:stop],
-                value_mu_rows[start:stop],
-            )
-            for start, stop in bounds
-        ]
+
+        def run_block(start: int, stop: int) -> np.ndarray:
+            # The block materialisation runs inside the worker thread too, so
+            # sparse/mmap densification overlaps across the pool alongside
+            # the GIL-releasing kernel.
+            return engine._batch_block(interval_index, *source.block(start, stop))
+
+        futures = [executor.submit(run_block, start, stop) for start, stop in bounds]
         for (start, stop), future in zip(bounds, futures):
             scores[start:stop] = future.result()
 
@@ -666,15 +672,18 @@ class ThreadBackend(BatchBackend):
 _WORKER_SHM: Optional[shared_memory.SharedMemory] = None
 _WORKER_ARRAYS: Dict[str, np.ndarray] = {}
 
-#: Per-worker cache of the last subset selection: ``(call token, µ rows,
-#: value·µ rows)``.  One ``score_matrix`` call dispatches |T| tasks with the
-#: same selector; caching by the parent's call token makes each worker do the
-#: fancy-indexed row copy once per call instead of once per task.
-_WORKER_SELECTION: Tuple[Optional[int], Optional[np.ndarray], Optional[np.ndarray]] = (
-    None,
-    None,
-    None,
-)
+#: Worker-side event-row source rebuilt from the published layout: zero-copy
+#: views over the shared dense rows, a CSR store over the shared arrays, or a
+#: memory-mapped view of the instance's backing file (see
+#: :meth:`ProcessBackend._ensure_pool`).
+_WORKER_ROWS: Optional[EventRowSource] = None
+
+#: Per-worker cache of the last subset selection: ``(call token, selected row
+#: source)``.  One ``score_matrix`` call dispatches |T| tasks with the same
+#: selector; caching by the parent's call token makes each worker build the
+#: selected source (for dense rows, a fancy-indexed copy) once per call
+#: instead of once per task.
+_WORKER_SELECTION: Tuple[Optional[int], Optional[EventRowSource]] = (None, None)
 
 
 def _export_shared_arrays(
@@ -722,9 +731,34 @@ def _attach_shared_block(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original_register
 
 
+def _build_worker_rows(layout: Dict[str, object]) -> EventRowSource:
+    """Rebuild the event-row source described by the pool's layout descriptor.
+
+    ``"dense"`` wraps zero-copy views over the shared µ / value·µ rows
+    (today's behaviour, bit-for-bit); ``"sparse"`` rebuilds the event-major
+    CSR over the shared arrays (structure already validated parent-side);
+    ``"file"`` maps the instance's backing NPZ in place, so nothing but the
+    small static arrays ever crossed the process boundary.
+    """
+    kind = layout.get("kind", "dense")
+    if kind == "dense":
+        return DenseEventRows(_WORKER_ARRAYS["mu_rows"], _WORKER_ARRAYS["value_mu_rows"])
+    if kind == "sparse":
+        store = SparseStore(
+            tuple(layout["shape"]),  # type: ignore[arg-type]
+            _WORKER_ARRAYS["csr_indptr"],
+            _WORKER_ARRAYS["csr_indices"],
+            _WORKER_ARRAYS["csr_data"],
+            validate=False,
+        )
+        return StoreEventRows(store, _WORKER_ARRAYS["values"])
+    store = MmapStore.open(layout["path"], prefix=layout["prefix"])  # type: ignore[arg-type]
+    return StoreEventRows(store, _WORKER_ARRAYS["values"])
+
+
 def _process_worker_init(layout: Dict[str, object]) -> None:
     """Pool initializer: attach the shared block and rebuild the array views."""
-    global _WORKER_SHM
+    global _WORKER_SHM, _WORKER_ROWS, _WORKER_SELECTION
     block = _attach_shared_block(layout["name"])  # type: ignore[index,arg-type]
     _WORKER_SHM = block
     _WORKER_ARRAYS.clear()
@@ -732,21 +766,22 @@ def _process_worker_init(layout: Dict[str, object]) -> None:
         _WORKER_ARRAYS[key] = np.ndarray(
             shape, dtype=np.dtype(dtype), buffer=block.buf, offset=offset
         )
+    _WORKER_ROWS = _build_worker_rows(layout)
+    _WORKER_SELECTION = (None, None)
 
 
 def _worker_selected_rows(
     token: int, selector: Optional[np.ndarray]
-) -> Tuple[np.ndarray, np.ndarray]:
-    """The (possibly subset-selected) event rows for one score-matrix call."""
+) -> EventRowSource:
+    """The (possibly subset-selected) event-row source for one score-matrix call."""
     global _WORKER_SELECTION
     if selector is None:
-        return _WORKER_ARRAYS["mu_rows"], _WORKER_ARRAYS["value_mu_rows"]
-    cached_token, mu_rows, value_mu_rows = _WORKER_SELECTION
+        return _WORKER_ROWS
+    cached_token, source = _WORKER_SELECTION
     if cached_token != token:
-        mu_rows = _WORKER_ARRAYS["mu_rows"][selector]
-        value_mu_rows = _WORKER_ARRAYS["value_mu_rows"][selector]
-        _WORKER_SELECTION = (token, mu_rows, value_mu_rows)
-    return mu_rows, value_mu_rows
+        source = _WORKER_ROWS.select(selector)
+        _WORKER_SELECTION = (token, source)
+    return source
 
 
 def _process_interval_scores(
@@ -760,16 +795,17 @@ def _process_interval_scores(
     serial batch path regardless of where it was computed.
     """
     interval_index, token, selector, scheduled, scheduled_value, utility, step = task
-    mu_rows, value_mu_rows = _worker_selected_rows(token, selector)
+    source = _worker_selected_rows(token, selector)
     comp_column = _WORKER_ARRAYS["comp"][:, interval_index]
     sigma_column = _WORKER_ARRAYS["sigma"][:, interval_index]
-    num_rows = int(mu_rows.shape[0])
+    num_rows = source.num_rows
     scores = np.empty(num_rows, dtype=np.float64)
     for start in range(0, num_rows, step):
         stop = min(start + step, num_rows)
+        mu_rows, value_mu_rows = source.block(start, stop)
         scores[start:stop] = score_block_kernel(
-            mu_rows[start:stop],
-            value_mu_rows[start:stop],
+            mu_rows,
+            value_mu_rows,
             comp_column,
             sigma_column,
             scheduled,
@@ -783,13 +819,18 @@ class ProcessBackend(BatchBackend):
     """Multi-process strategy: score-matrix columns sharded across a process pool.
 
     :meth:`score_matrix` dispatches one task per interval to a
-    ``multiprocessing`` pool.  The static instance matrices (event-major µ and
-    value·µ rows, competing sums, σ) are published **once** through a single
-    shared-memory block when the pool starts — workers map them zero-copy, so
-    a task ships only its interval index and the interval's per-user scheduled
-    sums (a few KB).  Subset calls additionally carry the event selector; each
-    worker materialises the selected rows once per score-matrix call (cached
-    by call token), not once per task.  Single-interval bulk calls
+    ``multiprocessing`` pool.  The static instance matrices are published
+    **once** through a single shared-memory block when the pool starts,
+    shaped by the instance's storage: the ``"dense"`` storage ships the
+    event-major µ and value·µ rows plus competing sums and σ (today's
+    behaviour); the ``"sparse"`` storage ships the CSR arrays instead and
+    workers densify blocks on demand; a file-backed (``"mmap"``) storage
+    ships no matrix at all — workers map the instance's backing NPZ in place
+    (see :meth:`_shared_layout`).  Workers map the block zero-copy, so a task
+    ships only its interval index and the interval's per-user scheduled sums
+    (a few KB).  Subset calls additionally carry the event selector; each
+    worker materialises the selected row source once per score-matrix call
+    (cached by call token), not once per task.  Single-interval bulk calls
     (:meth:`~ScoringEngine.interval_scores`, the incremental refresh path) use
     the inherited serial batch kernel — identical values either way.
 
@@ -844,18 +885,55 @@ class ProcessBackend(BatchBackend):
             matrix[:, interval_index] = scores
         return matrix
 
+    def _shared_layout(self) -> Tuple[shared_memory.SharedMemory, Dict[str, object]]:
+        """Publish the engine's static arrays, shaped by the instance storage.
+
+        Dense storage ships the precomputed event-major µ / value·µ rows
+        exactly as it always has.  Sparse storage ships the (much smaller)
+        CSR arrays instead — the workers densify blocks on demand.  A
+        file-backed (mmap) storage ships no matrix at all: the layout carries
+        the backing file's path and the workers map it in place, so the only
+        shared copies are the per-interval competing/σ matrices.
+        """
+        engine = self.engine
+        statics = {
+            "comp": np.ascontiguousarray(engine._comp),
+            "sigma": np.ascontiguousarray(engine._sigma),
+        }
+        rows = engine._event_rows
+        if isinstance(rows, DenseEventRows):
+            mu_rows, value_mu_rows = rows.arrays
+            block, layout = _export_shared_arrays(
+                {"mu_rows": mu_rows, "value_mu_rows": value_mu_rows, **statics}
+            )
+            layout["kind"] = "dense"
+            return block, layout
+        store = engine._store
+        values = np.ascontiguousarray(engine._values)
+        if store.is_file_backed:
+            block, layout = _export_shared_arrays({**statics, "values": values})
+            layout["kind"] = "file"
+            layout["path"] = store.path
+            layout["prefix"] = store.prefix
+            return block, layout
+        indptr, indices, data = as_sparse(store).csr_arrays
+        block, layout = _export_shared_arrays(
+            {
+                **statics,
+                "values": values,
+                "csr_indptr": np.ascontiguousarray(indptr, dtype=np.int64),
+                "csr_indices": np.ascontiguousarray(indices, dtype=np.int64),
+                "csr_data": np.ascontiguousarray(data, dtype=np.float64),
+            }
+        )
+        layout["kind"] = "sparse"
+        layout["shape"] = tuple(store.shape)
+        return block, layout
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """The lazily-created, reused process pool (publishes the shared block)."""
         if self._executor is None:
-            engine = self.engine
-            block, layout = _export_shared_arrays(
-                {
-                    "mu_rows": engine._mu_rows,
-                    "value_mu_rows": engine._value_mu_rows,
-                    "comp": np.ascontiguousarray(engine._comp),
-                    "sigma": np.ascontiguousarray(engine._sigma),
-                }
-            )
+            block, layout = self._shared_layout()
             start_method = self._config.start_method or _auto_start_method()
             context = multiprocessing.get_context(start_method)
             if start_method == "forkserver":

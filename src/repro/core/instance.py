@@ -19,6 +19,7 @@ and reloaded by the dataset loaders and the CLI.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -73,6 +74,11 @@ class SESInstance:
 
     def __post_init__(self) -> None:
         self.activity = np.array(self.activity, dtype=np.float64, copy=True)
+        #: Path of the NPZ the instance was memory-mapped from (set by the
+        #: loaders for ``mmap``-storage instances), ``None`` otherwise.  Lets
+        #: the execution layers map / ship the backing file instead of copying
+        #: matrices.
+        self.backing_file: Optional[str] = None
         self._validate()
         self._event_index = {event.id: idx for idx, event in enumerate(self.events)}
         self._interval_index = {interval.id: idx for idx, interval in enumerate(self.intervals)}
@@ -157,12 +163,19 @@ class SESInstance:
         return groups
 
     def _compute_competing_sums(self) -> np.ndarray:
-        """Per-user, per-interval sums ``Σ_{c ∈ C_t} µ(u, c)`` (shape |U| × |T|)."""
+        """Per-user, per-interval sums ``Σ_{c ∈ C_t} µ(u, c)`` (shape |U| × |T|).
+
+        Goes through the interest store's column gather, so sparse and mmap
+        stores densify only the ``|U| × |C_t|`` slice of one interval at a
+        time.  The gathered block holds exactly the dense matrix's values,
+        and the ``axis=1`` sum is the same pairwise reduction — the result is
+        bit-identical across storages.
+        """
         sums = np.zeros((len(self.users), len(self.intervals)), dtype=np.float64)
-        comp_values = self.competing_interest.values
+        comp_store = self.competing_interest.store
         for interval_idx, comp_indices in enumerate(self._competing_by_interval):
             if comp_indices:
-                sums[:, interval_idx] = comp_values[:, comp_indices].sum(axis=1)
+                sums[:, interval_idx] = comp_store.columns(comp_indices).sum(axis=1)
         return sums
 
     # ------------------------------------------------------------------ #
@@ -197,6 +210,38 @@ class SESInstance:
     def competing_sums(self) -> np.ndarray:
         """Per-user, per-interval competing-interest sums (read-only view)."""
         return self._competing_sums
+
+    @property
+    def storage(self) -> str:
+        """Registry name of the interest matrices' storage (``"dense"``, …)."""
+        return self.interest.storage
+
+    def with_storage(
+        self, storage: str, *, directory: Optional[str] = None
+    ) -> "SESInstance":
+        """This instance with both interest matrices under the named storage.
+
+        Values are unchanged, so schedules, utilities, scores and counters
+        stay bit-identical.  Converting to the ``"mmap"`` storage writes the
+        whole instance as an uncompressed NPZ under ``directory`` and
+        memory-maps it back (setting :attr:`backing_file`); converting to the
+        ``"dense"`` storage is capacity-guarded.
+        """
+        if storage == "mmap":
+            if directory is None:
+                raise InstanceValidationError(
+                    "converting to the 'mmap' storage needs a directory to "
+                    "spill the instance NPZ to"
+                )
+            from repro.core.instance_io import spill_instance
+
+            return spill_instance(self, directory)
+        return dataclasses.replace(
+            self,
+            interest=self.interest.with_storage(storage),
+            competing_interest=self.competing_interest.with_storage(storage),
+            metadata=dict(self.metadata),
+        )
 
     @property
     def user_weights(self) -> np.ndarray:
@@ -258,9 +303,15 @@ class SESInstance:
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #
-    def to_dict(self) -> Dict[str, object]:
-        """Serialise the instance to a JSON-friendly dictionary."""
-        return {
+    def to_dict(self, *, include_matrices: bool = True) -> Dict[str, object]:
+        """Serialise the instance to a JSON-friendly dictionary.
+
+        ``include_matrices=False`` omits the ``interest`` /
+        ``competing_interest`` / ``activity`` entries entirely — the NPZ
+        writer stores those as binary array members and must not round-trip
+        them through Python lists.
+        """
+        payload: Dict[str, object] = {
             "name": self.name,
             "metadata": dict(self.metadata),
             "organizer": {
@@ -292,10 +343,12 @@ class SESInstance:
                 for comp in self.competing_events
             ],
             "users": [{"id": user.id, "weight": user.weight} for user in self.users],
-            "interest": self.interest.to_dict(),
-            "competing_interest": self.competing_interest.to_dict(),
-            "activity": self.activity.tolist(),
         }
+        if include_matrices:
+            payload["interest"] = self.interest.to_dict()
+            payload["competing_interest"] = self.competing_interest.to_dict()
+            payload["activity"] = self.activity.tolist()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "SESInstance":
@@ -306,7 +359,9 @@ class SESInstance:
         nested lists.  Arrays are passed straight through ``np.asarray`` (the
         interest matrices are adopted without copying; activity keeps its one
         defensive copy), so no Python lists are ever materialised — the fast
-        path the NPZ loader relies on for benchmark-scale instances.
+        path the NPZ loader relies on for benchmark-scale instances.  The two
+        matrix entries may also be ready-made :class:`InterestMatrix` objects
+        (e.g. wrapping memory-mapped stores), which are adopted as-is.
         """
         organizer_payload = payload.get("organizer", {}) or {}
         organizer = Organizer(
@@ -346,9 +401,16 @@ class SESInstance:
             for item in payload["users"]  # type: ignore[index]
         ]
         num_users = len(users)
-        interest = InterestMatrix.from_serialized(payload["interest"])  # type: ignore[arg-type]
+        interest_payload = payload["interest"]  # type: ignore[index]
+        if isinstance(interest_payload, InterestMatrix):
+            interest = interest_payload
+        else:
+            interest = InterestMatrix.from_serialized(interest_payload)  # type: ignore[arg-type]
         competing_payload = payload["competing_interest"]  # type: ignore[index]
-        competing_interest = InterestMatrix.from_serialized(competing_payload)  # type: ignore[arg-type]
+        if isinstance(competing_payload, InterestMatrix):
+            competing_interest = competing_payload
+        else:
+            competing_interest = InterestMatrix.from_serialized(competing_payload)  # type: ignore[arg-type]
         if competing_interest.num_items == 0 and competing_interest.num_users != num_users:
             competing_interest = InterestMatrix.zeros(num_users, 0)
         activity = np.asarray(payload["activity"], dtype=np.float64)
@@ -485,6 +547,7 @@ class SESInstance:
             "num_competing_events": self.num_competing_events,
             "num_users": self.num_users,
             "num_locations": self.num_locations(),
+            "storage": self.storage,
             "available_resources": self.available_resources,
             "mean_interest": self.interest.mean(),
             "mean_competing_interest": self.competing_interest.mean(),

@@ -1,19 +1,31 @@
 """Interest (affinity) matrices µ used by the attendance model.
 
 The paper models interest as a function ``µ : U × (E ∪ C) → [0, 1]``.  The
-library stores it as two dense NumPy matrices — one for candidate events and
-one for competing events — wrapped by :class:`InterestMatrix`, which adds
-validation, convenient per-row/per-column access and sparse construction
-helpers used by the dataset substrates.
+library stores it as two :class:`InterestMatrix` objects — one for candidate
+events and one for competing events — each wrapping a pluggable
+:class:`~repro.core.storage.InterestStore`: the in-memory 2-D array of the
+``"dense"`` storage (the default), the event-major CSR of the ``"sparse"``
+storage, or the file-backed ``"mmap"`` storage that streams from an
+uncompressed NPZ.  The wrapper adds validation, convenient per-row /
+per-column access and sparse construction helpers used by the dataset
+substrates; the representation itself never changes a value, so scoring
+results are bit-identical across storages.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.core.errors import InstanceValidationError
+from repro.core.storage import (
+    DEFAULT_STORAGE,
+    DenseStore,
+    InterestStore,
+    SparseStore,
+    convert_store,
+)
 
 
 class InterestMatrix:
@@ -23,14 +35,18 @@ class InterestMatrix:
     ----------
     values:
         Array-like of shape ``(num_users, num_items)`` with entries in
-        ``[0, 1]``.  The array is copied and stored as ``float64``.
+        ``[0, 1]``.  The array is copied and stored as ``float64`` under the
+        default ``"dense"`` storage.
     copy:
         When ``False`` and the input is already a float64 C-contiguous array,
         it is used without copying (dataset generators use this to avoid
         duplicating large matrices).
+
+    Use :meth:`from_store` (or :meth:`with_storage`) to wrap a sparse or
+    memory-mapped representation instead of a dense array.
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_store",)
 
     def __init__(self, values: np.ndarray, *, copy: bool = True) -> None:
         array = np.array(values, dtype=np.float64, copy=copy)
@@ -43,15 +59,38 @@ class InterestMatrix:
                 "interest values must lie in [0, 1]; found values in "
                 f"[{np.min(array):.4f}, {np.max(array):.4f}]"
             )
-        self._values = array
+        self._store = DenseStore(array)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
-    def zeros(cls, num_users: int, num_items: int) -> "InterestMatrix":
-        """Create an all-zero interest matrix."""
-        return cls(np.zeros((num_users, num_items), dtype=np.float64), copy=False)
+    def from_store(cls, store: InterestStore) -> "InterestMatrix":
+        """Wrap an existing :class:`InterestStore` without copying it."""
+        matrix = cls.__new__(cls)
+        matrix._store = store
+        return matrix
+
+    @classmethod
+    def zeros(
+        cls,
+        num_users: int,
+        num_items: int,
+        *,
+        storage: str = DEFAULT_STORAGE,
+        path: Optional[str] = None,
+    ) -> "InterestMatrix":
+        """Create an all-zero interest matrix under the named storage."""
+        if storage == DenseStore.name:
+            return cls.from_store(DenseStore.zeros(num_users, num_items))
+        empty = SparseStore(
+            (num_users, num_items),
+            np.zeros(num_items + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+            validate=False,
+        )
+        return cls.from_store(convert_store(empty, storage, path=path))
 
     @classmethod
     def from_entries(
@@ -59,23 +98,49 @@ class InterestMatrix:
         num_users: int,
         num_items: int,
         entries: Iterable[Tuple[int, int, float]],
+        *,
+        storage: str = DEFAULT_STORAGE,
+        path: Optional[str] = None,
     ) -> "InterestMatrix":
         """Build a matrix from sparse ``(user_index, item_index, value)`` triples.
 
-        Later entries for the same cell overwrite earlier ones.
+        Later entries for the same cell overwrite earlier ones.  The fill is
+        vectorised: indices are validated in bulk (reporting the first
+        offending triple) and duplicates are resolved with an explicit
+        last-write-wins pass, so a million triples cost three NumPy calls,
+        not a Python loop.
         """
-        values = np.zeros((num_users, num_items), dtype=np.float64)
-        for user_index, item_index, value in entries:
-            if not (0 <= user_index < num_users):
+        triples = list(entries)
+        if not triples:
+            return cls.zeros(num_users, num_items, storage=storage, path=path)
+        count = len(triples)
+        users = np.fromiter((t[0] for t in triples), dtype=np.int64, count=count)
+        items = np.fromiter((t[1] for t in triples), dtype=np.int64, count=count)
+        values = np.fromiter((t[2] for t in triples), dtype=np.float64, count=count)
+        bad_users = (users < 0) | (users >= num_users)
+        bad_items = (items < 0) | (items >= num_items)
+        if bad_users.any() or bad_items.any():
+            first = int(np.argmax(bad_users | bad_items))
+            if bad_users[first]:
                 raise InstanceValidationError(
-                    f"user index {user_index} outside [0, {num_users})"
+                    f"user index {users[first]} outside [0, {num_users})"
                 )
-            if not (0 <= item_index < num_items):
-                raise InstanceValidationError(
-                    f"item index {item_index} outside [0, {num_items})"
-                )
-            values[user_index, item_index] = value
-        return cls(values, copy=False)
+            raise InstanceValidationError(
+                f"item index {items[first]} outside [0, {num_items})"
+            )
+        # Last write wins: keep, for every (user, item) cell, the final
+        # occurrence.  np.unique over the reversed flattened keys returns the
+        # first occurrence in reversed order == the last in original order.
+        flat = users * np.int64(num_items) + items
+        _, keep_reversed = np.unique(flat[::-1], return_index=True)
+        keep = np.sort(count - 1 - keep_reversed)
+        users, items, values = users[keep], items[keep], values[keep]
+        if storage == DenseStore.name:
+            dense = DenseStore.zeros(num_users, num_items).values
+            dense[users, items] = values
+            return cls(dense, copy=False)
+        sparse = SparseStore.from_coo(num_users, num_items, users, items, values)
+        return cls.from_store(convert_store(sparse, storage, path=path))
 
     @classmethod
     def from_dict(
@@ -90,59 +155,106 @@ class InterestMatrix:
         )
 
     # ------------------------------------------------------------------ #
+    # Storage
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> InterestStore:
+        """The underlying :class:`InterestStore`."""
+        return self._store
+
+    @property
+    def storage(self) -> str:
+        """Registry name of the underlying storage (``"dense"``, ``"sparse"``, …)."""
+        return self._store.name
+
+    def with_storage(self, storage: str, *, path: Optional[str] = None) -> "InterestMatrix":
+        """This matrix re-represented under the named storage (values unchanged).
+
+        Converting to the ``"mmap"`` storage needs a ``path`` to spill the
+        CSR arrays to; converting to the ``"dense"`` storage is
+        capacity-guarded.
+        """
+        return type(self).from_store(convert_store(self._store, storage, path=path))
+
+    # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
     @property
     def values(self) -> np.ndarray:
-        """The underlying ``(num_users, num_items)`` float64 array (read/write)."""
-        return self._values
+        """The matrix as a ``(num_users, num_items)`` float64 array.
+
+        For the ``"dense"`` storage this is the underlying array itself
+        (read/write, exactly as before); sparse and mmap stores materialise a
+        dense copy, which is capacity-guarded — use :attr:`store` for
+        streaming access to large instances.
+        """
+        return self._store.to_dense()
 
     @property
     def num_users(self) -> int:
         """Number of rows (users)."""
-        return self._values.shape[0]
+        return self._store.num_users
 
     @property
     def num_items(self) -> int:
         """Number of columns (events)."""
-        return self._values.shape[1]
+        return self._store.num_items
 
     @property
     def shape(self) -> Tuple[int, int]:
         """``(num_users, num_items)``."""
-        return self._values.shape  # type: ignore[return-value]
+        return self._store.shape
 
     def column(self, item_index: int) -> np.ndarray:
-        """Interest of every user for one item (a view, not a copy)."""
-        return self._values[:, item_index]
+        """Interest of every user for one item (a view for the dense storage)."""
+        return self._store.column(item_index)
 
     def row(self, user_index: int) -> np.ndarray:
-        """Interest of one user over every item (a view, not a copy)."""
-        return self._values[user_index, :]
+        """Interest of one user over every item (a view for the dense storage)."""
+        return self._store.row(user_index)
 
     def value(self, user_index: int, item_index: int) -> float:
         """Interest µ of a single user for a single item."""
-        return float(self._values[user_index, item_index])
+        return self._store.value(user_index, item_index)
 
     def mean(self) -> float:
         """Mean interest value (0.0 for an empty matrix)."""
-        if self._values.size == 0:
-            return 0.0
-        return float(self._values.mean())
+        return self._store.mean()
 
     def density(self, *, threshold: float = 0.0) -> float:
         """Fraction of entries strictly greater than ``threshold``."""
-        if self._values.size == 0:
-            return 0.0
-        return float(np.count_nonzero(self._values > threshold) / self._values.size)
+        return self._store.density(threshold=threshold)
 
     def to_dict(self) -> Dict[str, object]:
-        """Serialise to a JSON-friendly dict (row-major nested lists)."""
-        return {"shape": list(self.shape), "values": self._values.tolist()}
+        """Serialise to a JSON-friendly dict.
+
+        The ``"dense"`` storage keeps the historical row-major nested-list
+        layout; sparse and mmap stores serialise their CSR arrays (and record
+        ``storage: "sparse"``) without densifying.
+        """
+        if isinstance(self._store, SparseStore):
+            indptr, indices, data = self._store.csr_arrays
+            return {
+                "shape": list(self.shape),
+                "storage": SparseStore.name,
+                "indptr": np.asarray(indptr).tolist(),
+                "indices": np.asarray(indices).tolist(),
+                "data": np.asarray(data).tolist(),
+            }
+        return {"shape": list(self.shape), "values": self.values.tolist()}
 
     @classmethod
     def from_serialized(cls, payload: Mapping[str, object]) -> "InterestMatrix":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (accepts arrays as well as lists)."""
+        if "indptr" in payload:
+            shape = tuple(payload["shape"])  # type: ignore[arg-type]
+            store = SparseStore(
+                (int(shape[0]), int(shape[1])),
+                np.asarray(payload["indptr"], dtype=np.int64),
+                np.asarray(payload["indices"], dtype=np.int64),
+                np.asarray(payload["data"], dtype=np.float64),
+            )
+            return cls.from_store(store)
         values = np.asarray(payload["values"], dtype=np.float64)
         expected_shape = tuple(payload.get("shape", values.shape))  # type: ignore[arg-type]
         if values.size == 0:
@@ -157,7 +269,9 @@ class InterestMatrix:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, InterestMatrix):
             return NotImplemented
-        return self.shape == other.shape and bool(np.allclose(self._values, other._values))
+        return self.shape == other.shape and bool(
+            np.allclose(self.values, other.values)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

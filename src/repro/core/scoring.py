@@ -76,6 +76,45 @@ from repro.core.execution import (  # noqa: F401  (re-exported compatibility sur
 )
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
+from repro.core.storage import (
+    DenseEventRows,
+    DenseStore,
+    EventRowSource,
+    InterestStore,
+    StoreEventRows,
+)
+
+
+def build_static_arrays(instance: SESInstance):
+    """The kernels' static per-instance inputs: ``(comp, sigma, values, costs)``.
+
+    ``comp`` are the per-interval competing-interest sums, ``sigma`` the
+    weight-scaled activity probabilities, ``values`` / ``costs`` the per-event
+    multipliers.  Factored out of the engine so the distributed worker's
+    file-rebuild path derives bit-identical arrays from a shipped instance
+    file: both sides run exactly this code on exactly the same inputs.
+    """
+    comp = instance.competing_sums
+    sigma = instance.activity * instance.user_weights[:, np.newaxis]
+    values = instance.event_values()
+    costs = instance.event_costs()
+    return comp, sigma, values, costs
+
+
+def build_event_rows(store: InterestStore, values: np.ndarray) -> EventRowSource:
+    """The event-major row source the bulk strategies iterate.
+
+    A dense store precomputes the contiguous ``µ.T`` and ``value·µ.T``
+    matrices once (today's behaviour, served as zero-copy views); sparse and
+    mmap stores densify one event block at a time through
+    :class:`~repro.core.storage.StoreEventRows`, computing ``value·µ`` per
+    block — elementwise-identical to the dense precompute, so every backend
+    stays bit-identical across storages.
+    """
+    if isinstance(store, DenseStore):
+        mu_rows = np.ascontiguousarray(store.to_dense().T)
+        return DenseEventRows(mu_rows, values[:, np.newaxis] * mu_rows)
+    return StoreEventRows(store, values)
 
 
 def __getattr__(name: str):
@@ -150,23 +189,21 @@ class ScoringEngine:
         self._execution = execution.resolve(instance.num_users)
         self._backend_impl = self._execution.create_backend().bind(self)
 
-        self._mu = instance.interest.values
-        self._comp = instance.competing_sums
-        weights = instance.user_weights
-        self._sigma = instance.activity * weights[:, np.newaxis]
-        self._values = instance.event_values()
-        self._costs = instance.event_costs()
+        self._store = instance.interest.store
+        self._comp, self._sigma, self._values, self._costs = build_static_arrays(instance)
 
         if self._backend_impl.is_bulk:
-            # Event-major copies of µ and value·µ: each row is one event's
+            # Event-major rows of µ and value·µ: each row is one event's
             # per-user column, contiguous so that the per-row reductions of
             # the bulk strategies use the same pairwise summation as the
             # scalar path's 1-D sums (keeping the backends bit-identical).
-            self._mu_rows = np.ascontiguousarray(self._mu.T)
-            self._value_mu_rows = self._values[:, np.newaxis] * self._mu_rows
+            # Dense stores precompute both matrices once; sparse/mmap stores
+            # densify per block so memory stays bounded by the chunk size.
+            self._event_rows: Optional[EventRowSource] = build_event_rows(
+                self._store, self._values
+            )
         else:
-            self._mu_rows = None
-            self._value_mu_rows = None
+            self._event_rows = None
 
         # Per-interval upper bound on the floating-point noise of one
         # assignment score (see score_noise_tolerance): every per-user
@@ -280,7 +317,7 @@ class ScoringEngine:
             )
         if score is None:
             score = self.assignment_score(event_index, interval_index)
-        column = self._mu[:, event_index]
+        column = self._mu_column(event_index)
         self._scheduled_interest[interval_index] += column
         self._scheduled_value_interest[interval_index] += self._values[event_index] * column
         self._interval_utility[interval_index] += score
@@ -326,9 +363,18 @@ class ScoringEngine:
             self._counter.count_score(initial=initial)
         return self._pair_score(event_index, interval_index)
 
+    def _mu_column(self, event_index: int) -> np.ndarray:
+        """Dense per-user interest column of one event.
+
+        A view for the ``"dense"`` storage (exactly the old ``µ[:, e]``);
+        sparse and mmap stores densify the single ``|U|`` column, holding the
+        same float values, so every consumer stays bit-identical.
+        """
+        return self._store.column(event_index)
+
     def _pair_score(self, event_index: int, interval_index: int) -> float:
         """The scalar (reference) score computation of one (event, interval) pair."""
-        column = self._mu[:, event_index]
+        column = self._mu_column(event_index)
         new_interest = self._scheduled_interest[interval_index] + column
         new_value_interest = (
             self._scheduled_value_interest[interval_index] + self._values[event_index] * column
@@ -401,11 +447,11 @@ class ScoringEngine:
         """
         return self.interval_scores(interval_index, event_indices, initial=False, count=count)
 
-    def _select_event_rows(self, events: Optional[np.ndarray]):
-        """Event-major µ and value·µ rows for a selection (``None`` = all events)."""
+    def _select_event_rows(self, events: Optional[np.ndarray]) -> EventRowSource:
+        """The event-major row source for a selection (``None`` = all events)."""
         if events is None:
-            return self._mu_rows, self._value_mu_rows
-        return self._mu_rows[events], self._value_mu_rows[events]
+            return self._event_rows
+        return self._event_rows.select(events)
 
     def _batch_block(
         self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
@@ -489,7 +535,7 @@ class ScoringEngine:
             raise ScheduleError(f"event {event_index} has not been applied")
         interval_index = self._events_applied[event_index]
         denominator = self._comp[:, interval_index] + self._scheduled_interest[interval_index]
-        numerator = self._sigma[:, interval_index] * self._mu[:, event_index]
+        numerator = self._sigma[:, interval_index] * self._mu_column(event_index)
         if count:
             self._counter.count_score()
         probabilities = _guarded_divide(numerator, denominator)
@@ -501,7 +547,7 @@ class ScoringEngine:
             raise ScheduleError(f"event {event_index} has not been applied")
         interval_index = self._events_applied[event_index]
         denominator = self._comp[:, interval_index] + self._scheduled_interest[interval_index]
-        numerator = self._sigma[:, interval_index] * self._mu[:, event_index]
+        numerator = self._sigma[:, interval_index] * self._mu_column(event_index)
         return _guarded_divide(numerator, denominator)
 
     # ------------------------------------------------------------------ #
@@ -522,7 +568,7 @@ class ScoringEngine:
             interest_sum = np.zeros(self._instance.num_users, dtype=np.float64)
             value_sum = np.zeros(self._instance.num_users, dtype=np.float64)
             for event_index in events_here:
-                column = self._mu[:, event_index]
+                column = self._mu_column(event_index)
                 interest_sum += column
                 value_sum += self._values[event_index] * column
                 cost += self._costs[event_index]
@@ -540,11 +586,11 @@ class ScoringEngine:
             events_here = sorted(schedule.events_at(interval_index))
             interest_sum = np.zeros(self._instance.num_users, dtype=np.float64)
             for event_index in events_here:
-                interest_sum += self._mu[:, event_index]
+                interest_sum += self._mu_column(event_index)
             denominator = self._comp[:, interval_index] + interest_sum
             sigma = self._sigma[:, interval_index]
             for event_index in events_here:
-                numerator = sigma * self._mu[:, event_index]
+                numerator = sigma * self._mu_column(event_index)
                 probabilities = _guarded_divide(numerator, denominator)
                 attendance[event_index] = float(probabilities.sum()) * float(
                     self._values[event_index]

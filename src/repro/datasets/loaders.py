@@ -4,38 +4,47 @@ Two formats are supported:
 
 * **JSON** (``.json``) — fully self-contained, human-inspectable, suitable for
   small instances and golden-file tests.
-* **NPZ bundle** (``.npz``) — the numeric matrices stored as compressed NumPy
-  arrays with the entity lists embedded as a JSON string; the right choice
-  for benchmark-scale instances.
+* **NPZ bundle** (``.npz``) — the numeric matrices stored as NumPy array
+  members with the entity lists embedded as a JSON string; the right choice
+  for benchmark-scale instances.  Compressed by default; pass
+  ``compressed=False`` to write uncompressed members, which is what makes
+  ``load_npz(..., mmap=True)`` able to memory-map the matrices in place
+  instead of reading them into RAM (the ``"mmap"`` storage).
 
-Both round-trip through :meth:`repro.core.instance.SESInstance.to_dict` /
-``from_dict`` so they stay in sync with the instance schema automatically.
+The NPZ schema itself lives in :mod:`repro.core.instance_io` (so the
+distributed layer can rebuild instances from shipped files without importing
+the dataset layer); this module re-exports it next to the JSON format behind
+one suffix-dispatching ``save_instance`` / ``load_instance`` pair.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
-
-import numpy as np
+from typing import Union
 
 from repro.core.errors import DatasetError
 from repro.core.instance import SESInstance
+from repro.core.instance_io import load_npz, save_npz
 
 PathLike = Union[str, Path]
 
+__all__ = ["save_instance", "load_instance", "save_npz", "load_npz"]
 
-def save_instance(instance: SESInstance, path: PathLike) -> Path:
+
+def save_instance(
+    instance: SESInstance, path: PathLike, *, compressed: bool = True
+) -> Path:
     """Save an instance; the format is chosen from the file extension.
 
-    Returns the resolved path written to.
+    ``compressed`` applies to the ``.npz`` format only (JSON is always plain
+    text).  Returns the resolved path written to.
     """
     target = Path(path)
     if target.suffix == ".json":
         _save_json(instance, target)
     elif target.suffix == ".npz":
-        _save_npz(instance, target)
+        save_npz(instance, target, compressed=compressed)
     else:
         raise DatasetError(
             f"unsupported instance format {target.suffix!r}; use '.json' or '.npz'"
@@ -43,15 +52,25 @@ def save_instance(instance: SESInstance, path: PathLike) -> Path:
     return target
 
 
-def load_instance(path: PathLike) -> SESInstance:
-    """Load an instance previously written by :func:`save_instance`."""
+def load_instance(path: PathLike, *, mmap: bool = False) -> SESInstance:
+    """Load an instance previously written by :func:`save_instance`.
+
+    ``mmap=True`` memory-maps the matrices of an uncompressed CSR ``.npz``
+    instead of materialising them (and is rejected for JSON files, which have
+    nothing to map).
+    """
     source = Path(path)
     if not source.exists():
         raise DatasetError(f"instance file not found: {source}")
     if source.suffix == ".json":
+        if mmap:
+            raise DatasetError(
+                f"{source}: JSON instances cannot be memory-mapped; save the "
+                "instance as an uncompressed '.npz' first"
+            )
         return _load_json(source)
     if source.suffix == ".npz":
-        return _load_npz(source)
+        return load_npz(source, mmap=mmap)
     raise DatasetError(f"unsupported instance format {source.suffix!r}; use '.json' or '.npz'")
 
 
@@ -68,46 +87,4 @@ def _save_json(instance: SESInstance, target: Path) -> None:
 def _load_json(source: Path) -> SESInstance:
     with source.open("r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    return SESInstance.from_dict(payload)
-
-
-# --------------------------------------------------------------------------- #
-# NPZ
-# --------------------------------------------------------------------------- #
-def _save_npz(instance: SESInstance, target: Path) -> None:
-    target.parent.mkdir(parents=True, exist_ok=True)
-    payload = instance.to_dict()
-    # Strip the heavy numeric parts out of the JSON payload; they go into
-    # dedicated compressed arrays instead.
-    entities: Dict[str, object] = {
-        key: value
-        for key, value in payload.items()
-        if key not in ("interest", "competing_interest", "activity")
-    }
-    np.savez_compressed(
-        target,
-        interest=instance.interest.values,
-        competing_interest=instance.competing_interest.values,
-        activity=instance.activity,
-        entities=np.frombuffer(json.dumps(entities, sort_keys=True).encode("utf-8"), dtype=np.uint8),
-    )
-
-
-def _load_npz(source: Path) -> SESInstance:
-    with np.load(source, allow_pickle=False) as bundle:
-        entities = json.loads(bytes(bundle["entities"].tobytes()).decode("utf-8"))
-        interest = np.asarray(bundle["interest"], dtype=np.float64)
-        competing_interest = np.asarray(bundle["competing_interest"], dtype=np.float64)
-        activity = np.asarray(bundle["activity"], dtype=np.float64)
-    payload = dict(entities)
-    # The arrays go into the payload as-is: ``from_dict`` (via
-    # ``InterestMatrix.from_serialized`` and ``np.asarray``) accepts ndarrays
-    # without copying, so benchmark-scale NPZ loads never materialise Python
-    # lists of the matrices.
-    payload["interest"] = {"shape": list(interest.shape), "values": interest}
-    payload["competing_interest"] = {
-        "shape": list(competing_interest.shape),
-        "values": competing_interest,
-    }
-    payload["activity"] = activity
     return SESInstance.from_dict(payload)

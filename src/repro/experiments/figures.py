@@ -194,6 +194,7 @@ def fig5(
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -235,6 +236,7 @@ def fig5(
                     params={"k": k, "num_events": num_events, "num_intervals": num_intervals},
                     seed=seed,
                     execution=execution,
+                    storage=storage,
                 )
             )
     return result
@@ -250,6 +252,7 @@ def fig6(
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -284,6 +287,7 @@ def fig6(
                     params={"k": k, "num_events": num_events, "num_intervals": num_intervals},
                     seed=seed,
                     execution=execution,
+                    storage=storage,
                 )
             )
     return result
@@ -299,6 +303,7 @@ def fig7(
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -335,6 +340,7 @@ def fig7(
                     params={"k": k, "num_events": num_events, "num_intervals": num_intervals},
                     seed=seed,
                     execution=execution,
+                    storage=storage,
                 )
             )
     return result
@@ -350,6 +356,7 @@ def fig8(
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -397,6 +404,7 @@ def fig8(
                         },
                         seed=seed,
                         execution=execution,
+                        storage=storage,
                     )
                 )
     result.notes["panels"] = panels
@@ -413,6 +421,7 @@ def fig9(
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -455,6 +464,7 @@ def fig9(
                     },
                     seed=seed,
                     execution=execution,
+                    storage=storage,
                 )
             )
     return result
@@ -470,6 +480,7 @@ def fig10a(
     algorithms: Sequence[str] = ("ALG", "INC", "HOR", "HOR-I", "TOP"),
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -504,6 +515,7 @@ def fig10a(
                 params={"k": k, "num_intervals": num_intervals},
                 seed=seed,
                 execution=execution,
+                storage=storage,
             )
         )
     return result
@@ -519,6 +531,7 @@ def fig10b(
     algorithms: Sequence[str] = ("ALG", "INC"),
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -575,6 +588,7 @@ def fig10b(
                     params={"point": position, "label": label, **config},
                     seed=seed,
                     execution=execution,
+                    storage=storage,
                 )
             )
     result.notes["sweep_labels"] = [label for label, _ in sweep]
@@ -591,6 +605,7 @@ def ext_competing(
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -627,6 +642,7 @@ def ext_competing(
                     params={"k": k, "competing_high": high},
                     seed=seed,
                     execution=execution,
+                    storage=storage,
                 )
             )
     return result
@@ -639,6 +655,7 @@ def ext_resources(
     algorithms: Sequence[str] = tuple(PAPER_METHODS),
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -675,6 +692,7 @@ def ext_resources(
                     params={"k": k, "available_resources": theta},
                     seed=seed,
                     execution=execution,
+                    storage=storage,
                 )
             )
     return result

@@ -8,6 +8,8 @@ results into :class:`~repro.experiments.metrics.MetricRecord` objects.
 
 from __future__ import annotations
 
+import contextlib
+import tempfile
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.algorithms.base import SchedulerResult
@@ -18,6 +20,30 @@ from repro.core.instance import SESInstance
 from repro.core.validation import validate_solution
 from repro.datasets.builders import build_dataset
 from repro.experiments.metrics import MetricRecord
+
+
+def apply_storage(
+    instance: SESInstance,
+    storage: Optional[str],
+    stack: contextlib.ExitStack,
+) -> SESInstance:
+    """``instance`` converted to the requested interest-matrix storage.
+
+    ``None`` (or the storage the instance already uses) returns the instance
+    unchanged.  Converting to the ``"mmap"`` storage spills the instance to an
+    uncompressed NPZ in a temporary directory registered on ``stack``, so the
+    backing file outlives every scheduler that maps it and is removed when
+    the caller's stack closes.  Conversion never changes values, so results
+    stay bit-identical across storages.
+    """
+    if storage is None or instance.storage == storage:
+        return instance
+    if storage == "mmap":
+        directory = stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="ses-repro-mmap-")
+        )
+        return instance.with_storage("mmap", directory=directory)
+    return instance.with_storage(storage)
 
 
 def run_algorithms(
@@ -111,6 +137,7 @@ def run_experiment_point(
     params: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -120,7 +147,10 @@ def run_experiment_point(
     ``params`` is stored on every record (it is the x-axis annotation of the
     figures); ``dataset_overrides`` are forwarded to the dataset builder;
     ``execution`` to every scheduler (the loose ``backend``/``chunk_size``/
-    ``workers`` knobs are deprecated shims).
+    ``workers`` knobs are deprecated shims).  ``storage`` converts the built
+    instance to the named interest-matrix storage first (see
+    :func:`apply_storage`); the storage actually used lands in every record's
+    ``params["storage"]``.
     """
     execution = merge_legacy_execution(
         execution,
@@ -129,15 +159,18 @@ def run_experiment_point(
         workers=workers,
         owner="run_experiment_point",
     )
-    instance = build_dataset(dataset, **dict(dataset_overrides or {}))
     merged_params: Dict[str, object] = dict(params or {})
     merged_params.setdefault("k", k)
-    return run_algorithms(
-        instance,
-        k,
-        algorithms=algorithms,
-        experiment_id=experiment_id,
-        params=merged_params,
-        seed=seed,
-        execution=execution,
-    )
+    with contextlib.ExitStack() as stack:
+        instance = apply_storage(
+            build_dataset(dataset, **dict(dataset_overrides or {})), storage, stack
+        )
+        return run_algorithms(
+            instance,
+            k,
+            algorithms=algorithms,
+            experiment_id=experiment_id,
+            params=merged_params,
+            seed=seed,
+            execution=execution,
+        )

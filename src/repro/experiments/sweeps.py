@@ -73,6 +73,7 @@ def summary_sweep(
     datasets: Sequence[str] = ALL_DATASETS,
     seed: int = 0,
     execution: Optional[ExecutionConfig] = None,
+    storage: Optional[str] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -82,7 +83,9 @@ def summary_sweep(
 
     The grid crosses the datasets with three (k, |T|) regimes: k < |T| (the
     Table 1 default), k ≈ |T| and k > |T| — the regimes in which the paper's
-    algorithms behave differently.
+    algorithms behave differently.  ``storage`` converts every sweep instance
+    to the named interest-matrix storage first (results are storage-invariant,
+    so the aggregates are unchanged).
     """
     execution = merge_legacy_execution(
         execution, backend=backend, chunk_size=chunk_size, workers=workers, owner="summary_sweep"
@@ -118,6 +121,7 @@ def summary_sweep(
                     params={"regime": label, "num_intervals": num_intervals},
                     seed=seed,
                     execution=execution,
+                    storage=storage,
                 )
             )
     return summarize_records(records, utility_tolerance=utility_tolerance)

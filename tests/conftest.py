@@ -9,6 +9,10 @@ algorithms' selections.
 
 from __future__ import annotations
 
+import atexit
+import os
+import shutil
+import tempfile
 from typing import Dict, Optional
 
 import numpy as np
@@ -17,6 +21,28 @@ import pytest
 from repro.core.entities import CompetingEvent, Event, Organizer, TimeInterval, User
 from repro.core.instance import SESInstance
 from repro.core.interest import InterestMatrix
+
+#: Interest-matrix storage every helper-built instance is converted to.  CI
+#: sets ``REPRO_TEST_STORAGE=sparse`` / ``mmap`` to run the equivalence
+#: suites once per storage (the same pattern as ``REPRO_TEST_BACKEND``);
+#: unset, instances keep the default ``dense`` storage.
+TEST_STORAGE = os.environ.get("REPRO_TEST_STORAGE", "")
+
+
+def apply_test_storage(instance: SESInstance) -> SESInstance:
+    """Convert an instance to the suite-wide ``REPRO_TEST_STORAGE`` storage.
+
+    The ``mmap`` storage spills to a per-instance temporary directory removed
+    at interpreter exit (the backing NPZ must outlive every engine that maps
+    it, so per-test cleanup would be too eager).
+    """
+    if not TEST_STORAGE or instance.storage == TEST_STORAGE:
+        return instance
+    if TEST_STORAGE == "mmap":
+        directory = tempfile.mkdtemp(prefix="ses-repro-test-mmap-")
+        atexit.register(shutil.rmtree, directory, ignore_errors=True)
+        return instance.with_storage("mmap", directory=directory)
+    return instance.with_storage(TEST_STORAGE)
 
 
 def make_random_instance(
@@ -42,7 +68,7 @@ def make_random_instance(
     competing_intervals = rng.integers(0, num_intervals, num_competing)
     locations = [f"loc{index % num_locations}" for index in range(num_events)]
     required = rng.uniform(1.0, resource_high, num_events)
-    return SESInstance.from_arrays(
+    return apply_test_storage(SESInstance.from_arrays(
         interest=interest,
         activity=activity,
         competing_interest=competing,
@@ -54,7 +80,7 @@ def make_random_instance(
         event_values=event_values,
         event_costs=event_costs,
         name=f"random-{seed}",
-    )
+    ))
 
 
 def make_running_example() -> SESInstance:
@@ -148,11 +174,11 @@ def unconstrained_instance() -> SESInstance:
     """A random instance with no binding location/resource constraints."""
     rng = np.random.default_rng(3)
     num_users, num_events, num_intervals = 40, 10, 4
-    return SESInstance.from_arrays(
+    return apply_test_storage(SESInstance.from_arrays(
         interest=rng.random((num_users, num_events)),
         activity=rng.random((num_users, num_intervals)),
         name="unconstrained",
-    )
+    ))
 
 
 def pytest_configure(config):  # noqa: D103 - standard pytest hook

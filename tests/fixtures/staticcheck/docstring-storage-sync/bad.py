@@ -1,0 +1,8 @@
+# lintpath: src/repro/core/fixture_bad.py
+"""Helpers documented against the ``columnar`` storage, which does not exist."""
+
+
+def spill(matrix):
+    """Stream the matrix through the 'paged' store, falling back to
+    storage="ramdisk" when no directory is given."""
+    return matrix

@@ -1,0 +1,9 @@
+# lintpath: src/repro/core/fixture_good.py
+"""Helpers documented against the ``mmap`` storage (registered and live)."""
+
+
+def spill(matrix):
+    """Stream the matrix through the 'sparse' store, falling back to
+    storage="dense" when the instance is small; prose mentioning event-major
+    storage without quoting a name is also fine."""
+    return matrix

@@ -7,6 +7,9 @@ the code *registers*.  Concretely:
 * the backend tables in ``README.md`` and ``docs/ARCHITECTURE.md`` must name
   **exactly** the backends in the live ``register_backend()`` registry — no
   missing backend, no phantom row;
+* the instance-storage table in ``docs/ARCHITECTURE.md`` must name exactly
+  the stores in the live ``register_store()`` registry, in registration
+  order;
 * every CLI sub-command built by :func:`repro.cli.build_parser` must appear
   in the README's command reference (and vice versa), and the shared
   execution flags named there must all exist on the parser (and vice versa);
@@ -97,6 +100,23 @@ class TestBackendTables:
             assert names == expected, f"{path.name} lists backends out of order"
 
 
+class TestStorageTable:
+    def test_architecture_storage_table_matches_registry(self):
+        """docs/ARCHITECTURE.md lists exactly the registered interest stores."""
+        from repro.core.storage import available_stores
+
+        section = _section(
+            ARCHITECTURE.read_text(encoding="utf-8"), "## Instance storage"
+        )
+        names = _table_names(section)
+        assert names, "docs/ARCHITECTURE.md lost its instance-storage table"
+        assert names == list(available_stores()), (
+            "docs/ARCHITECTURE.md storage table drifted from the "
+            f"register_store() registry: documented={names}, "
+            f"actual={list(available_stores())}"
+        )
+
+
 def _backend_flags() -> list:
     """The long option strings attached by ``_add_backend_arguments``."""
     parser = build_parser()
@@ -127,7 +147,7 @@ class TestCliReference:
         section = _section(README.read_text(encoding="utf-8"), "## CLI command reference")
         documented = set(re.findall(r"`(--[\w-]+)`", section))
         execution_flags = {
-            "--backend", "--chunk-size", "--workers",
+            "--backend", "--storage", "--chunk-size", "--workers",
             "--cluster", "--cluster-key", "--task-batch",
         }
         parser_flags = set(_backend_flags())

@@ -103,10 +103,10 @@ class TestRegistry:
 
             name = "custom-split"
 
-            def _run_blocks(self, interval_index, mu_rows, value_mu_rows, bounds, scores):
+            def _run_blocks(self, interval_index, source, bounds, scores):
                 for start, stop in list(bounds[1::2]) + list(bounds[::2]):
                     scores[start:stop] = self.engine._batch_block(
-                        interval_index, mu_rows[start:stop], value_mu_rows[start:stop]
+                        interval_index, *source.block(start, stop)
                     )
 
         register_backend(EveryOtherRowBackend)

@@ -39,7 +39,12 @@ class TestMetricRecord:
         assert record.algorithm == "TOP"
         assert record.utility == pytest.approx(result.utility)
         assert record.score_computations == result.score_computations
-        assert record.params == {"k": 3, "backend": result.backend, "workers": result.workers}
+        assert record.params == {
+            "k": 3,
+            "backend": result.backend,
+            "storage": result.storage,
+            "workers": result.workers,
+        }
         assert record.seed == 1
 
     def test_value_accessor(self):

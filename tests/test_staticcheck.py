@@ -45,6 +45,7 @@ EXPECTED_RULES = (
     "counter-discipline",
     "no-mutable-default",
     "docstring-backend-sync",
+    "docstring-storage-sync",
     "waiver-discipline",
 )
 
