@@ -1,0 +1,112 @@
+"""Unified benchmark result files.
+
+Every benchmark already prints an ASCII table and persists it through
+:func:`benchmarks.conftest.persist_rows`; this module adds the half the
+tables cannot carry — one **machine-readable result file per benchmark run**
+with a stable, versioned schema, so runs are comparable across commits and
+machines without re-parsing table text:
+
+```json
+{
+  "schema_version": 1,
+  "benchmark": "bench_million_users",
+  "scale": "small",
+  "git_sha": "a743659…",
+  "environment": {"python": "3.11.9", "numpy": "1.26.4", "cpu_count": 8},
+  "instance": {"num_users": 100000, "num_events": 300, …},
+  "timings": {"build_seconds": 1.9, "solve_seconds": 4.2},
+  "counters": {"score_computations": 1800, …},
+  "rows": [ … the table rows, verbatim … ]
+}
+```
+
+``schema_version`` is bumped on any breaking change, mirroring the lint
+JSON report's contract.  ``git_sha`` is best-effort: a benchmark run from an
+export tarball (no ``.git``) records ``null`` rather than failing.  Write
+the file with :func:`write_result`; the name lands as
+``benchmarks/results/<name>.result.json`` next to the ``.txt``/``.json``
+table artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+#: Bumped on any breaking change to the result-file layout.
+SCHEMA_VERSION = 1
+
+
+def git_revision(repo_root: Optional[Path] = None) -> Optional[str]:
+    """The repository's current commit sha, or ``None`` outside a checkout."""
+    root = repo_root or Path(__file__).resolve().parent.parent
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = output.stdout.strip()
+    return sha if output.returncode == 0 and sha else None
+
+
+def environment_snapshot() -> Dict[str, Any]:
+    """The runtime facts a cross-machine comparison needs."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_result(
+    name: str,
+    results_dir: Path,
+    *,
+    scale: str,
+    instance: Dict[str, Any],
+    timings: Dict[str, float],
+    counters: Optional[Dict[str, int]] = None,
+    rows: Optional[list] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write one schema-versioned result file and return its path.
+
+    Parameters mirror the schema: ``instance`` holds the generated instance's
+    parameters (sizes, seed, storage…), ``timings`` the wall-clock numbers in
+    seconds, ``counters`` the scheduler's computation-counter snapshot, and
+    ``rows`` the same rows the ASCII table shows.  ``extra`` merges
+    benchmark-specific top-level fields (speedups, derived ratios) without a
+    schema bump — consumers must ignore fields they do not know.
+    """
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "scale": scale,
+        "git_sha": git_revision(),
+        "environment": environment_snapshot(),
+        "instance": instance,
+        "timings": timings,
+        "counters": counters or {},
+        "rows": rows or [],
+    }
+    if extra:
+        payload.update(extra)
+    path = results_dir / f"{name}.result.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path

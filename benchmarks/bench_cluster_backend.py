@@ -53,6 +53,7 @@ from repro.core.execution import ExecutionConfig
 from repro.core.instance import SESInstance
 from repro.core.scoring import ScoringEngine
 
+from benchmarks._common import write_result
 from benchmarks.conftest import persist_rows, run_once
 
 #: (num_events, num_intervals, num_users, minimum accepted speedup or None).
@@ -183,6 +184,23 @@ def test_cluster_backend_speedup(benchmark, bench_scale, results_dir):
     rows, results, speedup, identical = run_once(benchmark, compare_backends, scale)
     text = persist_rows("cluster_backend", rows, results_dir)
     print("\n" + text)
+    num_events, num_intervals, num_users, _ = CLUSTER_SCALES[scale]
+    write_result(
+        "bench_cluster_backend",
+        results_dir,
+        scale=scale,
+        instance={
+            "num_events": num_events,
+            "num_intervals": num_intervals,
+            "num_users": num_users,
+            "workers": NUM_WORKERS,
+            "chunk_size": CHUNK_SIZE,
+        },
+        timings={row["backend"]: row["time_sec"] for row in rows},
+        counters=dict(results["cluster"].counters),
+        rows=rows,
+        extra={"speedup_vs_batch": round(speedup, 2), "bit_identical": identical},
+    )
     print(
         f"cluster speedup over batch: {speedup:.2f}x "
         f"({NUM_WORKERS} localhost workers, {os.cpu_count()} CPUs)"
@@ -299,6 +317,22 @@ def test_protocol_v2_beats_per_column_dispatch(benchmark, bench_scale, results_d
     rows, speedup, identical = run_once(benchmark, compare_wire_protocols, scale)
     text = persist_rows("cluster_protocol_v2", rows, results_dir)
     print("\n" + text)
+    num_events, num_intervals, num_users, _ = V2_SCALES[scale]
+    write_result(
+        "bench_cluster_protocol_v2",
+        results_dir,
+        scale=scale,
+        instance={
+            "num_events": num_events,
+            "num_intervals": num_intervals,
+            "num_users": num_users,
+            "workers": NUM_WORKERS,
+            "chunk_size": CHUNK_SIZE,
+        },
+        timings={row["mode"]: row["time_sec"] for row in rows},
+        rows=rows,
+        extra={"speedup_vs_v1": round(speedup, 2), "bit_identical": identical},
+    )
     print(
         f"protocol v2 speedup over per-column v1 dispatch: {speedup:.2f}x "
         f"({NUM_WORKERS} localhost workers, {os.cpu_count()} CPUs)"

@@ -54,6 +54,7 @@ from repro.core.instance import SESInstance
 from repro.core.interest import InterestMatrix
 from repro.core.storage import DENSE_CAPACITY_ENV, SparseStore, dense_capacity_limit
 
+from benchmarks._common import write_result
 from benchmarks.conftest import BENCH_SCALE, persist_rows, run_once
 
 #: (num_users, num_events, num_intervals, interest entries per user, k).
@@ -179,6 +180,31 @@ def test_million_users_mmap_end_to_end(benchmark, results_dir, tmp_path):
         ]
         print()
         print(persist_rows("bench_million_users", rows, results_dir))
+        write_result(
+            "bench_million_users",
+            results_dir,
+            scale=BENCH_SCALE,
+            instance={
+                "num_users": num_users,
+                "num_events": num_events,
+                "num_intervals": num_intervals,
+                "interest_per_user": per_user,
+                "interest_nnz": instance.interest.store.nnz,
+                "k": k,
+                "storage": result.storage,
+                "chunk_size": chunk_size,
+            },
+            timings={
+                "build_seconds": build_seconds,
+                "solve_seconds": solve_seconds,
+            },
+            counters=dict(result.counters),
+            rows=rows,
+            extra={
+                "peak_rss_mib": round(peak_bytes / 2**20, 1),
+                "backing_file_mib": round(file_bytes / 2**20, 1),
+            },
+        )
     finally:
         if previous_capacity is None:
             os.environ.pop(DENSE_CAPACITY_ENV, None)

@@ -12,6 +12,11 @@ default; set it to ``default`` for the full documented reproduction scale, or
   paper plots);
 * writes the tables plus the raw records to ``benchmarks/results/`` so the
   output survives the pytest run.
+
+Benchmarks with cross-commit comparison value additionally write one
+schema-versioned ``<name>.result.json`` file through
+:func:`benchmarks._common.write_result` (git sha, environment, instance
+parameters, timings, counters — see that module's docstring for the schema).
 """
 
 from __future__ import annotations

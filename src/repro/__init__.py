@@ -42,8 +42,11 @@ from repro.core.errors import (
 from repro.core.execution import (
     ExecutionBackend,
     ExecutionConfig,
+    ScoringPlan,
     available_backends,
+    available_plans,
     register_backend,
+    register_plan,
 )
 from repro.core.instance import SESInstance
 from repro.core.schedule import Assignment, Schedule
@@ -71,6 +74,11 @@ from repro.algorithms.top import TopScheduler
 from repro.algorithms.rand import RandScheduler
 from repro.algorithms.exact import ExactScheduler
 
+# Importing the analysis module registers the "blocked" scoring plan, so any
+# `repro.*` import (which initialises this package first) makes it selectable
+# by name everywhere — mirroring how the cluster backend registers itself.
+import repro.analysis.blocks  # noqa: E402,F401  (registration side effect)
+
 __all__ = [
     "__version__",
     "ComputationCounter",
@@ -89,8 +97,11 @@ __all__ = [
     "ScoringEngine",
     "ExecutionBackend",
     "ExecutionConfig",
+    "ScoringPlan",
     "available_backends",
+    "available_plans",
     "register_backend",
+    "register_plan",
     "SCORING_BACKENDS",
     "BULK_BACKENDS",
     "DEFAULT_BACKEND",

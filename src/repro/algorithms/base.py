@@ -22,7 +22,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.constraints import ConstraintChecker
 from repro.core.counters import ComputationCounter
 from repro.core.errors import SolverError
-from repro.core.execution import DEFAULT_BACKEND, ExecutionConfig, merge_legacy_execution
+from repro.core.execution import (
+    DEFAULT_BACKEND,
+    DEFAULT_PLAN,
+    ExecutionConfig,
+    merge_legacy_execution,
+)
 from repro.core.instance import SESInstance
 from repro.core.schedule import Schedule
 from repro.core.storage import DEFAULT_STORAGE
@@ -84,6 +89,11 @@ class SchedulerResult:
         The resolved :attr:`~repro.core.execution.ExecutionConfig.task_batch`
         knob of a cluster run (``None`` means the batch size was auto-derived
         per call; also ``None`` for in-process runs).
+    plan:
+        Registry name of the scoring plan the run used (``"direct"``,
+        ``"blocked"``, …) — recorded so harness tables can tell plan rows
+        apart.  Every plan produces bit-identical schedules and counters;
+        only speed differs.
     """
 
     algorithm: str
@@ -100,6 +110,7 @@ class SchedulerResult:
     cluster_stats: Dict[str, object] = field(default_factory=dict)
     task_batch: Optional[int] = None
     storage: str = DEFAULT_STORAGE
+    plan: str = DEFAULT_PLAN
 
     @property
     def num_scheduled(self) -> int:
@@ -151,6 +162,7 @@ class SchedulerResult:
             "algorithm": self.algorithm,
             "backend": self.backend,
             "storage": self.storage,
+            "plan": self.plan,
             "workers": self.workers,
             "cluster": self._cluster_summary(),
             "task_batch": (
@@ -354,6 +366,7 @@ class BaseScheduler(ABC):
             cluster_stats=backend_stats if self._execution.workers_addr else {},
             task_batch=self._execution.task_batch,
             storage=self._instance.storage,
+            plan=self._execution.plan,
         )
 
     # ------------------------------------------------------------------ #

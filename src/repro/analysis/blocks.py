@@ -1,0 +1,279 @@
+"""Interest-pattern block decomposition of an instance (structure mining).
+
+The user–event interest matrix of an EBSN instance is a bipartite graph, and
+real instances (and our generators) are full of users with *identical*
+interest rows — communities that share one candidate set and one interest
+pattern.  Every scoring kernel in the library computes per-user attendance
+terms, so duplicate rows mean duplicate arithmetic: if ``|U|`` users collapse
+to ``P`` distinct patterns, a block evaluation only needs ``P`` genuine
+columns and a cheap expansion.
+
+This module is the block-decomposition subsystem:
+
+* :func:`mine_interest_structure` finds the exact user equivalence classes —
+  users whose µ rows, σ rows and competing-interest rows are all identical —
+  via the chunked lexsort partition refinement of :mod:`repro.core.patterns`
+  (re-exported here).  Equivalent users receive identical per-user terms from
+  every kernel under *every* schedule: identical µ rows imply identical
+  scheduled sums forever, so the classes never need re-mining as the
+  schedule grows.
+* :func:`greedy_dense_blocks` optionally groups the classes further into
+  (near-)maximal dense blocks — bicliques of user classes × events in the
+  style of BBK's maximal-biclique enumeration (see PAPERS.md): classes with
+  identical candidate sets form exact maximal bicliques, and a greedy absorb
+  pass extends each event set with every class whose candidate set contains
+  it.  The blocks are an analysis artefact (reported through
+  :meth:`BlockedPlan.stats` and the block-decomposition benchmark); the
+  scoring fast path needs only the equivalence classes.
+
+The structure feeds two consumers: the engine's structural per-interval Φ
+bound (:meth:`~repro.core.scoring.ScoringEngine.interval_score_bound`, one
+genuine term per pattern), and the ``blocked`` scoring plan below
+(:class:`BlockedPlan`, registered with
+:func:`~repro.core.execution.register_plan` so it is selectable everywhere
+as ``plan="blocked"``): one genuine kernel evaluation per distinct pattern,
+expanded by multiplicity *before* the per-row reduction.  The expansion
+reproduces the direct kernel's ``(block, |U|)`` contribution matrix element
+for element, and the reduction runs over the same axis of an equally-shaped
+C-contiguous array, so NumPy's pairwise summation adds the same values in
+the same order — scores, schedules, utilities and counters stay
+bit-identical to the ``direct`` reference across every backend × storage
+combination.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import execution
+from repro.core.errors import SolverError
+from repro.core.execution import ScoringPlan, _guarded_divide, resolve_chunk_size
+from repro.core.instance import SESInstance
+from repro.core.patterns import InterestStructure, mine_structure
+from repro.core.scoring import ScoringEngine, build_event_rows, build_static_arrays
+
+
+# --------------------------------------------------------------------------- #
+# Equivalence-class mining (instance-level façade over repro.core.patterns)
+# --------------------------------------------------------------------------- #
+def mine_interest_structure(
+    instance: SESInstance, *, chunk_size: Optional[int] = None
+) -> InterestStructure:
+    """Mine the exact user equivalence classes of one instance.
+
+    Streams the interest matrix event block by event block (each block at
+    most ``chunk_size`` events — ``None`` derives the engine's default from
+    the memory budget), then refines by the σ and competing-interest rows.
+    Works unchanged over every registered storage: the event-row source
+    densifies sparse and mmap stores one block at a time.
+    """
+    comp, sigma, values, _ = build_static_arrays(instance)
+    event_rows = build_event_rows(instance.interest.store, values)
+    chunk = resolve_chunk_size(chunk_size, instance.num_users)
+    return mine_structure(event_rows, sigma, comp, chunk)
+
+
+# --------------------------------------------------------------------------- #
+# BBK-style greedy dense blocks (optional, analysis artefact)
+# --------------------------------------------------------------------------- #
+class InterestBlock:
+    """One dense block: user classes fully interested in a common event set."""
+
+    __slots__ = ("classes", "events", "num_users")
+
+    def __init__(
+        self, classes: Tuple[int, ...], events: Tuple[int, ...], num_users: int
+    ) -> None:
+        self.classes = classes
+        self.events = events
+        self.num_users = num_users
+
+    @property
+    def area(self) -> int:
+        """Covered (user, event) cells — all of them non-zero by construction."""
+        return self.num_users * len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InterestBlock(classes={len(self.classes)}, "
+            f"events={len(self.events)}, users={self.num_users})"
+        )
+
+
+def greedy_dense_blocks(
+    instance: SESInstance,
+    structure: Optional[InterestStructure] = None,
+    *,
+    min_events: int = 1,
+) -> List[InterestBlock]:
+    """Group pattern classes into (near-)maximal dense bicliques, greedily.
+
+    Classes with identical candidate sets (the events their users are
+    interested in) form *exact* maximal bicliques; a greedy absorb pass in
+    BBK's spirit then extends each block's user side with every class whose
+    candidate set contains the block's event set — the result is a biclique
+    with a maximal user side for its event set.  Blocks are returned largest
+    covered area first; classes with fewer than ``min_events`` candidate
+    events are skipped.  Quadratic in the number of *distinct* candidate
+    sets (not users), which the mining already collapsed.
+    """
+    if structure is None:
+        structure = mine_interest_structure(instance)
+    store = instance.interest.store
+    signatures: List[frozenset] = []
+    for representative in structure.representatives:
+        row = store.row(int(representative))
+        signatures.append(frozenset(np.flatnonzero(row > 0.0).tolist()))
+
+    by_signature: Dict[frozenset, List[int]] = {}
+    for class_index, signature in enumerate(signatures):
+        if len(signature) < min_events:
+            continue
+        by_signature.setdefault(signature, []).append(class_index)
+
+    blocks: List[InterestBlock] = []
+    for signature in by_signature:
+        members = [
+            class_index
+            for class_index, candidate in enumerate(signatures)
+            if candidate >= signature
+        ]
+        covered = int(structure.counts[np.asarray(members, dtype=np.intp)].sum())
+        blocks.append(
+            InterestBlock(
+                classes=tuple(members),
+                events=tuple(sorted(signature)),
+                num_users=covered,
+            )
+        )
+    blocks.sort(key=lambda block: (-block.area, block.events))
+    return blocks
+
+
+# --------------------------------------------------------------------------- #
+# The blocked scoring plan
+# --------------------------------------------------------------------------- #
+class BlockedPlan(ScoringPlan):
+    """Blocked plan: one kernel column per distinct interest pattern, expanded by multiplicity.
+
+    :meth:`prepare` mines the instance's equivalence classes once at engine
+    bind time; :meth:`batch_block` then gathers the representative user
+    columns, runs the reference arithmetic on the ``(block, P)`` pattern
+    matrix and expands the per-pattern contributions back to ``(block, |U|)``
+    before the per-row reduction.  Every element of the expanded matrix
+    equals the direct kernel's element (equivalent users have identical
+    static *and* scheduled per-user state), and the reduction runs over the
+    same axis of an equally-shaped contiguous array, so the scores are
+    bit-identical — the plan only changes how much genuine arithmetic the
+    block costs.  On instances with no duplicate patterns the plan detects
+    the degenerate decomposition and falls back to the direct kernel.
+
+    Thread-safe by construction: the mined arrays are read-only after
+    :meth:`prepare`, so the ``parallel`` backend can call
+    :meth:`batch_block` concurrently; only the stats counters take a lock.
+    """
+
+    name = "blocked"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._structure: Optional[InterestStructure] = None
+        self._degenerate = False
+        self._stats_lock = threading.Lock()
+        self._blocks_evaluated = 0
+        self._columns_saved = 0
+
+    def prepare(self, engine: ScoringEngine) -> None:
+        """Mine the equivalence classes from the bound engine's arrays."""
+        event_rows = engine._event_rows
+        if event_rows is None:
+            event_rows = build_event_rows(engine._store, engine._values)
+        self._structure = mine_structure(
+            event_rows, engine._sigma, engine._comp, engine.chunk_size
+        )
+        self._degenerate = self._structure.num_classes >= self._structure.num_users
+
+    @property
+    def structure(self) -> InterestStructure:
+        """The mined decomposition (available after the plan is bound)."""
+        if self._structure is None:
+            raise SolverError("the blocked plan has not been bound to an engine yet")
+        return self._structure
+
+    def mined_structure(self) -> Optional[InterestStructure]:
+        """Share the decomposition with the engine's structural Φ bound."""
+        return self._structure
+
+    def batch_block(
+        self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
+    ) -> np.ndarray:
+        engine = self.engine
+        if self._degenerate:
+            # No duplicate patterns: the expansion would be an identity
+            # permutation, so skip the gather and run the reference kernel.
+            return execution.score_block_kernel(
+                mu_rows,
+                value_mu_rows,
+                engine._comp[:, interval_index],
+                engine._sigma[:, interval_index],
+                engine._scheduled_interest[interval_index],
+                engine._scheduled_value_interest[interval_index],
+                engine._interval_utility[interval_index],
+            )
+        structure = self._structure
+        reps = structure.representatives
+        # Reference arithmetic on the (block, P) pattern matrix — the same
+        # per-element operation order as score_block_kernel, on gathered
+        # columns whose values equal every member user's column.
+        denominator = engine._comp[reps, interval_index] + (
+            engine._scheduled_interest[interval_index][reps] + mu_rows[:, reps]
+        )
+        numerator = engine._sigma[reps, interval_index] * (
+            engine._scheduled_value_interest[interval_index][reps]
+            + value_mu_rows[:, reps]
+        )
+        contributions = _guarded_divide(numerator, denominator)
+        # Expand by multiplicity *before* the reduction: the (block, |U|)
+        # matrix equals the direct kernel's element for element.  take()
+        # rather than contributions[:, labels]: advanced indexing on axis 1
+        # returns an F-contiguous view-shaped copy, and NumPy's pairwise
+        # summation uses a different reduction tree over a strided axis —
+        # the C-contiguous gather keeps the axis-1 sum adding the same
+        # values in the same order as the direct kernel.
+        expanded = contributions.take(structure.labels, axis=1)
+        scores = expanded.sum(axis=1) - engine._interval_utility[interval_index]
+        with self._stats_lock:
+            self._blocks_evaluated += 1
+            self._columns_saved += mu_rows.shape[0] * (
+                structure.num_users - structure.num_classes
+            )
+        return scores
+
+    def stats(self) -> Dict[str, object]:
+        """Structure counters plus cumulative evaluation savings."""
+        if self._structure is None:
+            return {}
+        collected = self._structure.stats()
+        with self._stats_lock:
+            collected["blocks_evaluated"] = self._blocks_evaluated
+            collected["columns_saved"] = self._columns_saved
+        return collected
+
+
+execution.register_plan(BlockedPlan)
+# Registered by the library itself: protect it from unregister_plan like the
+# other built-ins.
+execution._BUILTIN_PLAN_NAMES.add(BlockedPlan.name)
+
+
+__all__ = [
+    "BlockedPlan",
+    "InterestBlock",
+    "InterestStructure",
+    "greedy_dense_blocks",
+    "mine_interest_structure",
+    "mine_structure",
+]

@@ -13,8 +13,11 @@ suites can only catch *after* it breaks something:
 * ``counter-discipline`` — the paper's computation counters advance only
   through the canonical ``count_*`` helpers, so totals stay backend-exact;
 * ``no-mutable-default`` — the classic shared-default-object trap;
-* ``docstring-backend-sync`` — backend names quoted in docstrings must exist
-  in the live ``register_backend()`` registry;
+* ``docstring-backend-sync`` / ``docstring-storage-sync`` /
+  ``docstring-plan-sync`` — names quoted in docstrings must exist in the
+  matching live registry (``register_backend()`` / ``register_store()`` /
+  ``register_plan()``), all three parameterisations of one
+  :class:`RegistrySyncRule` scan;
 * ``waiver-discipline`` — every waiver names a registered rule and carries a
   justification.
 
@@ -638,8 +641,79 @@ class NoMutableDefaultRule(Rule):
         )
 
 
+class RegistrySyncRule(Rule):
+    """Shared scan of the docstring↔registry sync rules (not itself registered).
+
+    One parameterised invariant: a name quoted next to an axis noun in a
+    docstring (``\\`\\`batch\\`\\` backend``, ``storage="sparse"``,
+    ``plan 'blocked'``) must exist in that axis's live in-process registry —
+    a renamed entry would otherwise linger in prose forever.  A subclass
+    names the axis (:attr:`entity` / :attr:`registry_entity`), gives the
+    prose-adjacency regex fragment (:attr:`noun_pattern`) and keyword
+    spelling (:attr:`keyword`), and reads the registry in
+    :meth:`registered_names`; the scan itself is inherited.  Adding a sync
+    rule for a new registry axis is one small subclass.
+    """
+
+    path_prefixes = ("src/repro/",)
+
+    #: Noun of the axis as it appears before/around a quoted name in prose
+    #: ("backend"), used in finding messages.
+    entity: str = ""
+    #: Noun of the registry entry ("backend", "store", "plan") — may differ
+    #: from :attr:`entity` ("storage" vs ``register_store()``'s "store").
+    registry_entity: str = ""
+    #: Regex fragment matching the axis noun *after* a quoted name
+    #: (``\`\`name\`\` backend``); defaults to :attr:`keyword`.
+    noun_pattern: str = ""
+    #: Keyword spelling of the axis (``backend="batch"`` / ``backend 'batch'``).
+    keyword: str = ""
+
+    def registered_names(self) -> Set[str]:
+        """The axis's live registry (read at check time, never cached)."""
+        raise NotImplementedError
+
+    @property
+    def mention_patterns(self) -> Tuple[re.Pattern, ...]:
+        """The three docstring idioms a name mention can take: ``name``
+        <noun> / <keyword>="name" / <keyword> 'name'."""
+        noun = self.noun_pattern or self.keyword
+        return (
+            re.compile(r"[`'\"]([a-z][a-z0-9_]*)[`'\"]+\s+" + noun),
+            re.compile(self.keyword + r"\s*=\s*[`'\"]+([a-z][a-z0-9_]*)[`'\"]"),
+            re.compile(self.keyword + r"\s+[`'\"]+([a-z][a-z0-9_]*)[`'\"]"),
+        )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        registered = set(self.registered_names())
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            docstring = ast.get_docstring(node, clean=False)
+            if not docstring or not node.body:
+                continue
+            constant = node.body[0].value  # type: ignore[union-attr]
+            base_line = getattr(constant, "lineno", 1)
+            for pattern in self.mention_patterns:
+                for match in pattern.finditer(docstring):
+                    name = match.group(1)
+                    if name in registered:
+                        continue
+                    line = base_line + docstring[: match.start()].count("\n")
+                    yield self.finding(
+                        context,
+                        line,
+                        f"docstring mentions a {name!r} {self.entity} but the "
+                        f"live registry has no such {self.registry_entity} "
+                        f"(registered: {', '.join(sorted(registered))}); fix "
+                        f"the docstring or register the {self.registry_entity}",
+                    )
+
+
 @register_rule
-class DocstringBackendSyncRule(Rule):
+class DocstringBackendSyncRule(RegistrySyncRule):
     """Backend names quoted in docstrings must exist in the live registry.
 
     The docs subsystem drift-checks the README/ARCHITECTURE backend tables;
@@ -653,49 +727,18 @@ class DocstringBackendSyncRule(Rule):
         "backend names mentioned in docstrings exist in the live "
         "register_backend() registry"
     )
-    path_prefixes = ("src/repro/",)
+    entity = "backend"
+    registry_entity = "backend"
+    keyword = "backend"
 
-    #: A backend name adjacent to the word "backend", quoted in any of the
-    #: repo's docstring idioms: ``name`` backend / 'name' backend /
-    #: "name" backend / backend="name" / backend 'name'.
-    MENTION_PATTERNS = (
-        re.compile(r"[`'\"]([a-z][a-z0-9_]*)[`'\"]+\s+backend"),
-        re.compile(r"backend\s*=\s*[`'\"]+([a-z][a-z0-9_]*)[`'\"]"),
-        re.compile(r"backend\s+[`'\"]+([a-z][a-z0-9_]*)[`'\"]"),
-    )
-
-    def check(self, context: FileContext) -> Iterator[Finding]:
+    def registered_names(self) -> Set[str]:
         from repro.core.execution import available_backends
 
-        registered = set(available_backends())
-        for node in ast.walk(context.tree):
-            if not isinstance(
-                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
-                continue
-            docstring = ast.get_docstring(node, clean=False)
-            if not docstring or not node.body:
-                continue
-            constant = node.body[0].value  # type: ignore[union-attr]
-            base_line = getattr(constant, "lineno", 1)
-            for pattern in self.MENTION_PATTERNS:
-                for match in pattern.finditer(docstring):
-                    name = match.group(1)
-                    if name in registered:
-                        continue
-                    line = base_line + docstring[: match.start()].count("\n")
-                    yield self.finding(
-                        context,
-                        line,
-                        f"docstring mentions a {name!r} backend but the live "
-                        "registry has no such backend (registered: "
-                        f"{', '.join(sorted(registered))}); fix the docstring "
-                        "or register the backend",
-                    )
+        return set(available_backends())
 
 
 @register_rule
-class DocstringStorageSyncRule(Rule):
+class DocstringStorageSyncRule(RegistrySyncRule):
     """Storage names quoted in docstrings must exist in the live registry.
 
     The sibling of :class:`DocstringBackendSyncRule` for the instance-storage
@@ -709,45 +752,41 @@ class DocstringStorageSyncRule(Rule):
         "storage names mentioned in docstrings exist in the live "
         "register_store() registry"
     )
-    path_prefixes = ("src/repro/",)
+    entity = "storage"
+    registry_entity = "store"
+    noun_pattern = r"stor(?:e|age)\b"
+    keyword = "storage"
 
-    #: A store name adjacent to the words "store"/"storage", quoted in any of
-    #: the repo's docstring idioms: ``name`` storage / 'name' store /
-    #: "name" storage / storage="name" / storage 'name'.
-    MENTION_PATTERNS = (
-        re.compile(r"[`'\"]([a-z][a-z0-9_]*)[`'\"]+\s+stor(?:e|age)\b"),
-        re.compile(r"storage\s*=\s*[`'\"]+([a-z][a-z0-9_]*)[`'\"]"),
-        re.compile(r"storage\s+[`'\"]+([a-z][a-z0-9_]*)[`'\"]"),
-    )
-
-    def check(self, context: FileContext) -> Iterator[Finding]:
+    def registered_names(self) -> Set[str]:
         from repro.core.storage import available_stores
 
-        registered = set(available_stores())
-        for node in ast.walk(context.tree):
-            if not isinstance(
-                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
-                continue
-            docstring = ast.get_docstring(node, clean=False)
-            if not docstring or not node.body:
-                continue
-            constant = node.body[0].value  # type: ignore[union-attr]
-            base_line = getattr(constant, "lineno", 1)
-            for pattern in self.MENTION_PATTERNS:
-                for match in pattern.finditer(docstring):
-                    name = match.group(1)
-                    if name in registered:
-                        continue
-                    line = base_line + docstring[: match.start()].count("\n")
-                    yield self.finding(
-                        context,
-                        line,
-                        f"docstring mentions a {name!r} storage but the live "
-                        "registry has no such store (registered: "
-                        f"{', '.join(sorted(registered))}); fix the docstring "
-                        "or register the store",
-                    )
+        return set(available_stores())
+
+
+@register_rule
+class DocstringPlanSyncRule(RegistrySyncRule):
+    """Scoring-plan names quoted in docstrings must exist in the live registry.
+
+    The third axis of the same invariant: docstrings naming a
+    ``register_plan()`` entry (``\\`\\`blocked\\`\\` plan``, ``plan="direct"``)
+    must track the live plan registry, mirroring the backend and storage
+    sync rules above.
+    """
+
+    id = "docstring-plan-sync"
+    summary = (
+        "scoring-plan names mentioned in docstrings exist in the live "
+        "register_plan() registry"
+    )
+    entity = "plan"
+    registry_entity = "plan"
+    noun_pattern = r"plan\b"
+    keyword = "plan"
+
+    def registered_names(self) -> Set[str]:
+        from repro.core.execution import available_plans
+
+        return set(available_plans())
 
 
 @register_rule
@@ -794,6 +833,9 @@ __all__ = [
     "BroadExceptRule",
     "CounterDisciplineRule",
     "DocstringBackendSyncRule",
+    "DocstringPlanSyncRule",
+    "DocstringStorageSyncRule",
+    "RegistrySyncRule",
     "IMPORT_LAYERS",
     "ImportsPolicyRule",
     "LockDisciplineRule",

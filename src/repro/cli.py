@@ -18,6 +18,11 @@ Sub-commands
     Cluster worker management: ``worker serve`` runs one scoring worker of
     the distributed ``cluster`` backend on this machine (point clients at it
     with ``--cluster host:port``).
+``cluster``
+    Cluster fleet management: ``cluster health`` probes each configured
+    worker address (reachable / authenticated / protocol version / served
+    work) and prints one table, exiting non-zero when any worker is
+    unhealthy.
 ``lint``
     Statically check the project invariants (AST-based rules from
     ``repro.analysis.staticcheck``); exits non-zero on findings, ``--json``
@@ -45,8 +50,11 @@ from repro.core.execution import (
     DEFAULT_BACKEND,
     ExecutionConfig,
     available_backends,
+    available_plans,
     backend_catalog,
     get_backend,
+    get_plan,
+    plan_catalog,
     resolve_backend,
 )
 from repro.core.storage import available_stores, get_store
@@ -102,6 +110,17 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
         "anything else is spilled to a temporary directory first); "
         "identical results, different memory footprint; recorded in the "
         f"output rows.  Registered stores: {', '.join(available_stores())}",
+    )
+    subparser.add_argument(
+        "--plan",
+        default=None,
+        help="scoring plan of the bulk backends: 'direct' (the default) runs "
+        "the reference kernel over every user row, 'blocked' mines the "
+        "instance's interest-pattern equivalence classes once and scores "
+        "one representative per class (identical results, faster on "
+        "duplicate-heavy instances); non-bulk backends pin to 'direct'; "
+        "recorded in the output rows.  Registered plans: "
+        f"{', '.join(available_plans())}",
     )
     subparser.add_argument(
         "--chunk-size",
@@ -164,8 +183,12 @@ def _execution_from_args(args: argparse.Namespace) -> ExecutionConfig:
     if backend is None:
         backend = DEFAULT_BACKEND
     resolve_backend(backend)
+    plan = getattr(args, "plan", None)
+    if plan is not None:
+        get_plan(plan)  # fail fast on a typo, with the available names
     return ExecutionConfig(
         backend=backend,
+        plan=plan,
         chunk_size=args.chunk_size,
         workers=args.workers,
         workers_addr=cluster,
@@ -299,6 +322,34 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 4)",
     )
 
+    cluster = subparsers.add_parser(
+        "cluster", help="cluster fleet management (see the 'cluster' backend)"
+    )
+    cluster_commands = cluster.add_subparsers(dest="cluster_command", required=True)
+    health = cluster_commands.add_parser(
+        "health",
+        help="probe each configured worker address (reachable / authenticated "
+        "/ protocol version / served-work counters) and print one table; "
+        "exits non-zero when any worker is unhealthy",
+    )
+    health.add_argument(
+        "--cluster",
+        metavar="ADDR[,ADDR...]",
+        required=True,
+        help="comma-separated 'host:port' addresses of the workers to probe",
+    )
+    health.add_argument(
+        "--cluster-key",
+        default=None,
+        help="shared authentication secret of the probe connections "
+        "(must match the workers'; default: the library key)",
+    )
+    health.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the health rows as JSON instead of a table",
+    )
+
     lint = subparsers.add_parser(
         "lint",
         help="statically check the project invariants (exit 1 on findings)",
@@ -424,6 +475,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 def _command_backends(_: argparse.Namespace) -> int:
     print(format_table(backend_catalog()))
+    print()
+    print(format_table(plan_catalog()))
     return 0
 
 
@@ -444,6 +497,24 @@ def _command_worker(args: argparse.Namespace) -> int:
         ),
     )
     return 0
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    # `cluster_command` is required and 'health' is its only action so far;
+    # the sub-subparser keeps room for future actions (drain, evict, …).
+    from repro.core.distributed.health import HEALTH_COLUMNS, fleet_health
+
+    addresses = [
+        address.strip() for address in args.cluster.split(",") if address.strip()
+    ]
+    if not addresses:
+        raise SolverError("--cluster names no worker address")
+    rows = fleet_health(addresses, cluster_key=args.cluster_key)
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(format_table(rows, columns=list(HEALTH_COLUMNS)))
+    return 0 if all(row["healthy"] for row in rows) else 1
 
 
 def _command_lint(args: argparse.Namespace) -> int:
@@ -475,6 +546,7 @@ def _command_list(_: argparse.Namespace) -> int:
     print("datasets:    " + ", ".join(dataset_names()))
     print("algorithms:  " + ", ".join(available_schedulers()))
     print("backends:    " + ", ".join(available_backends()))
+    print("plans:       " + ", ".join(available_plans()))
     print("storages:    " + ", ".join(available_stores()))
     print("experiments: " + ", ".join(available_experiments() + ["summary"]))
     print("scales:      " + ", ".join(sorted(SCALES)))
@@ -493,6 +565,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "backends": _command_backends,
     "worker": _command_worker,
+    "cluster": _command_cluster,
     "lint": _command_lint,
     "list": _command_list,
     "info": _command_info,

@@ -18,7 +18,10 @@ per batch rather than per column:
   localhost workers in tests/benchmarks/examples;
 * :mod:`~repro.core.distributed.client` — the
   :class:`~repro.core.distributed.client.ClusterBackend` strategy, registered
-  as ``"cluster"`` alongside ``scalar``/``batch``/``parallel``/``process``.
+  as ``"cluster"`` alongside ``scalar``/``batch``/``parallel``/``process``;
+* :mod:`~repro.core.distributed.health` — read-only fleet probing behind
+  ``repro cluster health`` (reachability, authentication, protocol version,
+  uptime and served-work counters via the status op).
 
 Select it like any other backend::
 
@@ -37,6 +40,11 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - static-analysis aliases
     from repro.core.distributed.cache import DEFAULT_CACHE_CAPACITY, InstanceCache
     from repro.core.distributed.client import ClusterBackend, ClusterWorkerWarning
+    from repro.core.distributed.health import (
+        HEALTH_COLUMNS,
+        fleet_health,
+        probe_worker,
+    )
     from repro.core.distributed.protocol import (
         DEFAULT_CLUSTER_KEY,
         MAX_TASK_BATCH,
@@ -60,6 +68,9 @@ _EXPORTS = {
     "InstanceCache": "repro.core.distributed.cache",
     "ClusterBackend": "repro.core.distributed.client",
     "ClusterWorkerWarning": "repro.core.distributed.client",
+    "HEALTH_COLUMNS": "repro.core.distributed.health",
+    "fleet_health": "repro.core.distributed.health",
+    "probe_worker": "repro.core.distributed.health",
     "DEFAULT_CLUSTER_KEY": "repro.core.distributed.protocol",
     "MAX_TASK_BATCH": "repro.core.distributed.protocol",
     "PIPELINE_DEPTH": "repro.core.distributed.protocol",

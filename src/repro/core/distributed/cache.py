@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.errors import SolverError
 
@@ -77,6 +77,15 @@ class InstanceCache:
         """Drop every resident instance."""
         with self._lock:
             self._entries.clear()
+
+    def fingerprints(self) -> List[str]:
+        """The resident fingerprints, least recently used first.
+
+        A snapshot taken under the lock — the status op reports it without
+        touching recency, so health checks never perturb eviction order.
+        """
+        with self._lock:
+            return list(self._entries)
 
 
 __all__ = ["DEFAULT_CACHE_CAPACITY", "InstanceCache"]

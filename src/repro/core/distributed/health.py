@@ -1,0 +1,110 @@
+"""Fleet health probing (the client side of ``repro cluster health``).
+
+One configured worker address yields one row: is it reachable, did the
+authentication handshake succeed, which protocol version does it speak, and —
+when the :data:`~repro.core.distributed.protocol.OP_STATUS` op answers — its
+uptime, resident instance count and served-work counters.  Probing is
+read-only: :data:`~repro.core.distributed.protocol.OP_STATUS` reports the
+cache without refreshing recency, so a health sweep never perturbs eviction
+order or any running computation.
+
+:func:`probe_worker` never raises on a *worker* problem (dead, wrong key,
+wrong version): the failure is the row's content, so one broken worker cannot
+abort a fleet sweep.  A malformed address, by contrast, is a client
+configuration error and raises
+:class:`~repro.core.errors.SolverError` immediately.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing.connection import Client
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.distributed.protocol import (
+    OP_PING,
+    OP_STATUS,
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    authkey_bytes,
+    parse_worker_address,
+)
+
+#: Columns of a health row, in report order (the CLI table header).
+HEALTH_COLUMNS = (
+    "address",
+    "reachable",
+    "authenticated",
+    "protocol",
+    "healthy",
+    "uptime_sec",
+    "instances",
+    "tasks_served",
+    "bytes_served",
+    "detail",
+)
+
+
+def probe_worker(
+    address: str, *, cluster_key: Optional[str] = None
+) -> Dict[str, object]:
+    """One health row for one worker address (see :data:`HEALTH_COLUMNS`).
+
+    ``healthy`` is True only when the worker is reachable, authenticated,
+    speaks this client's protocol version and answered the status op; every
+    failure mode short-circuits with the reason in ``detail``.
+    """
+    host, port = parse_worker_address(address)  # malformed address: raise now
+    row: Dict[str, object] = {column: "" for column in HEALTH_COLUMNS}
+    row.update(address=address, reachable=False, authenticated=False, healthy=False)
+    try:
+        connection = Client((host, port), authkey=authkey_bytes(cluster_key))
+    except multiprocessing.AuthenticationError:
+        row["reachable"] = True
+        row["detail"] = "authentication rejected (cluster_key mismatch)"
+        return row
+    except (OSError, EOFError) as error:
+        row["detail"] = f"unreachable: {error}"
+        return row
+    row["reachable"] = True
+    row["authenticated"] = True
+    try:
+        connection.send((OP_PING,))
+        status, payload = connection.recv()
+        version = payload.get("version") if isinstance(payload, dict) else None
+        row["protocol"] = version if version is not None else "?"
+        if status != STATUS_OK or version != PROTOCOL_VERSION:
+            row["detail"] = (
+                f"protocol mismatch: worker speaks {version!r}, "
+                f"this client speaks {PROTOCOL_VERSION}"
+            )
+            return row
+        connection.send((OP_STATUS,))
+        status, payload = connection.recv()
+        if status != STATUS_OK or not isinstance(payload, dict):
+            row["detail"] = f"status op failed: {payload!r}"
+            return row
+        row["uptime_sec"] = float(payload.get("uptime_sec", 0.0))
+        row["instances"] = len(payload.get("instances", ()))
+        row["tasks_served"] = int(payload.get("tasks_served", 0))
+        row["bytes_served"] = int(payload.get("bytes_served", 0))
+        row["healthy"] = True
+        row["detail"] = "ok"
+    except (OSError, EOFError) as error:
+        row["detail"] = f"connection lost mid-probe: {error}"
+    finally:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    return row
+
+
+def fleet_health(
+    addresses: Sequence[str], *, cluster_key: Optional[str] = None
+) -> List[Dict[str, object]]:
+    """Probe every address in order; one row each (see :func:`probe_worker`)."""
+    return [probe_worker(address, cluster_key=cluster_key) for address in addresses]
+
+
+__all__ = ["HEALTH_COLUMNS", "probe_worker", "fleet_health"]

@@ -7,9 +7,13 @@ provides message framing, pickling and HMAC challenge–response authentication
 module defines everything both sides must agree on:
 
 * the **operations** a client may request (:data:`OP_PING`,
-  :data:`OP_HAS_INSTANCE`, :data:`OP_PUT_INSTANCE`, :data:`OP_SCORE_COLUMN`,
-  :data:`OP_SCORE_COLUMNS`, :data:`OP_SHUTDOWN`) and the two response
-  statuses (:data:`STATUS_OK`, :data:`STATUS_ERROR`);
+  :data:`OP_STATUS`, :data:`OP_HAS_INSTANCE`, :data:`OP_PUT_INSTANCE`,
+  :data:`OP_SCORE_COLUMN`, :data:`OP_SCORE_COLUMNS`, :data:`OP_SHUTDOWN`) and
+  the two response statuses (:data:`STATUS_OK`, :data:`STATUS_ERROR`).
+  :data:`OP_STATUS` is the introspection op behind ``repro cluster health``:
+  its reply carries the worker's protocol version, pid, uptime, cached
+  instance fingerprints and served-work counters (tasks and score bytes), so
+  an operator can audit a fleet without disturbing its caches;
 * the **task unit** (:class:`ColumnTask`): one per-interval score column —
   interval index plus the interval's two per-user scheduled-sum vectors —
   which is the same RPC unit the in-process ``process`` backend dispatches to
@@ -82,6 +86,7 @@ DEFAULT_WORKER_HOST: str = "127.0.0.1"
 
 # -- operations ------------------------------------------------------------- #
 OP_PING = "ping"
+OP_STATUS = "status"
 OP_HAS_INSTANCE = "has-instance"
 OP_PUT_INSTANCE = "put-instance"
 OP_SCORE_COLUMN = "score-column"
@@ -289,6 +294,7 @@ __all__ = [
     "DEFAULT_CLUSTER_KEY",
     "DEFAULT_WORKER_HOST",
     "OP_PING",
+    "OP_STATUS",
     "OP_HAS_INSTANCE",
     "OP_PUT_INSTANCE",
     "OP_SCORE_COLUMN",

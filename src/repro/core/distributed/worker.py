@@ -31,6 +31,7 @@ import multiprocessing
 import os
 import socket
 import threading
+import time
 from multiprocessing.connection import Client, Connection, Listener
 from typing import Dict, Optional
 
@@ -48,6 +49,7 @@ from repro.core.distributed.protocol import (
     OP_SCORE_COLUMN,
     OP_SCORE_COLUMNS,
     OP_SHUTDOWN,
+    OP_STATUS,
     PROTOCOL_VERSION,
     SELECTOR_CACHED,
     STATUS_ERROR,
@@ -200,6 +202,13 @@ class WorkerServer:
             )
         self._cache = InstanceCache(capacity)
         self._stop_event = threading.Event()
+        # Served-work counters behind OP_STATUS.  time.monotonic (not
+        # time.time): uptime is an elapsed-time metric, and the deterministic
+        # layers ban wall-clock reads.
+        self._started = time.monotonic()
+        self._lock = threading.Lock()
+        self._tasks_served = 0
+        self._bytes_served = 0
         try:
             self._listener = Listener((host, int(port)), authkey=authkey_bytes(cluster_key))
         except OSError as error:
@@ -299,6 +308,19 @@ class WorkerServer:
             payload = {"version": PROTOCOL_VERSION, "pid": os.getpid(),
                        "instances": len(self._cache)}
             return (STATUS_OK, payload), False
+        if op == OP_STATUS:
+            with self._lock:
+                tasks_served, bytes_served = self._tasks_served, self._bytes_served
+            payload = {
+                "version": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "uptime_sec": time.monotonic() - self._started,
+                "instances": self._cache.fingerprints(),
+                "capacity": self._cache.capacity,
+                "tasks_served": tasks_served,
+                "bytes_served": bytes_served,
+            }
+            return (STATUS_OK, payload), False
         if op == OP_HAS_INSTANCE:
             (fingerprint,) = request[1:]
             return (STATUS_OK, fingerprint in self._cache), False
@@ -321,6 +343,7 @@ class WorkerServer:
             if rows is None:
                 return (STATUS_ERROR, ERROR_UNKNOWN_SELECTION), False
             scores = score_column(record, task, rows)
+            self._count_served(1, scores.nbytes)
             return (STATUS_OK, (task.interval_index, scores)), False
         if op == OP_SCORE_COLUMNS:
             # Protocol v2: one request carries a whole batch of column tasks
@@ -338,10 +361,19 @@ class WorkerServer:
                 if rows is None:
                     return (STATUS_ERROR, ERROR_UNKNOWN_SELECTION), False
                 columns.append((task.interval_index, score_column(record, task, rows)))
+            self._count_served(
+                len(columns), sum(scores.nbytes for _, scores in columns)
+            )
             return (STATUS_OK, tuple(columns)), False
         if op == OP_SHUTDOWN:
             return (STATUS_OK, True), True
         return (STATUS_ERROR, f"unknown operation {op!r}"), False
+
+    def _count_served(self, tasks: int, nbytes: int) -> None:
+        """Record served work (connection threads share the counters)."""
+        with self._lock:
+            self._tasks_served += tasks
+            self._bytes_served += nbytes
 
     @staticmethod
     def _selected_rows(

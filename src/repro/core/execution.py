@@ -88,6 +88,9 @@ DEFAULT_BACKEND: str = "batch"
 #: batched temporary at ~64 MB of float64 regardless of instance size.
 DEFAULT_CHUNK_ELEMENTS: int = 8_000_000
 
+#: Scoring plan used when none is requested explicitly (see :class:`ScoringPlan`).
+DEFAULT_PLAN: str = "direct"
+
 
 def score_block_kernel(
     mu_rows: np.ndarray,
@@ -292,6 +295,27 @@ def resolve_task_batch(
     return task_batch
 
 
+def resolve_plan(plan: Optional[str], backend: Optional[str] = None) -> str:
+    """Validate a scoring-plan name (``None`` means :data:`DEFAULT_PLAN`).
+
+    A plan decides how the in-process bulk kernel traverses one event block
+    (see :class:`ScoringPlan`) — never what the scores are: every registered
+    exact plan is bit-identical to the ``direct`` reference.  Backends whose
+    evaluations never run the in-process block kernel
+    (:attr:`ExecutionBackend.is_bulk` is false) pin the plan to ``"direct"``
+    — the knob does not apply to them.
+    """
+    if plan is None:
+        plan = DEFAULT_PLAN
+    if plan not in _PLAN_REGISTRY:
+        raise SolverError(
+            f"unknown scoring plan {plan!r}; available: {', '.join(available_plans())}"
+        )
+    if backend is not None and not get_backend(resolve_backend(backend)).is_bulk:
+        return "direct"
+    return plan
+
+
 def resolve_cluster_key(
     cluster_key: Optional[str], backend: Optional[str] = None
 ) -> Optional[str]:
@@ -365,6 +389,14 @@ class ExecutionConfig:
         reproduces the v1 per-column round-trips.  ``None`` for every
         non-distributed backend.  Never changes a result bit — only the wire
         traffic shape.
+    plan:
+        Scoring-plan name (see :func:`available_plans`); ``None`` selects
+        :data:`DEFAULT_PLAN`.  A plan decides how the in-process bulk kernel
+        traverses one event block — e.g. the ``blocked`` plan of
+        :mod:`repro.analysis.blocks` computes each distinct interest pattern
+        once and expands by multiplicity.  Exact plans never change a result
+        bit — only the arithmetic's traversal.  Pinned to ``"direct"`` for
+        non-bulk backends.
     """
 
     backend: Optional[str] = None
@@ -374,6 +406,7 @@ class ExecutionConfig:
     workers_addr: Optional[Tuple[str, ...]] = None
     cluster_key: Optional[str] = None
     task_batch: Optional[int] = None
+    plan: Optional[str] = None
 
     def resolve(self, num_users: int) -> "ExecutionConfig":
         """Return a copy with every ``None`` replaced by its concrete default.
@@ -391,6 +424,7 @@ class ExecutionConfig:
             workers_addr=workers_addr,
             cluster_key=resolve_cluster_key(self.cluster_key, backend),
             task_batch=resolve_task_batch(self.task_batch, backend),
+            plan=resolve_plan(self.plan, backend),
         )
 
     @property
@@ -401,6 +435,10 @@ class ExecutionConfig:
     def create_backend(self) -> "ExecutionBackend":
         """Instantiate the selected strategy (expects a resolved config)."""
         return get_backend(resolve_backend(self.backend))(self)
+
+    def create_plan(self) -> "ScoringPlan":
+        """Instantiate the selected scoring plan (expects a resolved config)."""
+        return get_plan(resolve_plan(self.plan, self.backend))()
 
 
 def merge_legacy_execution(
@@ -1065,6 +1103,163 @@ def backend_catalog() -> List[Dict[str, object]]:
     return rows
 
 
+# --------------------------------------------------------------------------- #
+# Scoring plans
+# --------------------------------------------------------------------------- #
+class ScoringPlan:
+    """One traversal strategy of the in-process block kernel, bound to an engine.
+
+    Where an :class:`ExecutionBackend` decides *where* blocks are evaluated
+    (serial, threads, processes, remote workers), a plan decides *how* the
+    in-process kernel traverses one block — e.g. the ``blocked`` plan of
+    :mod:`repro.analysis.blocks` computes each distinct user interest pattern
+    once and expands the per-pattern contributions by multiplicity.  Every
+    exact plan must produce scores bit-identical to the ``direct`` reference:
+    the per-user contributions and their reduction order may not change.
+
+    Subclasses implement :meth:`batch_block` against the engine's static and
+    scheduled state; :meth:`prepare` runs once at bind time for per-instance
+    precomputation (structure mining).  Engines reach the plan through
+    :meth:`ScoringEngine._batch_block`, so the backends need no plan
+    awareness at all.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._engine_ref: Optional["weakref.ref[ScoringEngine]"] = None
+
+    def bind(self, engine: "ScoringEngine") -> "ScoringPlan":
+        """Attach the engine and run :meth:`prepare` (weak ref, like backends)."""
+        self._engine_ref = weakref.ref(engine)
+        self.prepare(engine)
+        return self
+
+    @property
+    def engine(self) -> "ScoringEngine":
+        """The bound scoring engine."""
+        engine = self._engine_ref() if self._engine_ref is not None else None
+        if engine is None:  # pragma: no cover - defensive
+            raise SolverError(f"plan {self.name!r} is not bound to a live engine")
+        return engine
+
+    def prepare(self, engine: "ScoringEngine") -> None:
+        """Per-instance precomputation hook (default: nothing)."""
+
+    def batch_block(
+        self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
+    ) -> np.ndarray:
+        """Scores of one block of event rows at one interval (Eq. 4)."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, object]:
+        """Structure counters of this plan (empty for the direct reference)."""
+        return {}
+
+    def mined_structure(self):
+        """The plan's mined :class:`~repro.core.patterns.InterestStructure`, if any.
+
+        The engine's structural Φ bound
+        (:meth:`~repro.core.scoring.ScoringEngine.interval_score_bound`)
+        needs the same equivalence classes the ``blocked`` plan mines;
+        returning them here lets the engine reuse the plan's pass instead of
+        mining twice.  ``None`` (the default) makes the engine mine lazily
+        on first use — the miner is deterministic, so both routes yield the
+        same decomposition and identical bound values.
+        """
+        return None
+
+    @classmethod
+    def describe(cls) -> str:
+        """One-line description used by catalogue listings."""
+        doc = (cls.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else cls.name
+
+
+class DirectPlan(ScoringPlan):
+    """Reference plan: the block kernel over every user column, unchanged."""
+
+    name = "direct"
+
+    def batch_block(
+        self, interval_index: int, mu_rows: np.ndarray, value_mu_rows: np.ndarray
+    ) -> np.ndarray:
+        engine = self.engine
+        return score_block_kernel(
+            mu_rows,
+            value_mu_rows,
+            engine._comp[:, interval_index],
+            engine._sigma[:, interval_index],
+            engine._scheduled_interest[interval_index],
+            engine._scheduled_value_interest[interval_index],
+            engine._interval_utility[interval_index],
+        )
+
+
+_PLAN_REGISTRY: Dict[str, Type[ScoringPlan]] = {}
+
+
+def register_plan(cls: Type[ScoringPlan], *, replace_existing: bool = False) -> Type[ScoringPlan]:
+    """Register a scoring-plan class (usable as a decorator).
+
+    After registration the plan is selectable everywhere by its
+    :attr:`~ScoringPlan.name` — ``ExecutionConfig(plan=cls.name)``, the
+    scheduler/engine constructors, the harness, the CLI's ``--plan`` flag —
+    with no further plumbing, exactly like :func:`register_backend`.
+
+    Raises
+    ------
+    SolverError
+        If a plan with the same name exists and ``replace_existing`` is False.
+    """
+    if not replace_existing and cls.name in _PLAN_REGISTRY:
+        raise SolverError(f"a scoring plan named {cls.name!r} is already registered")
+    _PLAN_REGISTRY[cls.name] = cls
+    return cls
+
+
+#: Names of the plans the library registers itself (the ``blocked`` plan of
+#: :mod:`repro.analysis.blocks` adds itself here at import).
+_BUILTIN_PLAN_NAMES: set = set()
+
+
+def unregister_plan(name: str) -> None:
+    """Remove a registered plan (primarily for tests of custom plans)."""
+    if name in _BUILTIN_PLAN_NAMES:
+        raise SolverError(f"the built-in plan {name!r} cannot be unregistered")
+    _PLAN_REGISTRY.pop(name, None)
+
+
+def available_plans() -> Tuple[str, ...]:
+    """Names of every registered scoring plan, in registration order."""
+    return tuple(_PLAN_REGISTRY)
+
+
+def get_plan(name: str) -> Type[ScoringPlan]:
+    """Return the plan class registered under ``name``."""
+    try:
+        return _PLAN_REGISTRY[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown scoring plan {name!r}; available: {', '.join(available_plans())}"
+        ) from None
+
+
+def plan_catalog() -> List[Dict[str, object]]:
+    """One row per registered scoring plan (CLI / docs listings)."""
+    return [
+        {
+            "plan": name + (" (default)" if name == DEFAULT_PLAN else ""),
+            "description": cls.describe(),
+        }
+        for name, cls in _PLAN_REGISTRY.items()
+    ]
+
+
+register_plan(DirectPlan)
+_BUILTIN_PLAN_NAMES.add(DirectPlan.name)
+
+
 # The cluster strategy lives in its own package (it is the one-module
 # addition the registry was built for) but registers here with the other
 # built-ins so it is selectable everywhere by name.  The import is deferred
@@ -1096,6 +1291,7 @@ def __getattr__(name: str):
 __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_CHUNK_ELEMENTS",
+    "DEFAULT_PLAN",
     "ExecutionBackend",
     "ExecutionConfig",
     "ScalarBackend",
@@ -1103,15 +1299,23 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "ClusterBackend",
+    "ScoringPlan",
+    "DirectPlan",
     "available_backends",
+    "available_plans",
     "backend_catalog",
     "get_backend",
+    "get_plan",
     "merge_legacy_execution",
+    "plan_catalog",
     "register_backend",
+    "register_plan",
     "unregister_backend",
+    "unregister_plan",
     "resolve_backend",
     "resolve_chunk_size",
     "resolve_cluster_key",
+    "resolve_plan",
     "resolve_start_method",
     "resolve_task_batch",
     "resolve_workers",

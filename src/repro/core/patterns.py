@@ -1,0 +1,161 @@
+"""Exact user equivalence classes of an instance's interest structure.
+
+Users whose µ rows, σ rows and competing-interest rows are all identical are
+indistinguishable to every scoring kernel under *every* schedule: identical µ
+rows imply identical per-interval scheduled sums forever, so the per-user
+attendance terms of equivalent users coincide element for element.  Mining
+the classes once per instance therefore yields a decomposition that never
+needs refreshing as the schedule grows.
+
+This module is the storage-agnostic mining primitive: chunked NumPy lexsort
+partition refinement over the event-major row blocks (never materialising
+more than one block, so million-user instances stay inside the engine's
+chunk-size memory envelope).  Two consumers build on it:
+
+* the scoring engine's structural per-interval Φ bound
+  (:meth:`~repro.core.scoring.ScoringEngine.interval_score_bound`) — one
+  genuine term per pattern instead of one per user;
+* the ``blocked`` scoring plan and the BBK-style dense-block analysis of
+  :mod:`repro.analysis.blocks`, which re-exports this module's public names
+  as part of the block-decomposition subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.storage import EventRowSource
+
+
+@dataclass(frozen=True)
+class InterestStructure:
+    """Exact user equivalence classes of one instance's interest structure.
+
+    Users belong to the same class iff their µ rows, σ rows and
+    competing-interest rows are all identical — a property preserved under
+    every schedule, so the decomposition is mined once per instance.
+
+    Attributes
+    ----------
+    labels:
+        ``labels[u]`` is the class index of user ``u``.  Classes are
+        canonically numbered by first occurrence: class 0 contains user 0.
+    representatives:
+        ``representatives[c]`` is the smallest user index of class ``c``
+        (ascending, one per class).
+    counts:
+        ``counts[c]`` is the class size (multiplicity of the pattern).
+    """
+
+    labels: np.ndarray
+    representatives: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        """Users covered by the decomposition."""
+        return int(self.labels.size)
+
+    @property
+    def num_classes(self) -> int:
+        """Distinct interest patterns."""
+        return int(self.representatives.size)
+
+    @property
+    def duplication_ratio(self) -> float:
+        """``|U| / P`` — the expansion factor a blocked kernel exploits."""
+        if self.num_classes == 0:
+            return 1.0
+        return self.num_users / self.num_classes
+
+    def stats(self) -> Dict[str, object]:
+        """Flat structure counters (benchmark / plan reporting)."""
+        return {
+            "num_users": self.num_users,
+            "num_classes": self.num_classes,
+            "duplication_ratio": self.duplication_ratio,
+            "largest_class": int(self.counts.max()) if self.num_classes else 0,
+        }
+
+
+def _refine_labels(labels: np.ndarray, block: np.ndarray) -> np.ndarray:
+    """Refine a user partition by a block of per-user value rows.
+
+    ``block`` has one row per attribute (an event's µ column, an interval's σ
+    or competing-interest column) and one column per user; two users stay in
+    the same class iff they already were *and* agree on every row of the
+    block.  One :func:`numpy.lexsort` over ``rows + 1`` keys per call — the
+    partition-refinement work is proportional to the block, never to the full
+    attribute set.
+    """
+    if labels.size == 0 or block.shape[0] == 0:
+        return labels
+    # lexsort sorts by the *last* key first: current labels are the primary
+    # key so refinement only ever splits classes, never merges them.
+    keys = np.vstack((block[::-1], labels[np.newaxis, :].astype(np.float64)))
+    order = np.lexsort(keys)
+    sorted_keys = keys[:, order]
+    boundary = np.empty(order.size, dtype=bool)
+    boundary[0] = True
+    if order.size > 1:
+        boundary[1:] = np.any(sorted_keys[:, 1:] != sorted_keys[:, :-1], axis=0)
+    compact = np.cumsum(boundary) - 1
+    refined = np.empty_like(labels)
+    refined[order] = compact
+    return refined
+
+
+def _canonicalise(labels: np.ndarray) -> InterestStructure:
+    """Renumber classes by first occurrence and derive the class tables."""
+    num_users = labels.size
+    if num_users == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return InterestStructure(labels=empty, representatives=empty.copy(), counts=empty.copy())
+    num_classes = int(labels.max()) + 1
+    first_seen = np.full(num_classes, num_users, dtype=np.intp)
+    np.minimum.at(first_seen, labels, np.arange(num_users, dtype=np.intp))
+    order = np.argsort(first_seen, kind="stable")
+    rank = np.empty(num_classes, dtype=np.intp)
+    rank[order] = np.arange(num_classes, dtype=np.intp)
+    canonical = rank[labels]
+    return InterestStructure(
+        labels=canonical,
+        representatives=first_seen[order],
+        counts=np.bincount(canonical, minlength=num_classes).astype(np.intp),
+    )
+
+
+def mine_structure(
+    event_rows: EventRowSource,
+    sigma: np.ndarray,
+    comp: np.ndarray,
+    chunk_size: int,
+) -> InterestStructure:
+    """Mine the equivalence classes from prebuilt kernel inputs.
+
+    ``event_rows`` streams the µ matrix event-major (one block of at most
+    ``chunk_size`` events at a time, so the memory envelope matches the bulk
+    kernels); ``sigma`` and ``comp`` are the ``(|U|, |T|)`` static arrays of
+    :func:`~repro.core.scoring.build_static_arrays`.  The result is
+    deterministic and storage-independent: every registered storage densifies
+    to the same float values, and first-occurrence canonical numbering does
+    not depend on chunk boundaries.
+    """
+    num_users = sigma.shape[0]
+    labels = np.zeros(num_users, dtype=np.intp)
+    num_events = event_rows.num_rows
+    step = max(1, chunk_size)
+    for start in range(0, num_events, step):
+        stop = min(start + step, num_events)
+        mu_rows, _ = event_rows.block(start, stop)
+        labels = _refine_labels(labels, mu_rows)
+    # σ and comp are (|U|, |T|) with small |T|: one refinement block each.
+    labels = _refine_labels(labels, np.ascontiguousarray(sigma.T))
+    labels = _refine_labels(labels, np.ascontiguousarray(comp.T))
+    return _canonicalise(labels)
+
+
+__all__ = ["InterestStructure", "mine_structure"]

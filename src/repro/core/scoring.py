@@ -75,6 +75,7 @@ from repro.core.execution import (  # noqa: F401  (re-exported compatibility sur
     score_block_kernel,
 )
 from repro.core.instance import SESInstance
+from repro.core.patterns import InterestStructure, mine_structure
 from repro.core.schedule import Schedule
 from repro.core.storage import (
     DenseEventRows,
@@ -224,6 +225,21 @@ class ScoringEngine:
         self._applied_cost = 0.0
         self._events_applied: Dict[int, int] = {}
 
+        # Statics of the per-interval fresh-score upper bound (computed once,
+        # lazily, by _ensure_bound_statics) and the per-interval bound cache
+        # (invalidated by apply()/reset() for the touched interval).
+        self._bound_ready = False
+        self._bound_max_value: Optional[np.ndarray] = None
+        self._bound_max_value_mu: Optional[np.ndarray] = None
+        self._bound_structure: Optional[InterestStructure] = None
+        self._bound_pattern_mu: Optional[np.ndarray] = None
+        self._bound_cache: Dict[int, float] = {}
+
+        # The scoring plan decides how the in-process bulk kernel traverses
+        # one event block (see ScoringPlan); bound last so its prepare() hook
+        # can mine structure from the fully-initialised engine.
+        self._plan_impl = self._execution.create_plan().bind(self)
+
     # ------------------------------------------------------------------ #
     # Properties
     # ------------------------------------------------------------------ #
@@ -256,6 +272,16 @@ class ScoringEngine:
         added through :func:`~repro.core.execution.register_backend`.
         """
         return self._execution.backend
+
+    @property
+    def plan(self) -> str:
+        """Name of the active scoring plan (``"direct"`` unless selected otherwise)."""
+        return self._execution.plan
+
+    @property
+    def scoring_plan(self):
+        """The live :class:`~repro.core.execution.ScoringPlan` instance."""
+        return self._plan_impl
 
     @property
     def is_bulk(self) -> bool:
@@ -292,6 +318,7 @@ class ScoringEngine:
         self._interval_utility.fill(0.0)
         self._applied_cost = 0.0
         self._events_applied.clear()
+        self._bound_cache.clear()
 
     def apply(self, event_index: int, interval_index: int, score: Optional[float] = None) -> float:
         """Add event ``event_index`` to interval ``interval_index``.
@@ -323,6 +350,7 @@ class ScoringEngine:
         self._interval_utility[interval_index] += score
         self._applied_cost += self._costs[event_index]
         self._events_applied[event_index] = interval_index
+        self._bound_cache.pop(interval_index, None)
         return score
 
     # ------------------------------------------------------------------ #
@@ -458,22 +486,18 @@ class ScoringEngine:
     ) -> np.ndarray:
         """One vectorised pass over a block of event rows.
 
-        Rows are events, columns users.  Delegates to the library's single
-        bit-identity-critical kernel
+        Rows are events, columns users.  Delegates to the active scoring plan
+        (:class:`~repro.core.execution.ScoringPlan`): the ``direct`` reference
+        runs the library's single bit-identity-critical kernel
         (:func:`~repro.core.execution.score_block_kernel` — also run by the
-        process backend's workers), whose per-element operation order matches
-        :meth:`_pair_score` exactly, so each element is bit-identical to the
-        scalar path.
+        process backend's workers) over every user column, whose per-element
+        operation order matches :meth:`_pair_score` exactly; the ``blocked``
+        plan of :mod:`repro.analysis.blocks` computes each distinct interest
+        pattern once and expands by multiplicity before the same per-row
+        reduction, so each element — and the reduction order — stays
+        bit-identical to the scalar path under every plan.
         """
-        return score_block_kernel(
-            mu_rows,
-            value_mu_rows,
-            self._comp[:, interval_index],
-            self._sigma[:, interval_index],
-            self._scheduled_interest[interval_index],
-            self._scheduled_value_interest[interval_index],
-            self._interval_utility[interval_index],
-        )
+        return self._plan_impl.batch_block(interval_index, mu_rows, value_mu_rows)
 
     def score_matrix(
         self,
@@ -517,6 +541,154 @@ class ScoringEngine:
         when they are at least this far below Φ.
         """
         return float(self._score_noise_tol[interval_index])
+
+    def _ensure_bound_statics(self) -> None:
+        """Static inputs of :meth:`interval_score_bound` (one streamed pass, lazy).
+
+        Per-user statics: ``max_value_mu[u] = max_e value_e · µ_{u,e}`` caps
+        the value-weighted interest any single candidate event can add for
+        user ``u``; ``max_value[u] = max {value_e : µ_{u,e} > 0}`` caps the
+        per-user attendance value outright.  Both are exact maxima (max is
+        rounding free), streamed over event blocks under the chunk-size
+        memory guard, so they are identical across backends, storages and
+        chunkings.
+
+        Structural statics: the interest-pattern equivalence classes
+        (:func:`~repro.core.patterns.mine_structure`, reused from the active
+        plan when it already mined them) and the ``(|E|, P)`` pattern matrix
+        of ``value·µ`` representative columns, which turn the bound's
+        per-user event maximum into a *per-event* sum over patterns — far
+        tighter (see :meth:`interval_score_bound`).  The pattern matrix is
+        only materialised while ``|E| · P`` fits the library's chunk memory
+        budget; past it the bound falls back to the per-user cap, a
+        deterministic rule (it depends only on instance shape), so bound
+        values never depend on backend, storage or plan.
+        """
+        if self._bound_ready:
+            return
+        num_users = self._instance.num_users
+        num_events = self._instance.num_events
+        max_value_mu = np.zeros(num_users, dtype=np.float64)
+        max_value = np.zeros(num_users, dtype=np.float64)
+        source = self._event_rows
+        if source is None:
+            source = build_event_rows(self._store, self._values)
+        structure = self._plan_impl.mined_structure()
+        if structure is None:
+            structure = mine_structure(
+                source, self._sigma, self._comp, self._execution.chunk_size
+            )
+        pattern_mu: Optional[np.ndarray] = None
+        if structure.num_classes * num_events <= DEFAULT_CHUNK_ELEMENTS:
+            pattern_mu = np.empty((num_events, structure.num_classes), dtype=np.float64)
+        step = max(1, self._execution.chunk_size)
+        for start in range(0, num_events, step):
+            stop = min(start + step, num_events)
+            mu_rows, value_mu_rows = source.block(start, stop)
+            np.maximum(max_value_mu, value_mu_rows.max(axis=0), out=max_value_mu)
+            block_values = np.where(
+                mu_rows > 0.0, self._values[start:stop, np.newaxis], 0.0
+            )
+            np.maximum(max_value, block_values.max(axis=0), out=max_value)
+            if pattern_mu is not None:
+                pattern_mu[start:stop] = mu_rows[:, structure.representatives]
+        self._bound_max_value_mu = max_value_mu
+        self._bound_max_value = max_value
+        self._bound_structure = structure
+        self._bound_pattern_mu = pattern_mu
+        self._bound_ready = True
+
+    def interval_score_bound(self, interval_index: int) -> float:
+        """Sound upper bound on any *fresh* assignment score at one interval.
+
+        For every candidate event ``e`` and user ``u`` the fresh per-user
+        attendance term is ``σ·(SV + v_e·µ)/(C + S + µ)`` with ``C`` the
+        competing sum and ``S``/``SV`` the interval's scheduled sums.  It is
+        bounded (in exact arithmetic) by ``σ·SV/(C+S)`` plus a gain cap:
+
+        * **Structural bound** (the block-decomposition tier, used while the
+          ``(|E|, P)`` pattern matrix fits the memory budget): the exact
+          per-user gain rewrites to ``σ·(µ/(C+S+µ))·(v_e − SV/(C+S))`` and
+          is bounded by ``σ·min(µ/(C+S), 1)·max(0, v_e − SV/(C+S))`` — one
+          term per *pattern class* scaled by its multiplicity, maximised
+          over the not-yet-scheduled events.  Tight: the only slack is
+          ``(C+S+µ)/(C+S)`` per user, so on lightly-interested users the
+          bound hugs the best event's true gain, and saturated users
+          (``SV/(C+S) ≥ v_e``) contribute nothing.
+        * **Per-user fallback** (pattern matrix over budget):
+          ``σ·min(max_value, max_value_mu/(C+S))`` per user, which replaces
+          the event maximum of a sum by a sum of per-user maxima (looser,
+          but |U|-cheap and memory free).
+
+        Users with ``C+S = 0`` have zero scheduled sums and contribute at
+        most ``σ·max_value`` under either tier.  Summing and subtracting the
+        interval utility bounds every fresh score at this interval, however
+        the schedule got here.
+
+        Unlike the stale scores the incremental schedulers prune against
+        (frozen at computation time), this bound *tightens* as the interval's
+        schedule grows — INC and HOR-I use it to skip entire interval walks
+        whose ceiling is already below Φ.  The bound depends only on engine
+        state and the deterministic mined structure, so skip decisions — and
+        therefore counter totals — are identical across backends, storages
+        and plans.  Callers must leave a floating-point margin (a few
+        :meth:`score_noise_tolerance`) between the bound and Φ.  Cached per
+        interval until :meth:`apply` touches the interval; each fresh
+        evaluation is recorded under the ``phi_bound_evaluations`` extra
+        counter.
+        """
+        cached = self._bound_cache.get(interval_index)
+        if cached is not None:
+            return cached
+        self._ensure_bound_statics()
+        self._counter.bump("phi_bound_evaluations")
+        sigma = self._sigma[:, interval_index]
+        denominator = self._comp[:, interval_index] + self._scheduled_interest[interval_index]
+        scheduled_term = _guarded_divide(
+            sigma * self._scheduled_value_interest[interval_index], denominator
+        )
+        if self._bound_pattern_mu is not None:
+            structure = self._bound_structure
+            representatives = structure.representatives
+            class_denominator = denominator[representatives]
+            inverse_denominator = _guarded_divide(
+                np.ones_like(class_denominator), class_denominator
+            )
+            # (|E|, P): min(µ/(C+S), 1) per class — zero-denominator classes
+            # drop out here and are covered by the max_value term below.
+            ratios = np.minimum(self._bound_pattern_mu * inverse_denominator, 1.0)
+            # (|E|, P): max(0, v_e − SV/(C+S)) — the headroom the interval's
+            # current schedule leaves a new event for this class's users.
+            headroom = np.maximum(
+                self._values[:, np.newaxis]
+                - _guarded_divide(
+                    self._scheduled_value_interest[interval_index][representatives],
+                    class_denominator,
+                ),
+                0.0,
+            )
+            weights = structure.counts * sigma[representatives]
+            per_event = (ratios * headroom) @ weights
+            if self._events_applied:
+                per_event[list(self._events_applied)] = -np.inf
+            peak = float(per_event.max()) if per_event.size else float("-inf")
+            zero_denominator = denominator <= 0.0
+            gain_total = peak + float(
+                (sigma * self._bound_max_value)[zero_denominator].sum()
+            )
+        else:
+            gain_cap = _guarded_divide(self._bound_max_value_mu, denominator)
+            gain = np.where(
+                denominator > 0.0,
+                np.minimum(self._bound_max_value, gain_cap),
+                self._bound_max_value,
+            )
+            gain_total = float((sigma * gain).sum())
+        bound = float(
+            scheduled_term.sum() + gain_total - self._interval_utility[interval_index]
+        )
+        self._bound_cache[interval_index] = bound
+        return bound
 
     def interval_utility(self, interval_index: int) -> float:
         """Current utility of one interval."""

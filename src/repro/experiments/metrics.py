@@ -48,9 +48,9 @@ class MetricRecord:
         The scoring backend the run used is recorded under
         ``params["backend"]``, the instance's interest-matrix storage under
         ``params["storage"]`` and the resolved worker count under
-        ``params["workers"]`` (unless the caller already set them), so rows of
-        different backends / storages / fan-outs can be grouped and compared
-        in figure tables.  A distributed run additionally records its remote worker
+        ``params["plan"]`` and ``params["workers"]`` (unless the caller
+        already set them), so rows of different backends / storages / scoring
+        plans / fan-outs can be grouped and compared in figure tables.  A distributed run additionally records its remote worker
         addresses under ``params["cluster"]`` and its wire batch size under
         ``params["task_batch"]`` (``"auto"`` when the size was auto-derived;
         in-process runs omit both keys).
@@ -58,6 +58,7 @@ class MetricRecord:
         merged_params = dict(params or {})
         merged_params.setdefault("backend", result.backend)
         merged_params.setdefault("storage", result.storage)
+        merged_params.setdefault("plan", result.plan)
         merged_params.setdefault("workers", result.workers)
         if result.cluster:
             merged_params.setdefault("cluster", ",".join(result.cluster))

@@ -28,6 +28,25 @@ from repro.core.interest import InterestMatrix
 #: unset, instances keep the default ``dense`` storage.
 TEST_STORAGE = os.environ.get("REPRO_TEST_STORAGE", "")
 
+#: Scoring plan every engine defaults to for the whole suite.  CI sets
+#: ``REPRO_TEST_PLAN=blocked`` to run the equivalence suites once per plan
+#: (the same pattern as ``REPRO_TEST_STORAGE``); unset, the library default
+#: (``direct``) applies.  Implemented by patching
+#: :data:`repro.core.execution.DEFAULT_PLAN`, which ``resolve_plan`` consults
+#: at resolution time — explicit ``plan=`` pins in individual tests still
+#: win, and non-bulk backends still pin to ``direct``.
+TEST_PLAN = os.environ.get("REPRO_TEST_PLAN", "")
+
+
+@pytest.fixture(autouse=True)
+def _apply_test_plan(monkeypatch):
+    """Route every engine through the suite-wide ``REPRO_TEST_PLAN`` plan."""
+    if TEST_PLAN:
+        from repro.core import execution
+
+        monkeypatch.setattr(execution, "DEFAULT_PLAN", TEST_PLAN)
+    yield
+
 
 def apply_test_storage(instance: SESInstance) -> SESInstance:
     """Convert an instance to the suite-wide ``REPRO_TEST_STORAGE`` storage.

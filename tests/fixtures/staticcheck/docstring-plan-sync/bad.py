@@ -1,0 +1,8 @@
+# lintpath: src/repro/core/fixture_bad.py
+"""Helpers documented against the ``tiled`` plan, which does not exist."""
+
+
+def score(engine):
+    """Score through the 'fused' plan, falling back to plan="hierarchical"
+    when the decomposition is degenerate."""
+    return engine

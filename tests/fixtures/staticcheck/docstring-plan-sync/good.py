@@ -1,0 +1,9 @@
+# lintpath: src/repro/core/fixture_good.py
+"""Helpers documented against the ``blocked`` plan (registered and live)."""
+
+
+def score(engine):
+    """Score through the 'direct' plan, falling back to plan="blocked" on
+    duplicate-heavy instances; prose mentioning a scoring plan without
+    quoting a name is also fine."""
+    return engine

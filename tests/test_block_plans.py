@@ -1,0 +1,406 @@
+"""Block decomposition and scoring plans: mining, exactness, bounds, registry.
+
+Four contracts of the structure-exploiting scoring work:
+
+* **Mining is exact** — the equivalence classes of
+  :func:`repro.analysis.blocks.mine_interest_structure` match a brute-force
+  grouping of the (µ row, σ row, comp row) triples, for every chunk size and
+  storage;
+* **The blocked plan is bit-identical** — schedules, utilities, scores and
+  counter totals match the ``direct`` reference, including on instances
+  large enough that NumPy's pairwise-summation tree would expose a
+  wrong-layout expansion (the regression behind the ``take()`` gather);
+* **The structural Φ bound is sound** — it never under-estimates the best
+  score of its interval, under a fresh engine and after assignments, so the
+  INC/HOR-I interval skips cannot change one scheduled assignment;
+* **The plan registry behaves like the backend registry** — registration,
+  lookup, catalogue, builtin protection and non-bulk pinning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_random_instance
+from repro.algorithms.hor_i import HorIScheduler
+from repro.algorithms.inc import IncScheduler
+from repro.algorithms.registry import run_scheduler
+from repro.analysis.blocks import (
+    BlockedPlan,
+    greedy_dense_blocks,
+    mine_interest_structure,
+)
+from repro.core.errors import SolverError
+from repro.core.execution import (
+    ExecutionConfig,
+    available_plans,
+    get_plan,
+    plan_catalog,
+    register_plan,
+    resolve_plan,
+    unregister_plan,
+)
+from repro.core.instance import SESInstance
+from repro.core.scoring import ScoringEngine, build_static_arrays
+
+SCHEDULERS = ("ALG", "INC", "HOR", "HOR-I", "TOP")
+
+
+def duplicate_heavy_instance(
+    num_users: int = 600,
+    num_patterns: int = 25,
+    num_events: int = 30,
+    num_intervals: int = 6,
+    seed: int = 7,
+) -> SESInstance:
+    """Users drawn from a small pool of full (µ, σ, comp) row patterns.
+
+    Activity decays across intervals so the structural Φ bound has skewed
+    intervals to prune (under uniform activity no sound bound dominates Φ).
+    """
+    rng = np.random.default_rng(seed)
+    decay = np.geomspace(1.0, 0.1, num_intervals)
+    pattern_interest = rng.random((num_patterns, num_events))
+    pattern_activity = rng.random((num_patterns, num_intervals)) * decay
+    pattern_competing = rng.random((num_patterns, 4))
+    assignment = rng.integers(0, num_patterns, num_users)
+    return SESInstance.from_arrays(
+        interest=pattern_interest[assignment],
+        activity=pattern_activity[assignment],
+        competing_interest=pattern_competing[assignment],
+        competing_interval_indices=[idx % num_intervals for idx in range(4)],
+        name=f"dup-{num_users}-p{num_patterns}",
+    )
+
+
+def brute_force_labels(instance: SESInstance) -> np.ndarray:
+    """First-occurrence class labels from the raw (µ, σ, comp) row triples."""
+    comp, sigma, _, _ = build_static_arrays(instance)
+    store = instance.interest.store
+    classes: dict = {}
+    labels = np.empty(instance.num_users, dtype=np.intp)
+    for user in range(instance.num_users):
+        key = (
+            store.row(user).tobytes(),
+            sigma[user].tobytes(),
+            comp[user].tobytes(),
+        )
+        labels[user] = classes.setdefault(key, len(classes))
+    return labels
+
+
+def execution_for(plan: str, backend: str = "batch") -> ExecutionConfig:
+    return ExecutionConfig(backend=backend, plan=plan, chunk_size=7)
+
+
+# --------------------------------------------------------------------------- #
+# Mining
+# --------------------------------------------------------------------------- #
+class TestMining:
+    def test_labels_match_brute_force_on_duplicate_heavy_instance(self):
+        instance = duplicate_heavy_instance()
+        structure = mine_interest_structure(instance)
+        assert np.array_equal(structure.labels, brute_force_labels(instance))
+        assert structure.num_classes <= 25
+
+    def test_labels_match_brute_force_on_generic_instance(self):
+        instance = make_random_instance(seed=11)
+        structure = mine_interest_structure(instance)
+        assert np.array_equal(structure.labels, brute_force_labels(instance))
+        # Continuous random rows: every user is its own class.
+        assert structure.num_classes == instance.num_users
+
+    def test_counts_and_representatives_are_consistent(self):
+        instance = duplicate_heavy_instance()
+        structure = mine_interest_structure(instance)
+        assert int(structure.counts.sum()) == instance.num_users
+        # The representative of class c carries label c …
+        assert np.array_equal(
+            structure.labels[structure.representatives],
+            np.arange(structure.num_classes),
+        )
+        # … and is its class's first occurrence in user order.
+        for class_index, representative in enumerate(structure.representatives):
+            members = np.flatnonzero(structure.labels == class_index)
+            assert members[0] == representative
+            assert len(members) == structure.counts[class_index]
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 1000])
+    def test_mining_is_chunk_size_invariant(self, chunk_size):
+        instance = duplicate_heavy_instance()
+        reference = mine_interest_structure(instance)
+        chunked = mine_interest_structure(instance, chunk_size=chunk_size)
+        assert np.array_equal(chunked.labels, reference.labels)
+        assert np.array_equal(chunked.representatives, reference.representatives)
+
+    @pytest.mark.parametrize("storage", ["sparse", "mmap"])
+    def test_mining_is_storage_invariant(self, storage, tmp_path):
+        instance = duplicate_heavy_instance()
+        reference = mine_interest_structure(instance)
+        kwargs = {"directory": tmp_path} if storage == "mmap" else {}
+        converted = instance.with_storage(storage, **kwargs)
+        mined = mine_interest_structure(converted)
+        assert np.array_equal(mined.labels, reference.labels)
+
+    def test_classes_refine_over_all_three_matrices(self):
+        """Identical µ rows split when σ (or comp) differs."""
+        interest = np.tile(np.array([[0.5, 0.25, 0.0]]), (4, 1))
+        activity = np.array([[0.5, 0.5], [0.5, 0.5], [0.9, 0.5], [0.5, 0.5]])
+        instance = SESInstance.from_arrays(
+            interest=interest, activity=activity, name="split-on-sigma"
+        )
+        structure = mine_interest_structure(instance)
+        assert structure.num_classes == 2
+        assert structure.labels[0] == structure.labels[1] == structure.labels[3]
+        assert structure.labels[2] != structure.labels[0]
+
+    def test_duplication_ratio_and_stats(self):
+        instance = duplicate_heavy_instance(num_users=100, num_patterns=10)
+        structure = mine_interest_structure(instance)
+        stats = structure.stats()
+        assert stats["num_users"] == 100
+        assert stats["num_classes"] == structure.num_classes
+        assert stats["duplication_ratio"] == pytest.approx(
+            100 / structure.num_classes
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Blocked-plan exactness
+# --------------------------------------------------------------------------- #
+class TestBlockedPlanExactness:
+    def test_score_matrix_bit_identical_on_wide_instance(self):
+        """Regression for the expansion layout: at thousands of users NumPy's
+        pairwise summation takes a different reduction tree over an
+        F-contiguous expansion, so only a C-contiguous gather keeps the sums
+        bit-identical."""
+        instance = duplicate_heavy_instance(
+            num_users=2000, num_patterns=50, num_events=60, num_intervals=4
+        )
+        direct = ScoringEngine(instance, execution=execution_for("direct"))
+        blocked = ScoringEngine(instance, execution=execution_for("blocked"))
+        assert np.array_equal(
+            direct.score_matrix(count=False), blocked.score_matrix(count=False)
+        )
+
+    @pytest.mark.parametrize("backend", ["batch", "parallel"])
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_schedulers_bit_identical_across_plans(self, scheduler, backend):
+        instance = duplicate_heavy_instance(num_users=300, num_patterns=15)
+        results = {
+            plan: run_scheduler(
+                scheduler, instance, 4, execution=execution_for(plan, backend)
+            )
+            for plan in ("direct", "blocked")
+        }
+        direct, blocked = results["direct"], results["blocked"]
+        assert blocked.schedule.as_dict() == direct.schedule.as_dict()
+        assert blocked.utility == direct.utility
+        assert blocked.counters == direct.counters
+        assert blocked.plan == "blocked"
+        assert direct.plan == "direct"
+
+    @pytest.mark.parametrize("storage", ["sparse", "mmap"])
+    def test_blocked_plan_bit_identical_across_storages(self, storage, tmp_path):
+        instance = duplicate_heavy_instance(num_users=300, num_patterns=15)
+        kwargs = {"directory": tmp_path} if storage == "mmap" else {}
+        converted = instance.with_storage(storage, **kwargs)
+        dense_direct = run_scheduler(
+            "HOR", instance, 4, execution=execution_for("direct")
+        )
+        other_blocked = run_scheduler(
+            "HOR", converted, 4, execution=execution_for("blocked")
+        )
+        assert other_blocked.schedule.as_dict() == dense_direct.schedule.as_dict()
+        assert other_blocked.utility == dense_direct.utility
+        assert other_blocked.counters == dense_direct.counters
+
+    def test_degenerate_structure_falls_back_to_direct(self):
+        """All-distinct users: the plan detects the identity decomposition."""
+        instance = make_random_instance(seed=3)
+        engine = ScoringEngine(instance, execution=execution_for("blocked"))
+        assert isinstance(engine._plan_impl, BlockedPlan)
+        assert engine._plan_impl._degenerate
+        direct = ScoringEngine(instance, execution=execution_for("direct"))
+        assert np.array_equal(
+            engine.score_matrix(count=False), direct.score_matrix(count=False)
+        )
+
+    def test_plan_is_recorded_in_result_and_summary(self):
+        instance = duplicate_heavy_instance(num_users=120, num_patterns=8)
+        result = run_scheduler(
+            "TOP", instance, 3, execution=execution_for("blocked")
+        )
+        assert result.plan == "blocked"
+        assert result.summary()["plan"] == "blocked"
+
+    def test_blocked_plan_stats_report_savings(self):
+        instance = duplicate_heavy_instance(num_users=120, num_patterns=8)
+        engine = ScoringEngine(instance, execution=execution_for("blocked"))
+        engine.score_matrix(count=False)
+        stats = engine._plan_impl.stats()
+        assert stats["num_classes"] <= 8
+        assert stats["blocks_evaluated"] > 0
+        assert stats["columns_saved"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Structural Φ bound
+# --------------------------------------------------------------------------- #
+class TestStructuralBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bound_is_sound_fresh_and_after_assignments(self, seed):
+        instance = duplicate_heavy_instance(seed=seed)
+        engine = ScoringEngine(instance, execution=execution_for("direct"))
+        for _ in range(3):
+            matrix = engine.score_matrix(count=False)
+            best_event = None
+            for interval_index in range(instance.num_intervals):
+                bound = engine.interval_score_bound(interval_index)
+                column = matrix[:, interval_index]
+                tolerance = engine.score_noise_tolerance(interval_index)
+                assert bound >= column.max() - tolerance, (
+                    f"unsound bound at interval {interval_index}: "
+                    f"{bound} < {column.max()}"
+                )
+                if best_event is None:
+                    best_event = int(np.argmax(column))
+            # Grow the schedule and re-check: apply() invalidates the
+            # interval's cached bound, so the next round re-derives it
+            # against the new scheduled sums.
+            engine.apply(best_event, 0)
+
+    def test_bounds_do_not_change_schedules(self):
+        instance = duplicate_heavy_instance()
+        for cls in (IncScheduler, HorIScheduler):
+            results = {}
+            for bounded in (False, True):
+                scheduler = cls(
+                    instance,
+                    execution=execution_for("direct"),
+                    use_interval_bounds=bounded,
+                )
+                results[bounded] = scheduler.schedule(4)
+            assert (
+                results[True].schedule.as_dict() == results[False].schedule.as_dict()
+            )
+            assert results[True].utility == results[False].utility
+            # The bound can only remove evaluations.
+            assert (
+                results[True].score_computations
+                <= results[False].score_computations
+            )
+            # The unbounded run never consults the bound.
+            assert (
+                results[False].counters.get("extra.phi_bound_interval_skips", 0)
+                == 0
+            )
+
+    def test_bound_actually_prunes_on_skewed_instance(self):
+        instance = duplicate_heavy_instance(num_users=900, num_patterns=40)
+        result = IncScheduler(
+            instance, execution=execution_for("direct")
+        ).schedule(4)
+        assert result.counters.get("extra.phi_bound_evaluations", 0) > 0
+        assert result.counters.get("extra.phi_bound_interval_skips", 0) > 0
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+class TestPlanRegistry:
+    def test_builtin_plans_are_registered_in_order(self):
+        assert available_plans()[:2] == ("direct", "blocked")
+
+    def test_get_plan_unknown_name(self):
+        with pytest.raises(SolverError, match="unknown scoring plan 'nope'"):
+            get_plan("nope")
+
+    def test_resolve_plan_defaults_and_pinning(self):
+        # Read the default through the module: ``None`` resolves against the
+        # *live* global, which the REPRO_TEST_PLAN fixture may have swapped.
+        from repro.core import execution
+
+        assert resolve_plan(None) == execution.DEFAULT_PLAN
+        assert resolve_plan("blocked") == "blocked"
+        # Non-bulk backends never run the in-process block kernel.
+        assert resolve_plan("blocked", backend="scalar") == "direct"
+        assert resolve_plan("blocked", backend="batch") == "blocked"
+        with pytest.raises(SolverError, match="unknown scoring plan"):
+            resolve_plan("nope")
+
+    def test_builtin_plans_cannot_be_unregistered(self):
+        for name in ("direct", "blocked"):
+            with pytest.raises(SolverError, match="built-in plan"):
+                unregister_plan(name)
+            assert name in available_plans()
+
+    def test_duplicate_registration_is_rejected(self):
+        with pytest.raises(SolverError, match="already registered"):
+            register_plan(BlockedPlan)
+
+    def test_plan_catalog_marks_the_default(self):
+        catalog = plan_catalog()
+        names = [row["plan"] for row in catalog]
+        assert any(name.endswith("(default)") for name in names)
+        assert all(row["description"] for row in catalog)
+
+    def test_custom_plan_end_to_end(self):
+        """A registered plan is selectable everywhere by name, like backends."""
+
+        class TracingPlan(get_plan("direct")):
+            name = "tracing-test"
+
+        register_plan(TracingPlan)
+        try:
+            instance = duplicate_heavy_instance(num_users=120, num_patterns=8)
+            custom = run_scheduler(
+                "TOP", instance, 3, execution=execution_for("tracing-test")
+            )
+            direct = run_scheduler(
+                "TOP", instance, 3, execution=execution_for("direct")
+            )
+            assert custom.schedule.as_dict() == direct.schedule.as_dict()
+            assert custom.utility == direct.utility
+            assert custom.plan == "tracing-test"
+        finally:
+            unregister_plan("tracing-test")
+        with pytest.raises(SolverError, match="unknown scoring plan"):
+            get_plan("tracing-test")
+
+
+# --------------------------------------------------------------------------- #
+# Greedy dense blocks (analysis artefact)
+# --------------------------------------------------------------------------- #
+class TestGreedyDenseBlocks:
+    def test_blocks_are_dense_and_sorted(self):
+        instance = duplicate_heavy_instance(num_users=200, num_patterns=12)
+        structure = mine_interest_structure(instance)
+        blocks = greedy_dense_blocks(instance, structure)
+        assert blocks, "no dense blocks mined from a duplicate-heavy instance"
+        areas = [block.area for block in blocks]
+        assert areas == sorted(areas, reverse=True)
+        store = instance.interest.store
+        for block in blocks[:5]:
+            events = set(block.events)
+            covered = 0
+            for class_index in block.classes:
+                representative = int(structure.representatives[class_index])
+                candidate = set(
+                    np.flatnonzero(store.row(representative) > 0.0).tolist()
+                )
+                # Density: every class in the block is interested in every
+                # block event.
+                assert events <= candidate
+                covered += int(structure.counts[class_index])
+            assert covered == block.num_users
+
+    def test_min_events_filters_sparse_classes(self):
+        instance = duplicate_heavy_instance(num_users=200, num_patterns=12)
+        unfiltered = greedy_dense_blocks(instance, min_events=1)
+        filtered = greedy_dense_blocks(
+            instance, min_events=instance.num_events + 1
+        )
+        assert len(filtered) <= len(unfiltered)
+        assert filtered == []

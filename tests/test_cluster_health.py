@@ -1,0 +1,171 @@
+"""Worker introspection (``status`` op) and fleet health probing.
+
+The ``status`` op is the wire protocol's read-only introspection surface:
+uptime, cached instance fingerprints, capacity and served-work counters —
+everything an operator needs to audit a fleet without disturbing its caches.
+:func:`repro.core.distributed.health.probe_worker` wraps it (plus the
+``ping`` handshake) into one row per configured address; the
+``repro cluster health`` CLI prints the rows as a table and exits non-zero
+if any worker is unhealthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.distributed import (
+    HEALTH_COLUMNS,
+    fleet_health,
+    probe_worker,
+    start_local_worker,
+)
+from repro.core.distributed.protocol import PROTOCOL_VERSION
+from repro.core.execution import ExecutionConfig
+from repro.core.instance import SESInstance
+from repro.core.scoring import ScoringEngine
+
+
+def build_instance(num_events: int = 12, num_intervals: int = 4, num_users: int = 30):
+    rng = np.random.default_rng(99)
+    return SESInstance.from_arrays(
+        interest=rng.random((num_users, num_events)),
+        activity=rng.random((num_users, num_intervals)),
+        name="health-instance",
+    )
+
+
+class TestProbeWorker:
+    def test_healthy_worker_row(self):
+        worker = start_local_worker()
+        try:
+            row = probe_worker(worker.address)
+        finally:
+            worker.stop()
+        assert row["address"] == worker.address
+        assert row["reachable"] is True
+        assert row["authenticated"] is True
+        assert row["protocol"] == PROTOCOL_VERSION
+        assert row["healthy"] is True
+        assert row["detail"] == "ok"
+        assert row["uptime_sec"] >= 0.0
+        assert row["instances"] == 0
+        assert row["tasks_served"] == 0
+        assert row["bytes_served"] == 0
+        assert set(HEALTH_COLUMNS) == set(row)
+
+    def test_served_work_counters_move_with_real_work(self):
+        worker = start_local_worker()
+        engine = ScoringEngine(
+            build_instance(),
+            execution=ExecutionConfig(
+                backend="cluster", workers_addr=(worker.address,)
+            ),
+        )
+        try:
+            engine.score_matrix(count=False)
+            row = probe_worker(worker.address)
+        finally:
+            engine.close()
+            worker.stop()
+        assert row["healthy"] is True
+        assert row["instances"] == 1  # the shipped fingerprint is cached
+        assert row["tasks_served"] > 0
+        assert row["bytes_served"] > 0
+
+    def test_unreachable_address(self):
+        worker = start_local_worker()
+        address = worker.address
+        worker.stop()
+        row = probe_worker(address)
+        assert row["reachable"] is False
+        assert row["healthy"] is False
+        assert "unreachable" in row["detail"]
+
+    def test_cluster_key_mismatch_is_reported_as_authentication(self):
+        worker = start_local_worker(cluster_key="right-secret")
+        try:
+            row = probe_worker(worker.address, cluster_key="wrong-secret")
+        finally:
+            worker.stop()
+        assert row["reachable"] is True
+        assert row["authenticated"] is False
+        assert row["healthy"] is False
+        assert "authentication" in row["detail"]
+
+    def test_malformed_address_raises(self):
+        from repro.core.errors import SolverError
+
+        with pytest.raises(SolverError):
+            probe_worker("not-an-address")
+
+
+class TestFleetHealth:
+    def test_rows_preserve_address_order(self):
+        first, second = start_local_worker(), start_local_worker()
+        dead_address = None
+        try:
+            dead = start_local_worker()
+            dead_address = dead.address
+            dead.stop()
+            rows = fleet_health([first.address, dead_address, second.address])
+        finally:
+            first.stop()
+            second.stop()
+        assert [row["address"] for row in rows] == [
+            first.address,
+            dead_address,
+            second.address,
+        ]
+        assert [row["healthy"] for row in rows] == [True, False, True]
+
+
+class TestClusterHealthCli:
+    def test_exit_zero_and_table_when_all_healthy(self, capsys):
+        worker = start_local_worker()
+        try:
+            code = main(["cluster", "health", "--cluster", worker.address])
+        finally:
+            worker.stop()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert worker.address in out
+        for column in HEALTH_COLUMNS:
+            assert column in out
+
+    def test_exit_one_with_a_dead_worker(self, capsys):
+        worker = start_local_worker()
+        dead = start_local_worker()
+        dead_address = dead.address
+        dead.stop()
+        try:
+            code = main(
+                [
+                    "cluster",
+                    "health",
+                    "--cluster",
+                    f"{worker.address},{dead_address}",
+                ]
+            )
+        finally:
+            worker.stop()
+        out = capsys.readouterr().out
+        assert code == 1
+        assert dead_address in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        worker = start_local_worker()
+        try:
+            code = main(
+                ["cluster", "health", "--cluster", worker.address, "--json"]
+            )
+        finally:
+            worker.stop()
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list) and len(rows) == 1
+        assert rows[0]["healthy"] is True
+        assert rows[0]["protocol"] == PROTOCOL_VERSION

@@ -10,6 +10,9 @@ the code *registers*.  Concretely:
 * the instance-storage table in ``docs/ARCHITECTURE.md`` must name exactly
   the stores in the live ``register_store()`` registry, in registration
   order;
+* the scoring-plan tables in ``README.md`` and ``docs/ARCHITECTURE.md`` must
+  name exactly the plans in the live ``register_plan()`` registry, in
+  registration order;
 * every CLI sub-command built by :func:`repro.cli.build_parser` must appear
   in the README's command reference (and vice versa), and the shared
   execution flags named there must all exist on the parser (and vice versa);
@@ -117,6 +120,25 @@ class TestStorageTable:
         )
 
 
+class TestPlanTables:
+    def test_plan_tables_match_registry(self):
+        """README and ARCHITECTURE list exactly the registered scoring plans,
+        in registration order."""
+        from repro.core.execution import available_plans
+
+        expected = list(available_plans())
+        for path, heading in (
+            (README, "### Scoring plans: exploiting interest structure"),
+            (ARCHITECTURE, "## Scoring plans: interest-pattern block decomposition"),
+        ):
+            names = _table_names(_section(path.read_text(encoding="utf-8"), heading))
+            assert names, f"{path.name} lost its scoring-plan table"
+            assert names == expected, (
+                f"{path.name} plan table drifted from the register_plan() "
+                f"registry: documented={names}, actual={expected}"
+            )
+
+
 def _backend_flags() -> list:
     """The long option strings attached by ``_add_backend_arguments``."""
     parser = build_parser()
@@ -147,7 +169,7 @@ class TestCliReference:
         section = _section(README.read_text(encoding="utf-8"), "## CLI command reference")
         documented = set(re.findall(r"`(--[\w-]+)`", section))
         execution_flags = {
-            "--backend", "--storage", "--chunk-size", "--workers",
+            "--backend", "--plan", "--storage", "--chunk-size", "--workers",
             "--cluster", "--cluster-key", "--task-batch",
         }
         parser_flags = set(_backend_flags())

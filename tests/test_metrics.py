@@ -43,6 +43,7 @@ class TestMetricRecord:
             "k": 3,
             "backend": result.backend,
             "storage": result.storage,
+            "plan": result.plan,
             "workers": result.workers,
         }
         assert record.seed == 1

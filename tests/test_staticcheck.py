@@ -46,6 +46,7 @@ EXPECTED_RULES = (
     "no-mutable-default",
     "docstring-backend-sync",
     "docstring-storage-sync",
+    "docstring-plan-sync",
     "waiver-discipline",
 )
 
