@@ -35,12 +35,53 @@ import os
 import platform
 import subprocess
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
 #: Bumped on any breaking change to the result-file layout.
 SCHEMA_VERSION = 1
+
+
+def percentile(samples: Sequence[float], rank: float) -> float:
+    """The ``rank``-th percentile of ``samples`` with linear interpolation.
+
+    ``rank`` is in ``[0, 100]``; ``samples`` need not be sorted but must be
+    non-empty.  Uses the linear-interpolation definition (NumPy's default):
+    the value at fractional position ``(n - 1) · rank / 100`` of the sorted
+    samples — so ``percentile(x, 50)`` is the median and ``percentile(x, 99)``
+    of fewer than 100 samples interpolates between the two largest.
+    """
+    if not samples:
+        raise ValueError("percentile() needs at least one sample")
+    if not 0.0 <= rank <= 100.0:
+        raise ValueError(f"percentile rank must be in [0, 100], got {rank}")
+    ordered = sorted(float(value) for value in samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * (rank / 100.0)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """p50/p99/mean/max/count summary of latency samples (seconds).
+
+    The shape every latency-reporting benchmark persists: keys are stable so
+    ``<name>.result.json`` consumers can compare percentiles across commits.
+    """
+    if not samples:
+        raise ValueError("latency_summary() needs at least one sample")
+    ordered = [float(value) for value in samples]
+    return {
+        "count": float(len(ordered)),
+        "mean": sum(ordered) / len(ordered),
+        "p50": percentile(ordered, 50.0),
+        "p99": percentile(ordered, 99.0),
+        "max": max(ordered),
+    }
 
 
 def git_revision(repo_root: Optional[Path] = None) -> Optional[str]:

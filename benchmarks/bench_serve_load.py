@@ -1,0 +1,244 @@
+"""Load benchmark for the online scheduling service (``repro serve``).
+
+A load generator drives sustained mutation + query traffic against an
+in-process :class:`~repro.service.server.ServiceServer` over the real wire
+protocol — interest refreshes (the dominant traffic of a deployed event
+scheduler), lock/unlock churn, capacity changes and event announcements —
+re-solving every few batches and measuring each operation's round-trip
+latency with ``time.perf_counter``.
+
+Two numbers make "heavy traffic" concrete:
+
+* **p50/p99 re-solve latency** (via :func:`benchmarks._common.latency_summary`)
+  — what a client waits for a fresh schedule mid-traffic;
+* **saved-work ratio** — the session's cumulative ``scores_saved`` over
+  ``scores_recomputed``.  A ratio above 1 means the warm path reused more of
+  the cached score grid than it recomputed, i.e. incremental re-solves beat
+  cold solves on aggregate score work (the benchmark asserts it).
+
+Scales (``REPRO_BENCH_SCALE``):
+
+* ``tiny``    — 24 events × 6 intervals × 60 users, 80-mutation trace (CI);
+* ``small``   — 60 events × 10 intervals × 150 users, 250-mutation trace;
+* ``default`` — 120 events × 12 intervals × 300 users, 620-mutation trace
+  (the acceptance-criteria ≥500-mutation run).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.errors import SolverError
+from repro.core.instance import SESInstance
+from repro.service import ServiceClient, start_local_service
+from repro.service.session import (
+    AddEvent,
+    LockAssignment,
+    RemoveEvent,
+    SetIntervalCapacity,
+    UnlockAssignment,
+    UpdateInterest,
+)
+from repro.core.entities import Event
+
+from benchmarks._common import latency_summary, write_result
+from benchmarks.conftest import persist_rows, run_once
+
+#: scale -> (num_events, num_intervals, num_users, trace length, resolve period,
+#:           minimum applied mutations the trace must reach).
+SERVE_SCALES = {
+    "tiny": (24, 6, 60, 80, 5, 50),
+    "small": (60, 10, 150, 250, 5, 180),
+    "default": (120, 12, 300, 620, 5, 500),
+}
+
+#: Mutation mix of the generator (weights sum to 1): interest refreshes
+#: dominate, with lock/unlock churn and occasional structural edits.
+MUTATION_MIX = (
+    ("interest", 0.70),
+    ("lock", 0.08),
+    ("unlock", 0.07),
+    ("capacity", 0.05),
+    ("add", 0.05),
+    ("remove", 0.05),
+)
+
+
+def build_instance(num_events: int, num_intervals: int, num_users: int) -> SESInstance:
+    rng = np.random.default_rng(17)
+    return SESInstance.from_arrays(
+        interest=rng.random((num_users, num_events)),
+        activity=rng.random((num_users, num_intervals)),
+        name=f"serve-load-{num_events}x{num_intervals}",
+    )
+
+
+class TraceGenerator:
+    """Draws the mutation trace against a local mirror of the session state."""
+
+    def __init__(self, rng, num_events, num_intervals, num_users):
+        self.rng = rng
+        self.events = [f"e{index}" for index in range(num_events)]
+        self.intervals = [f"t{index}" for index in range(num_intervals)]
+        self.num_users = num_users
+        self.locks = {}
+        self.fresh = 0
+        # Re-solves run with k = |T|, which must cover every locked
+        # assignment — keep the lock churn safely below that bound.
+        self.max_locks = max(1, num_intervals - 2)
+
+    def next_mutation(self):
+        kinds, weights = zip(*MUTATION_MIX)
+        kind = self.rng.choice(kinds, p=weights)
+        if kind == "interest":
+            user_id = f"u{int(self.rng.integers(self.num_users))}"
+            chosen = self.rng.choice(self.events, size=2, replace=False)
+            values = {str(event): float(self.rng.random()) for event in chosen}
+            return UpdateInterest(user_id=user_id, values=values)
+        if kind == "lock" and len(self.locks) < self.max_locks:
+            return LockAssignment(
+                event_id=str(self.rng.choice(self.events)),
+                interval_id=str(self.rng.choice(self.intervals)),
+            )
+        if kind in ("lock", "unlock"):
+            if self.locks:
+                return UnlockAssignment(event_id=str(self.rng.choice(sorted(self.locks))))
+            return SetIntervalCapacity(
+                interval_id=str(self.rng.choice(self.intervals)), capacity=None
+            )
+        if kind == "capacity":
+            return SetIntervalCapacity(
+                interval_id=str(self.rng.choice(self.intervals)),
+                capacity=int(self.rng.integers(4, 12)),
+            )
+        if kind == "add":
+            self.fresh += 1
+            event_id = f"x{self.fresh}"
+            interest = tuple(float(value) for value in self.rng.random(self.num_users))
+            mutation = AddEvent(
+                event=Event(id=event_id, location=f"xloc{self.fresh}"),
+                interest=interest,
+            )
+            self.events.append(event_id)
+            return mutation
+        victim = str(self.rng.choice(self.events))
+        return RemoveEvent(event_id=victim)
+
+    def record(self, mutation):
+        """Keep the mirror consistent after a batch the server accepted."""
+        if isinstance(mutation, LockAssignment):
+            self.locks[mutation.event_id] = mutation.interval_id
+        elif isinstance(mutation, UnlockAssignment):
+            self.locks.pop(mutation.event_id, None)
+        elif isinstance(mutation, RemoveEvent) and mutation.event_id in self.events:
+            self.events.remove(mutation.event_id)
+
+    def forget(self, mutation):
+        """Roll the mirror back after a batch the server rejected."""
+        if isinstance(mutation, AddEvent) and mutation.event.id in self.events:
+            self.events.remove(mutation.event.id)
+
+
+def run_load(scale: str):
+    num_events, num_intervals, num_users, steps, period, min_applied = SERVE_SCALES[scale]
+    instance = build_instance(num_events, num_intervals, num_users)
+    rng = np.random.default_rng(23)
+    trace = TraceGenerator(rng, num_events, num_intervals, num_users)
+    resolve_latencies, mutate_latencies, query_latencies = [], [], []
+    rejected = 0
+    handle = start_local_service("127.0.0.1", 0)
+    started = time.perf_counter()
+    try:
+        with ServiceClient(handle.address) as client:
+            session_id = client.load_instance(instance, algorithm="INC", seed=17)
+            client.resolve(session_id, num_intervals)  # cold anchor for the warm path
+            for step in range(steps):
+                mutation = trace.next_mutation()
+                begin = time.perf_counter()
+                try:
+                    client.mutate(session_id, [mutation])
+                except SolverError:
+                    # Random locks/removals may violate constraints; a reject
+                    # is part of realistic traffic and must cost nothing.
+                    rejected += 1
+                    trace.forget(mutation)
+                else:
+                    trace.record(mutation)
+                mutate_latencies.append(time.perf_counter() - begin)
+                if (step + 1) % period == 0:
+                    begin = time.perf_counter()
+                    client.resolve(session_id, num_intervals)
+                    resolve_latencies.append(time.perf_counter() - begin)
+                    begin = time.perf_counter()
+                    client.get_schedule(session_id)
+                    query_latencies.append(time.perf_counter() - begin)
+            status = client.session_status(session_id)
+    finally:
+        handle.stop()
+    elapsed = time.perf_counter() - started
+    stats = status["stats"]
+    saved_ratio = stats["scores_saved"] / max(stats["scores_recomputed"], 1)
+    return {
+        "scale": scale,
+        "steps": steps,
+        "rejected": rejected,
+        "elapsed": elapsed,
+        "stats": stats,
+        "saved_ratio": saved_ratio,
+        "resolve": latency_summary(resolve_latencies),
+        "mutate": latency_summary(mutate_latencies),
+        "query": latency_summary(query_latencies),
+        "instance": {
+            "num_events": num_events,
+            "num_intervals": num_intervals,
+            "num_users": num_users,
+        },
+    }
+
+
+def test_serve_load(benchmark, bench_scale, results_dir):
+    scale = bench_scale if bench_scale in SERVE_SCALES else "small"
+    outcome = run_once(benchmark, run_load, scale)
+    stats = outcome["stats"]
+    min_applied = SERVE_SCALES[scale][5]
+
+    rows = [
+        {
+            "scale": scale,
+            "operation": operation,
+            "count": int(outcome[operation]["count"]),
+            "p50_ms": round(outcome[operation]["p50"] * 1000, 3),
+            "p99_ms": round(outcome[operation]["p99"] * 1000, 3),
+            "max_ms": round(outcome[operation]["max"] * 1000, 3),
+        }
+        for operation in ("resolve", "mutate", "query")
+    ]
+    text = persist_rows("serve_load", rows, results_dir)
+    print("\n" + text)
+    print(
+        f"applied {stats['mutations_applied']} mutations "
+        f"({outcome['rejected']} rejected), {stats['resolves_total']} resolves "
+        f"({stats['warm_resolves']} warm), saved-work ratio {outcome['saved_ratio']:.2f}"
+    )
+    write_result(
+        "serve_load",
+        results_dir,
+        scale=scale,
+        instance=outcome["instance"],
+        timings={
+            "trace_seconds": outcome["elapsed"],
+            "resolve_p50_sec": outcome["resolve"]["p50"],
+            "resolve_p99_sec": outcome["resolve"]["p99"],
+        },
+        counters=stats,
+        rows=rows,
+        extra={"saved_work_ratio": outcome["saved_ratio"], "rejected": outcome["rejected"]},
+    )
+
+    # The trace must be real traffic, mostly served warm, and the warm path
+    # must save more score work than it spends — the incremental dividend.
+    assert stats["mutations_applied"] >= min_applied
+    assert stats["warm_resolves"] >= stats["resolves_total"] - 1
+    assert outcome["saved_ratio"] > 1.0

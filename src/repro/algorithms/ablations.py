@@ -47,7 +47,7 @@ class IncUpdatesOnlyScheduler(BaseScheduler):
         engine = self.engine
         checker = self.checker
         counter = self.counter
-        schedule = Schedule()
+        schedule = self._start_schedule()
 
         score_grid = self._initial_score_grid()
         entries: List[AssignmentEntry] = [
@@ -112,7 +112,7 @@ class AlgOrganizedScheduler(BaseScheduler):
         engine = self.engine
         checker = self.checker
         counter = self.counter
-        schedule = Schedule()
+        schedule = self._start_schedule()
 
         lists = self._generate_all_entries(initial=True)
         # Per-interval top valid entry (M_t); kept exact because updates are eager.

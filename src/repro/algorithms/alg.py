@@ -33,7 +33,7 @@ class AlgScheduler(BaseScheduler):
         engine = self.engine
         checker = self.checker
         counter = self.counter
-        schedule = Schedule()
+        schedule = self._start_schedule()
 
         # Initial generation: the full |E|×|T| score matrix in one bulk call.
         score_grid = self._initial_score_grid()
@@ -41,6 +41,7 @@ class AlgScheduler(BaseScheduler):
             (event_index, interval_index): float(score_grid[event_index, interval_index])
             for event_index in range(instance.num_events)
             for interval_index in range(instance.num_intervals)
+            if not schedule.is_scheduled(event_index)
         }
 
         iterations = 0

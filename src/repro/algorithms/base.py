@@ -94,6 +94,11 @@ class SchedulerResult:
         ``"blocked"``, …) — recorded so harness tables can tell plan rows
         apart.  Every plan produces bit-identical schedules and counters;
         only speed differs.
+    service:
+        Per-session statistics of a run performed through the online
+        scheduling service (:mod:`repro.service`): mutations applied,
+        intervals/events invalidated, score computations saved vs a cold
+        solve.  Empty for one-shot runs.
     """
 
     algorithm: str
@@ -111,6 +116,7 @@ class SchedulerResult:
     task_batch: Optional[int] = None
     storage: str = DEFAULT_STORAGE
     plan: str = DEFAULT_PLAN
+    service: Dict[str, object] = field(default_factory=dict)
 
     @property
     def num_scheduled(self) -> int:
@@ -178,6 +184,7 @@ class SchedulerResult:
             "score_computations": self.score_computations,
             "user_computations": self.user_computations,
             "assignments_examined": self.assignments_examined,
+            "service": self.service or "-",
         }
 
 
@@ -244,6 +251,22 @@ class BaseScheduler(ABC):
         scoring engine's execution backend and its knobs (``None`` selects
         the library defaults).  Every backend produces identical schedules,
         utilities and counter totals — the config only decides how fast.
+    locked:
+        Assignments ``(event_index, interval_index)`` pinned into the
+        schedule before the algorithm runs (the online service's lock
+        mutations).  They are committed in deterministic sorted order against
+        the schedule, the constraint checker and the scoring engine, count
+        toward ``k``, and are never revisited by the algorithm — so a locked
+        run is exactly the algorithm run on the residual problem, and a warm
+        re-solve with the same locks matches a cold one bit for bit.
+    warm_grid:
+        Optional provider of a cached initial score grid: an object with a
+        ``grid(engine)`` method returning the full ``|E| × |T|`` initial
+        score matrix for the engine's current (post-lock) state, or ``None``
+        to fall back to a fresh computation.  Because the bulk kernels'
+        per-row reductions are independent of block composition, a provider
+        that patches only stale rows/columns stays bit-identical to a cold
+        :meth:`~repro.core.scoring.ScoringEngine.score_matrix` call.
     backend, chunk_size, workers:
         .. deprecated:: PR 4
            Legacy loose knobs, folded into ``execution`` with a
@@ -261,6 +284,8 @@ class BaseScheduler(ABC):
         counter: Optional[ComputationCounter] = None,
         seed: Optional[int] = None,
         execution: Optional[ExecutionConfig] = None,
+        locked: Optional[Tuple[Tuple[int, int], ...]] = None,
+        warm_grid: Optional[object] = None,
         backend: Optional[str] = None,
         chunk_size: Optional[int] = None,
         workers: Optional[int] = None,
@@ -278,8 +303,36 @@ class BaseScheduler(ABC):
             owner=type(self).__name__,
         )
         self._execution = execution.resolve(instance.num_users)
+        self._locked = self._validate_locked(locked)
+        self._warm_grid = warm_grid
         self._engine: Optional[ScoringEngine] = None
         self._checker: Optional[ConstraintChecker] = None
+
+    def _validate_locked(
+        self, locked: Optional[Tuple[Tuple[int, int], ...]]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Index-validate and deterministically order the locked assignments."""
+        if not locked:
+            return ()
+        pairs = sorted((int(event), int(interval)) for event, interval in locked)
+        seen_events: set = set()
+        for event_index, interval_index in pairs:
+            if not 0 <= event_index < self._instance.num_events:
+                raise SolverError(
+                    f"locked event index {event_index} outside "
+                    f"[0, {self._instance.num_events})"
+                )
+            if not 0 <= interval_index < self._instance.num_intervals:
+                raise SolverError(
+                    f"locked interval index {interval_index} outside "
+                    f"[0, {self._instance.num_intervals})"
+                )
+            if event_index in seen_events:
+                raise SolverError(
+                    f"event {event_index} appears in more than one locked assignment"
+                )
+            seen_events.add(event_index)
+        return tuple(pairs)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -325,6 +378,10 @@ class BaseScheduler(ABC):
         if not isinstance(k, int) or isinstance(k, bool) or k < 1:
             raise SolverError(f"k must be a positive integer, got {k!r}")
         effective_k = min(k, self._instance.num_events)
+        if len(self._locked) > effective_k:
+            raise SolverError(
+                f"k={k} cannot cover the {len(self._locked)} locked assignments"
+            )
 
         self._engine = ScoringEngine(
             self._instance,
@@ -397,6 +454,23 @@ class BaseScheduler(ABC):
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
+    def _start_schedule(self) -> Schedule:
+        """A fresh schedule pre-seeded with the run's locked assignments.
+
+        Every algorithm's ``_run`` starts here instead of ``Schedule()``:
+        the locked pairs are committed in deterministic sorted order against
+        the schedule, the constraint checker and the scoring engine, so the
+        algorithm then works on the residual problem with the locked state
+        already applied — identically in cold and warm runs, which is what
+        keeps the two bit-identical.
+        """
+        schedule = Schedule()
+        for event_index, interval_index in self._locked:
+            schedule.add(event_index, interval_index)
+            self.checker.commit(event_index, interval_index)
+            self.engine.apply(event_index, interval_index)
+        return schedule
+
     def _select_assignment(
         self, schedule: Schedule, event_index: int, interval_index: int, score: float
     ) -> None:
@@ -413,7 +487,18 @@ class BaseScheduler(ABC):
         the active backend (the process backend shards its columns across the
         pool); every (event, interval) pair is recorded as one generated
         assignment and one score computation, as in per-pair generation.
+
+        When a warm-grid provider was supplied it is consulted first (for the
+        initial generation only): a provided grid holds exactly the values a
+        fresh ``score_matrix`` call would return (see the ``warm_grid``
+        constructor parameter), so the run stays bit-identical while skipping
+        the score computations the provider already had cached.
         """
+        if initial and self._warm_grid is not None:
+            grid = self._warm_grid.grid(self.engine)
+            if grid is not None:
+                self._counter.count_generated(int(grid.size))
+                return grid
         grid = self.engine.score_matrix(initial=initial)
         self._counter.count_generated(int(grid.size))
         return grid
@@ -454,6 +539,13 @@ class BaseScheduler(ABC):
             for event_index in range(num_events)
             if schedule is None or not schedule.is_scheduled(event_index)
         ]
+        # A warm-grid provider covers the initial generation: a per-interval
+        # bulk call scores a subset of one full-grid column with the same
+        # per-row kernel reduction, so slicing the provided grid returns the
+        # same bits a fresh interval_scores call would.
+        warm = None
+        if initial and self._warm_grid is not None:
+            warm = self._warm_grid.grid(self.engine)
         for interval_index in range(num_intervals):
             events = [
                 event_index
@@ -462,10 +554,13 @@ class BaseScheduler(ABC):
             ]
             if not events:
                 continue
-            # Passing None lets the engine score its precomputed full event
-            # set without materialising a per-interval index copy.
-            selector = None if len(events) == num_events else events
-            scores = self.engine.interval_scores(interval_index, selector, initial=initial)
+            if warm is not None:
+                scores = warm[events, interval_index]
+            else:
+                # Passing None lets the engine score its precomputed full
+                # event set without materialising a per-interval index copy.
+                selector = None if len(events) == num_events else events
+                scores = self.engine.interval_scores(interval_index, selector, initial=initial)
             self._counter.count_generated(len(events))
             per_interval[interval_index] = [
                 AssignmentEntry(event_index, interval_index, float(score))

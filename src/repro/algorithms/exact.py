@@ -46,9 +46,10 @@ class ExactScheduler(BaseScheduler):
 
         engine = self.engine
         checker = self.checker
-        best_schedule = Schedule()
-        best_utility = 0.0
-        current = Schedule()
+        current = self._start_schedule()
+        best_schedule = current.copy()
+        best_utility = engine.evaluate_schedule(best_schedule)
+        locked_events = set(current.scheduled_events())
 
         def recurse(event_index: int, assigned: int) -> None:
             nonlocal best_schedule, best_utility
@@ -67,6 +68,11 @@ class ExactScheduler(BaseScheduler):
                 # Cannot even reach the best cardinality found so far.
                 return
 
+            if event_index in locked_events:
+                # Locked assignments are pinned: no unscheduling, no moving.
+                recurse(event_index + 1, assigned)
+                return
+
             # Option 1: leave the event unscheduled.
             recurse(event_index + 1, assigned)
             # Option 2: assign it to each feasible interval.
@@ -79,7 +85,7 @@ class ExactScheduler(BaseScheduler):
                 checker.release(event_index, interval_index)
                 current.remove(event_index)
 
-        recurse(0, 0)
+        recurse(0, len(current))
         self.note("optimal_utility", best_utility)
         return best_schedule
 

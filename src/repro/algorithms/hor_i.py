@@ -72,7 +72,7 @@ class HorIScheduler(BaseScheduler):
     def _run(self, k: int) -> Schedule:
         instance = self.instance
         counter = self.counter
-        schedule = Schedule()
+        schedule = self._start_schedule()
 
         num_intervals = instance.num_intervals
         lists: List[List[AssignmentEntry]] = [[] for _ in range(num_intervals)]

@@ -71,7 +71,7 @@ class IncScheduler(BaseScheduler):
     def _run(self, k: int) -> Schedule:
         instance = self.instance
         counter = self.counter
-        schedule = Schedule()
+        schedule = self._start_schedule()
 
         num_intervals = instance.num_intervals
 

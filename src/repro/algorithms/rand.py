@@ -25,7 +25,7 @@ class RandScheduler(BaseScheduler):
         checker = self.checker
         counter = self.counter
         rng = random.Random(self._seed)
-        schedule = Schedule()
+        schedule = self._start_schedule()
 
         event_order = list(range(instance.num_events))
         rng.shuffle(event_order)
@@ -34,6 +34,8 @@ class RandScheduler(BaseScheduler):
         for event_index in event_order:
             if len(schedule) >= k:
                 break
+            if schedule.is_scheduled(event_index):
+                continue
             candidate_intervals = interval_indices[:]
             rng.shuffle(candidate_intervals)
             for interval_index in candidate_intervals:

@@ -7,7 +7,7 @@ the names the paper uses (``"ALG"``, ``"INC"``, ``"HOR"``, ``"HOR-I"``,
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.algorithms.ablations import AlgOrganizedScheduler, IncUpdatesOnlyScheduler
 from repro.algorithms.alg import AlgScheduler
@@ -85,6 +85,7 @@ def run_scheduler(
     seed: Optional[int] = None,
     counter: Optional[ComputationCounter] = None,
     execution: Optional[ExecutionConfig] = None,
+    locked: Optional[Sequence[Tuple[int, int]]] = None,
     backend: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
@@ -93,8 +94,11 @@ def run_scheduler(
 
     ``execution`` selects the scoring engine's execution backend and knobs
     (:class:`~repro.core.execution.ExecutionConfig`; ``None`` uses the library
-    defaults).  The legacy ``backend=`` / ``chunk_size=`` / ``workers=``
-    keyword arguments still work but are deprecated.
+    defaults).  ``locked`` pins assignments ``(event_index, interval_index)``
+    into the schedule before the algorithm runs (see
+    :class:`~repro.algorithms.base.BaseScheduler`).  The legacy ``backend=`` /
+    ``chunk_size=`` / ``workers=`` keyword arguments still work but are
+    deprecated.
     """
     execution = merge_legacy_execution(
         execution,
@@ -109,5 +113,6 @@ def run_scheduler(
         counter=counter,
         seed=seed,
         execution=execution,
+        locked=tuple(tuple(pair) for pair in locked) if locked else None,
     )
     return scheduler.schedule(k)

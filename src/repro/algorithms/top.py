@@ -23,7 +23,7 @@ class TopScheduler(BaseScheduler):
         instance = self.instance
         checker = self.checker
         counter = self.counter
-        schedule = Schedule()
+        schedule = self._start_schedule()
 
         score_grid = self._initial_score_grid()
         entries = [

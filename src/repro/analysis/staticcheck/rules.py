@@ -50,6 +50,7 @@ IMPORT_LAYERS: Dict[str, int] = {
     "hardness": 1,
     "datasets": 2,
     "analysis": 2,
+    "service": 2,
     "experiments": 3,
     "cli": 4,
     "__main__": 4,
@@ -376,10 +377,11 @@ class LockDisciplineRule(Rule):
 
     id = "lock-discipline"
     summary = (
-        "in core/distributed/, attributes mutated under `with self.lock` / "
-        "`self._lock` are mutated nowhere else without the lock"
+        "in core/distributed/ and service/, attributes mutated under "
+        "`with self.lock` / `self._lock` are mutated nowhere else without "
+        "the lock"
     )
-    path_prefixes = ("src/repro/core/distributed/",)
+    path_prefixes = ("src/repro/core/distributed/", "src/repro/service/")
 
     LOCK_ATTRS = ("lock", "_lock")
 
@@ -542,7 +544,10 @@ class CounterDisciplineRule(Rule):
         "use the count_*/bump helpers"
     )
     path_prefixes = ("src/repro/",)
-    path_excludes = ("src/repro/core/counters.py",)
+    path_excludes = (
+        "src/repro/core/counters.py",
+        "src/repro/service/stats.py",
+    )
 
     COUNTER_FIELDS = frozenset(
         {
@@ -553,18 +558,36 @@ class CounterDisciplineRule(Rule):
             "assignments_examined",
             "assignments_generated",
             "selections",
+            # Saved-work ledger of the online scheduling service
+            # (repro.service.stats.SessionStats).
+            "mutations_applied",
+            "mutation_batches",
+            "stale_rows_marked",
+            "stale_columns_marked",
+            "resolves_total",
+            "warm_resolves",
+            "scores_recomputed",
+            "scores_saved",
         }
     )
 
     #: Canonical helper for each field, named in the finding message.
     HELPERS = {
-        "score_computations": "count_score/count_scores",
-        "user_computations": "count_score/count_scores",
-        "initial_computations": "count_score(initial=True)",
-        "update_computations": "count_score(initial=False)",
-        "assignments_examined": "count_examined",
-        "assignments_generated": "count_generated",
-        "selections": "count_selection",
+        "score_computations": "ComputationCounter.count_score/count_scores",
+        "user_computations": "ComputationCounter.count_score/count_scores",
+        "initial_computations": "ComputationCounter.count_score(initial=True)",
+        "update_computations": "ComputationCounter.count_score(initial=False)",
+        "assignments_examined": "ComputationCounter.count_examined",
+        "assignments_generated": "ComputationCounter.count_generated",
+        "selections": "ComputationCounter.count_selection",
+        "mutations_applied": "SessionStats.record_batch",
+        "mutation_batches": "SessionStats.record_batch",
+        "stale_rows_marked": "SessionStats.record_batch",
+        "stale_columns_marked": "SessionStats.record_batch",
+        "resolves_total": "SessionStats.record_resolve",
+        "warm_resolves": "SessionStats.record_resolve",
+        "scores_recomputed": "SessionStats.record_resolve",
+        "scores_saved": "SessionStats.record_resolve",
     }
 
     def check(self, context: FileContext) -> Iterator[Finding]:
@@ -585,8 +608,7 @@ class CounterDisciplineRule(Rule):
                             context,
                             node,
                             f"raw mutation of the {target.attr!r} counter field; "
-                            f"use ComputationCounter.{helper} so totals stay "
-                            "backend-exact",
+                            f"use {helper} so totals stay backend-exact",
                         )
                     elif (
                         isinstance(target, ast.Subscript)

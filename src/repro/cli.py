@@ -18,6 +18,10 @@ Sub-commands
     Cluster worker management: ``worker serve`` runs one scoring worker of
     the distributed ``cluster`` backend on this machine (point clients at it
     with ``--cluster host:port``).
+``serve``
+    Run the online scheduling service: long-lived mutable sessions with
+    incremental re-solves over the same wire protocol the cluster uses
+    (connect with :class:`repro.service.ServiceClient`).
 ``cluster``
     Cluster fleet management: ``cluster health`` probes each configured
     worker address (reachable / authenticated / protocol version / served
@@ -322,6 +326,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 4)",
     )
 
+    service = subparsers.add_parser(
+        "serve",
+        help="run the online scheduling service until shut down: sessions "
+        "accept mutation batches and re-solve incrementally (prints the "
+        "bound 'host:port' first — connect with repro.service.ServiceClient)",
+    )
+    service.add_argument(
+        "--host", default="127.0.0.1",
+        help="address to bind (default: loopback; bind a LAN address to "
+        "serve remote clients)",
+    )
+    service.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default: 0 = an ephemeral port, printed on start)",
+    )
+    service.add_argument(
+        "--cluster-key", default=None,
+        help="shared authentication secret clients must present "
+        "(default: the library key)",
+    )
+
     cluster = subparsers.add_parser(
         "cluster", help="cluster fleet management (see the 'cluster' backend)"
     )
@@ -499,6 +524,22 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported lazily (like the worker machinery): the service package is
+    # only needed by this long-running command.
+    from repro.service import serve
+
+    serve(
+        args.host,
+        args.port,
+        cluster_key=args.cluster_key,
+        announce=lambda address: print(
+            f"ses-repro scheduling service listening on {address}", flush=True
+        ),
+    )
+    return 0
+
+
 def _command_cluster(args: argparse.Namespace) -> int:
     # `cluster_command` is required and 'health' is its only action so far;
     # the sub-subparser keeps room for future actions (drain, evict, …).
@@ -565,6 +606,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "backends": _command_backends,
     "worker": _command_worker,
+    "serve": _command_serve,
     "cluster": _command_cluster,
     "lint": _command_lint,
     "list": _command_list,

@@ -4,7 +4,10 @@ A schedule ``S`` is feasible when, for every interval ``t``:
 
 1. no two events scheduled at ``t`` share a location (*location constraint*);
 2. the required resources of the events scheduled at ``t`` do not exceed the
-   organiser's available resources θ (*resources constraint*).
+   organiser's available resources θ (*resources constraint*);
+3. when the interval declares a ``capacity``, at most that many events are
+   scheduled at ``t`` (*capacity constraint* — a beyond-the-paper extension
+   used by the online service; ``capacity=None`` keeps the paper's setting).
 
 An assignment ``α_e^t`` is *feasible* w.r.t. a schedule when adding it keeps
 both constraints satisfied for ``t``, and *valid* when it is feasible and the
@@ -36,8 +39,10 @@ class ConstraintChecker:
         self._resources = [event.required_resources for event in instance.events]
         self._theta = instance.available_resources
         num_intervals = instance.num_intervals
+        self._capacities = [interval.capacity for interval in instance.intervals]
         self._used_locations: list[set[str]] = [set() for _ in range(num_intervals)]
         self._used_resources: list[float] = [0.0] * num_intervals
+        self._used_counts: list[int] = [0] * num_intervals
 
     # ------------------------------------------------------------------ #
     # Incremental state
@@ -47,6 +52,7 @@ class ConstraintChecker:
         for used in self._used_locations:
             used.clear()
         self._used_resources = [0.0] * self._instance.num_intervals
+        self._used_counts = [0] * self._instance.num_intervals
 
     def commit(self, event_index: int, interval_index: int) -> None:
         """Record that ``event_index`` has been scheduled at ``interval_index``.
@@ -60,10 +66,11 @@ class ConstraintChecker:
         if not self.is_feasible(event_index, interval_index):
             raise InfeasibleAssignmentError(
                 f"assignment of event {event_index} to interval {interval_index} violates "
-                "the location or resources constraint"
+                "the location, resources or capacity constraint"
             )
         self._used_locations[interval_index].add(self._locations[event_index])
         self._used_resources[interval_index] += self._resources[event_index]
+        self._used_counts[interval_index] += 1
 
     def release(self, event_index: int, interval_index: int) -> None:
         """Undo a previous :meth:`commit` (used by the exact solver's backtracking)."""
@@ -71,6 +78,8 @@ class ConstraintChecker:
         self._used_resources[interval_index] -= self._resources[event_index]
         if self._used_resources[interval_index] < 0:
             self._used_resources[interval_index] = 0.0
+        if self._used_counts[interval_index] > 0:
+            self._used_counts[interval_index] -= 1
 
     # ------------------------------------------------------------------ #
     # Checks against the incremental state
@@ -78,6 +87,9 @@ class ConstraintChecker:
     def is_feasible(self, event_index: int, interval_index: int) -> bool:
         """``True`` when adding the assignment keeps the interval feasible."""
         if self._locations[event_index] in self._used_locations[interval_index]:
+            return False
+        capacity = self._capacities[interval_index]
+        if capacity is not None and self._used_counts[interval_index] >= capacity:
             return False
         needed = self._used_resources[interval_index] + self._resources[event_index]
         return needed <= self._theta + 1e-12
@@ -103,6 +115,9 @@ def is_assignment_feasible(
     """Check feasibility of adding ``α_e^t`` to ``schedule`` (stateless)."""
     locations = instance.event_locations()
     event_location = locations[event_index]
+    capacity = instance.intervals[interval_index].capacity
+    if capacity is not None and schedule.num_events_at(interval_index) >= capacity:
+        return False
     total_resources = instance.events[event_index].required_resources
     for other in schedule.events_at(interval_index):
         if locations[other] == event_location:
@@ -150,6 +165,12 @@ def violations(instance: SESInstance, schedule: Schedule) -> Iterable[str]:
             yield (
                 f"interval {interval_index}: required resources {total_resources:.3f} exceed "
                 f"available θ={theta:.3f}"
+            )
+        capacity = instance.intervals[interval_index].capacity
+        if capacity is not None and len(events_here) > capacity:
+            yield (
+                f"interval {interval_index}: {len(events_here)} events exceed "
+                f"capacity {capacity}"
             )
 
 

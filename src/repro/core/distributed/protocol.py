@@ -93,6 +93,17 @@ OP_SCORE_COLUMN = "score-column"
 OP_SCORE_COLUMNS = "score-columns"
 OP_SHUTDOWN = "shutdown"
 
+# -- scheduling-service operations (``repro serve``) ------------------------ #
+# The online scheduling service (:mod:`repro.service`) reuses this wire layer
+# (framing, pickling, HMAC handshake, status pairs) with its own operations.
+# A session is created by OP_LOAD_INSTANCE (payload: ``SESInstance.to_dict()``)
+# and addressed by the returned session id in every later request.
+OP_LOAD_INSTANCE = "load-instance"
+OP_MUTATE = "mutate"
+OP_RESOLVE = "resolve"
+OP_GET_SCHEDULE = "get-schedule"
+OP_SESSION_STATUS = "session-status"
+
 # -- batched, pipelined dispatch (protocol v2) ------------------------------- #
 #: Batches a lane aims to produce per dispatch lane when the batch size is
 #: auto-derived: enough slack that a fast worker can steal share from a slow
@@ -300,6 +311,11 @@ __all__ = [
     "OP_SCORE_COLUMN",
     "OP_SCORE_COLUMNS",
     "OP_SHUTDOWN",
+    "OP_LOAD_INSTANCE",
+    "OP_MUTATE",
+    "OP_RESOLVE",
+    "OP_GET_SCHEDULE",
+    "OP_SESSION_STATUS",
     "STATUS_OK",
     "STATUS_ERROR",
     "ERROR_UNKNOWN_INSTANCE",

@@ -73,18 +73,30 @@ class TimeInterval:
 
     ``start`` and ``end`` are optional wall-clock anchors (hours from an
     arbitrary origin) used by dataset builders for human-readable scenarios;
-    the solvers only use the interval's index.
+    the solvers only use the interval's index.  ``capacity`` optionally caps
+    how many candidate events may be scheduled in the interval (a venue with a
+    fixed number of stages); ``None`` reproduces the paper's unbounded setting.
     """
 
     id: str
     label: str = ""
     start: Optional[float] = None
     end: Optional[float] = None
+    capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.start is not None and self.end is not None and self.end < self.start:
             raise ValueError(
                 f"interval {self.id!r}: end ({self.end}) precedes start ({self.start})"
+            )
+        if self.capacity is not None and (
+            not isinstance(self.capacity, int)
+            or isinstance(self.capacity, bool)
+            or self.capacity < 1
+        ):
+            raise ValueError(
+                f"interval {self.id!r}: capacity must be a positive integer or None, "
+                f"got {self.capacity!r}"
             )
 
     @property

@@ -335,6 +335,7 @@ class SESInstance:
                     "label": interval.label,
                     "start": interval.start,
                     "end": interval.end,
+                    "capacity": interval.capacity,
                 }
                 for interval in self.intervals
             ],
@@ -385,6 +386,11 @@ class SESInstance:
                 label=str(item.get("label", "")),
                 start=item.get("start"),
                 end=item.get("end"),
+                capacity=(
+                    None
+                    if item.get("capacity") is None
+                    else int(item["capacity"])
+                ),
             )
             for item in payload["intervals"]  # type: ignore[index]
         ]

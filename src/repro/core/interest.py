@@ -155,6 +155,70 @@ class InterestMatrix:
         )
 
     # ------------------------------------------------------------------ #
+    # Functional updates (used by the online service's mutations)
+    # ------------------------------------------------------------------ #
+    def with_entries(
+        self, entries: Iterable[Tuple[int, int, float]]
+    ) -> "InterestMatrix":
+        """A new matrix with ``(user_index, item_index, value)`` cells overwritten.
+
+        The bulk counterpart of :meth:`from_entries` for *updates*: later
+        triples win for the same cell and a value of ``0.0`` clears a stored
+        entry.  The update is applied at the store level, so sparse and mmap
+        matrices never round-trip through a dense array (which would raise a
+        :class:`~repro.core.errors.StorageCapacityError` at scale) — a mutated
+        mmap matrix comes back as an in-memory sparse one.
+        """
+        triples = list(entries)
+        if not triples:
+            return self
+        count = len(triples)
+        users = np.fromiter((t[0] for t in triples), dtype=np.int64, count=count)
+        items = np.fromiter((t[1] for t in triples), dtype=np.int64, count=count)
+        values = np.fromiter((t[2] for t in triples), dtype=np.float64, count=count)
+        num_users, num_items = self.shape
+        bad_users = (users < 0) | (users >= num_users)
+        bad_items = (items < 0) | (items >= num_items)
+        if bad_users.any() or bad_items.any():
+            first = int(np.argmax(bad_users | bad_items))
+            if bad_users[first]:
+                raise InstanceValidationError(
+                    f"user index {users[first]} outside [0, {num_users})"
+                )
+            raise InstanceValidationError(
+                f"item index {items[first]} outside [0, {num_items})"
+            )
+        if values.size and (np.min(values) < 0.0 or np.max(values) > 1.0):
+            raise InstanceValidationError(
+                "interest values must lie in [0, 1]; found values in "
+                f"[{np.min(values):.4f}, {np.max(values):.4f}]"
+            )
+        return type(self).from_store(self._store.with_updates(users, items, values))
+
+    def with_appended_item(self, column: np.ndarray) -> "InterestMatrix":
+        """A new matrix with one item column appended (add-event mutation)."""
+        column = np.asarray(column, dtype=np.float64).reshape(-1)
+        if column.shape[0] != self.num_users:
+            raise InstanceValidationError(
+                f"appended column has {column.shape[0]} entries, expected "
+                f"{self.num_users} (one per user)"
+            )
+        if column.size and (np.min(column) < 0.0 or np.max(column) > 1.0):
+            raise InstanceValidationError(
+                "interest values must lie in [0, 1]; found values in "
+                f"[{np.min(column):.4f}, {np.max(column):.4f}]"
+            )
+        return type(self).from_store(self._store.with_appended_item(column))
+
+    def without_item(self, item_index: int) -> "InterestMatrix":
+        """A new matrix with one item column removed (remove-event mutation)."""
+        if not 0 <= item_index < self.num_items:
+            raise InstanceValidationError(
+                f"item index {item_index} outside [0, {self.num_items})"
+            )
+        return type(self).from_store(self._store.without_item(item_index))
+
+    # ------------------------------------------------------------------ #
     # Storage
     # ------------------------------------------------------------------ #
     @property

@@ -690,6 +690,14 @@ class ScoringEngine:
         self._bound_cache[interval_index] = bound
         return bound
 
+    def applied_assignments(self) -> Dict[int, int]:
+        """``{event_index: interval_index}`` of every applied assignment (a copy).
+
+        Lets warm-state callers (the online service's cached score grids)
+        verify the engine state they captured a grid against still matches.
+        """
+        return dict(self._events_applied)
+
     def interval_utility(self, interval_index: int) -> float:
         """Current utility of one interval."""
         return float(self._interval_utility[interval_index])

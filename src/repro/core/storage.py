@@ -92,6 +92,24 @@ def ensure_dense_capacity(shape: Tuple[int, int]) -> None:
         )
 
 
+def _last_write_wins(
+    user_indices: np.ndarray,
+    item_indices: np.ndarray,
+    values: np.ndarray,
+    *,
+    num_users: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve duplicate ``(user, item)`` cells keeping the final occurrence.
+
+    Shared by every store's ``with_updates`` so duplicate resolution is
+    identical (and therefore bit-identical) across representations.
+    """
+    flat = item_indices * np.int64(num_users) + user_indices
+    _, keep_reversed = np.unique(flat[::-1], return_index=True)
+    keep = flat.shape[0] - 1 - keep_reversed
+    return user_indices[keep], item_indices[keep], values[keep]
+
+
 # --------------------------------------------------------------------------- #
 # Store hierarchy
 # --------------------------------------------------------------------------- #
@@ -148,6 +166,31 @@ class InterestStore:
     @classmethod
     def from_dense(cls, values: np.ndarray, *, path: Optional[str] = None) -> "InterestStore":
         """Build this store from a validated dense ``float64`` matrix."""
+        raise NotImplementedError
+
+    # -- functional updates (used by the online service's mutations) ----- #
+    def with_updates(
+        self,
+        user_indices: np.ndarray,
+        item_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> "InterestStore":
+        """A new store with the ``(user, item)`` cells overwritten by ``values``.
+
+        Later triples win over earlier ones for the same cell.  The update
+        never round-trips through a dense matrix: the dense store copies its
+        array (capacity-guarded as always), the sparse store rebuilds its CSR
+        from coordinate arrays, and the mmap store returns an *in-memory*
+        sparse store (a mutated matrix no longer matches its backing file).
+        """
+        raise NotImplementedError
+
+    def with_appended_item(self, column: np.ndarray) -> "InterestStore":
+        """A new store with one item column appended (for add-event mutations)."""
+        raise NotImplementedError
+
+    def without_item(self, item_index: int) -> "InterestStore":
+        """A new store with one item column removed (for remove-event mutations)."""
         raise NotImplementedError
 
     # -- dense views ---------------------------------------------------- #
@@ -245,6 +288,29 @@ class DenseStore(InterestStore):
 
     def value(self, user_index: int, item_index: int) -> float:
         return float(self._values[user_index, item_index])
+
+    def with_updates(
+        self,
+        user_indices: np.ndarray,
+        item_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> "DenseStore":
+        user_indices = np.asarray(user_indices, dtype=np.int64)
+        item_indices = np.asarray(item_indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        user_indices, item_indices, values = _last_write_wins(
+            user_indices, item_indices, values, num_users=self.num_users
+        )
+        out = np.array(self._values, copy=True)
+        out[user_indices, item_indices] = values
+        return DenseStore(out)
+
+    def with_appended_item(self, column: np.ndarray) -> "DenseStore":
+        column = np.asarray(column, dtype=np.float64).reshape(self.num_users, 1)
+        return DenseStore(np.concatenate([self._values, column], axis=1))
+
+    def without_item(self, item_index: int) -> "DenseStore":
+        return DenseStore(np.delete(self._values, item_index, axis=1))
 
     def to_dense(self) -> np.ndarray:
         return self._values
@@ -442,6 +508,72 @@ class SparseStore(InterestStore):
         if position < segment.shape[0] and int(segment[position]) == user_index:
             return float(self._data[lo + position])
         return 0.0
+
+    def _coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The stored entries as in-memory ``(users, items, data)`` triples."""
+        indptr = np.asarray(self._indptr, dtype=np.int64)
+        users = np.array(self._indices, dtype=np.int64)
+        data = np.array(self._data, dtype=np.float64)
+        items = np.repeat(
+            np.arange(self._shape[1], dtype=np.int64), np.diff(indptr)
+        )
+        return users, items, data
+
+    def with_updates(
+        self,
+        user_indices: np.ndarray,
+        item_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> "SparseStore":
+        base_users, base_items, base_data = self._coo_arrays()
+        # Updates go AFTER the existing entries so last-write-wins lets them
+        # overwrite; an explicit zero update then deletes the stored entry.
+        users = np.concatenate([base_users, np.asarray(user_indices, dtype=np.int64)])
+        items = np.concatenate([base_items, np.asarray(item_indices, dtype=np.int64)])
+        data = np.concatenate([base_data, np.asarray(values, dtype=np.float64)])
+        users, items, data = _last_write_wins(
+            users, items, data, num_users=self._shape[0]
+        )
+        nonzero = data != 0.0
+        return SparseStore.from_coo(
+            self._shape[0],
+            self._shape[1],
+            users[nonzero],
+            items[nonzero],
+            data[nonzero],
+        )
+
+    def with_appended_item(self, column: np.ndarray) -> "SparseStore":
+        column = np.asarray(column, dtype=np.float64).reshape(-1)
+        stored = np.nonzero(column)[0].astype(np.int64)
+        indptr = np.asarray(self._indptr, dtype=np.int64)
+        new_indptr = np.concatenate([indptr, [indptr[-1] + stored.shape[0]]])
+        new_indices = np.concatenate([np.array(self._indices, dtype=np.int64), stored])
+        new_data = np.concatenate(
+            [np.array(self._data, dtype=np.float64), column[stored]]
+        )
+        return SparseStore(
+            (self._shape[0], self._shape[1] + 1),
+            new_indptr.astype(np.int64),
+            new_indices,
+            new_data,
+        )
+
+    def without_item(self, item_index: int) -> "SparseStore":
+        indptr = np.asarray(self._indptr, dtype=np.int64)
+        indices = np.array(self._indices, dtype=np.int64)
+        data = np.array(self._data, dtype=np.float64)
+        lo, hi = int(indptr[item_index]), int(indptr[item_index + 1])
+        new_indptr = np.concatenate(
+            [indptr[: item_index + 1], indptr[item_index + 2 :] - (hi - lo)]
+        ).astype(np.int64)
+        return SparseStore(
+            (self._shape[0], self._shape[1] - 1),
+            new_indptr,
+            np.concatenate([indices[:lo], indices[hi:]]),
+            np.concatenate([data[:lo], data[hi:]]),
+            validate=False,
+        )
 
     def to_dense(self) -> np.ndarray:
         ensure_dense_capacity(self._shape)

@@ -1,0 +1,83 @@
+"""Unit tests for the latency-percentile helpers of ``benchmarks/_common.py``.
+
+The load benchmark (``benchmarks/bench_serve_load.py``) reports p50/p99
+re-solve latency through :func:`benchmarks._common.percentile` /
+:func:`benchmarks._common.latency_summary`; these tests pin the
+linear-interpolation definition against hand-computed values (and NumPy's
+reference implementation) so a regression cannot silently shift the
+persisted percentiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._common import latency_summary, percentile
+
+
+class TestPercentile:
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([7.5], 0) == 7.5
+        assert percentile([7.5], 50) == 7.5
+        assert percentile([7.5], 100) == 7.5
+
+    def test_median_of_odd_count(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_of_even_count_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_linear_interpolation(self):
+        # Position (2 - 1) · 0.25 = 0.25 between 0 and 10.
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_p0_and_p100_are_min_and_max(self):
+        samples = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 9.0
+
+    def test_input_order_is_irrelevant(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == percentile([1.0, 5.0, 9.0], 50)
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(12)
+        samples = list(rng.random(101))
+        for rank in (0, 10, 50, 90, 99, 100):
+            assert percentile(samples, rank) == pytest.approx(
+                float(np.percentile(samples, rank)), abs=1e-12
+            )
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            percentile([], 50)
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], -0.1)
+
+
+class TestLatencySummary:
+    def test_summary_keys_and_values(self):
+        samples = [0.4, 0.1, 0.2, 0.3]
+        summary = latency_summary(samples)
+        assert set(summary) == {"count", "mean", "p50", "p99", "max"}
+        assert summary["count"] == 4.0
+        assert summary["mean"] == pytest.approx(0.25)
+        assert summary["p50"] == percentile(samples, 50)
+        assert summary["p99"] == percentile(samples, 99)
+        assert summary["max"] == 0.4
+
+    def test_p99_tracks_the_tail(self):
+        # 99 fast samples and one slow outlier: p50 stays low, p99 climbs.
+        samples = [0.01] * 99 + [1.0]
+        summary = latency_summary(samples)
+        assert summary["p50"] == 0.01
+        assert summary["p99"] > 0.01
+        assert summary["p99"] <= 1.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            latency_summary([])

@@ -1,0 +1,331 @@
+"""Mutation-equivalence property suite for the online scheduling service.
+
+The service's design contract (`src/repro/service/session.py`) is
+**bit-identity**: after any sequence of mutations, a warm
+:meth:`~repro.service.session.SchedulingSession.resolve` must return exactly
+the schedule, utilities and initial score grid of a cold
+:func:`~repro.algorithms.registry.run_scheduler` call on the mutated
+instance with the same locked assignments.  This suite proves it the
+property-testing way:
+
+* randomized, seeded mutation sequences — add/remove events, interest
+  updates (values drawn from a ``repro.ebsn``-derived affinity pool, the
+  same model real deployments would refresh µ from), locks/unlocks and
+  interval-capacity changes — are replayed through one live session;
+* after every few mutations the session re-solves with a rotating
+  algorithm, and the result is cross-checked cell-by-cell against a cold
+  solve plus a fresh :class:`~repro.core.scoring.ScoringEngine` grid.
+
+The suite honours the suite-wide equivalence knobs: ``REPRO_TEST_BACKEND``
+selects the scoring backend the session (and the cold reference) run under,
+while ``REPRO_TEST_STORAGE`` / ``REPRO_TEST_PLAN`` are applied by
+``tests/conftest.py`` to every helper-built instance / engine — so CI can
+run the same sequences once per backend × storage × plan.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import run_scheduler
+from repro.core.entities import Event
+from repro.core.execution import ExecutionConfig
+from repro.core.scoring import ScoringEngine
+from repro.ebsn.generator import EBSNConfig, generate_network, sample_event_topics
+from repro.ebsn.interest_model import derive_interest_matrix
+from repro.service import (
+    AddEvent,
+    LockAssignment,
+    MutationError,
+    RemoveEvent,
+    SchedulingSession,
+    SetIntervalCapacity,
+    UnlockAssignment,
+    UpdateInterest,
+)
+from tests.conftest import make_random_instance
+
+#: Scoring backend of both the session and the cold reference (CI pins it
+#: via ``REPRO_TEST_BACKEND``; unset runs the library default).  The pooled
+#: backends honour ``REPRO_TEST_WORKERS`` like the other equivalence suites.
+BACKEND = os.environ.get("REPRO_TEST_BACKEND", "")
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "0")) or None
+
+EXECUTION: Optional[ExecutionConfig] = (
+    ExecutionConfig(backend=BACKEND or None, workers=WORKERS)
+    if BACKEND or WORKERS
+    else None
+)
+
+#: Algorithms the replay rotates through (every grid-consuming scheduler).
+ALGORITHMS = ("INC", "ALG", "HOR", "HOR-I", "TOP")
+
+
+@functools.lru_cache(maxsize=4)
+def interest_pool(num_users: int) -> np.ndarray:
+    """A ``num_users × 32`` pool of EBSN-derived affinities in ``[0, 1]``.
+
+    Columns seed :class:`AddEvent` interest vectors; individual cells seed
+    :class:`UpdateInterest` values — so the mutation traffic carries the
+    paper's interest model, not uniform noise.
+    """
+    network = generate_network(
+        EBSNConfig(
+            num_members=num_users,
+            num_groups=8,
+            num_past_events=30,
+            num_weekly_slots=14,
+            seed=9,
+        )
+    )
+    rng = np.random.default_rng(9)
+    topics = sample_event_topics(rng, 32)
+    return derive_interest_matrix(network, topics, rng=rng)
+
+
+def cold_solve(session: SchedulingSession, k: int, algorithm: str, seed: int):
+    """A cold one-shot solve of the session's current instance and locks."""
+    instance = session.instance()
+    locked = sorted(
+        (instance.event_index(event_id), instance.interval_index(interval_id))
+        for event_id, interval_id in session.locks().items()
+    )
+    return run_scheduler(
+        algorithm, instance, k, seed=seed, execution=EXECUTION, locked=locked
+    )
+
+
+def cold_initial_grid(session: SchedulingSession) -> np.ndarray:
+    """The initial |E| × |T| grid a fresh engine computes after the locks."""
+    instance = session.instance()
+    engine = ScoringEngine(instance, execution=EXECUTION)
+    try:
+        for event_id, interval_id in sorted(session.locks().items()):
+            engine.apply(
+                instance.event_index(event_id), instance.interval_index(interval_id)
+            )
+        return engine.score_matrix(initial=True, count=False)
+    finally:
+        engine.close()
+
+
+def assert_resolve_matches_cold(session, k, algorithm, seed):
+    """One warm resolve must be bit-identical to one cold solve."""
+    warm = session.resolve(k, algorithm=algorithm)
+    cold = cold_solve(session, k, algorithm, seed)
+    assert warm.schedule.as_dict() == cold.schedule.as_dict()
+    assert warm.utility == cold.utility
+    assert warm.net_utility == cold.net_utility
+    grid = session.baseline_grid()
+    if grid is not None:
+        assert np.array_equal(grid, cold_initial_grid(session))
+    return warm
+
+
+def random_mutation(rng, session, pool, fresh_ids):
+    """Draw one plausible mutation against the session's current state."""
+    instance = session.instance()
+    event_ids = [event.id for event in instance.events]
+    interval_ids = [interval.id for interval in instance.intervals]
+    user_ids = [user.id for user in instance.users]
+    locks = session.locks()
+    kind = rng.choice(
+        ["add", "remove", "interest", "lock", "unlock", "capacity"],
+        p=[0.15, 0.10, 0.35, 0.20, 0.10, 0.10],
+    )
+    if kind == "add":
+        new_id = f"x{next(fresh_ids)}"
+        location = instance.events[int(rng.integers(len(event_ids)))].location
+        column = pool[:, int(rng.integers(pool.shape[1]))]
+        return AddEvent(
+            event=Event(
+                id=new_id,
+                location=location,
+                required_resources=float(rng.uniform(0.5, 2.0)),
+            ),
+            interest=tuple(float(value) for value in column),
+        )
+    if kind == "remove":
+        return RemoveEvent(event_id=str(rng.choice(event_ids)))
+    if kind == "interest":
+        user_id = str(rng.choice(user_ids))
+        chosen = rng.choice(event_ids, size=min(3, len(event_ids)), replace=False)
+        user_index = instance.user_index(user_id)
+        values = {
+            str(event_id): float(pool[user_index, int(rng.integers(pool.shape[1]))])
+            for event_id in chosen
+        }
+        return UpdateInterest(user_id=user_id, values=values)
+    if kind == "lock":
+        return LockAssignment(
+            event_id=str(rng.choice(event_ids)),
+            interval_id=str(rng.choice(interval_ids)),
+        )
+    if kind == "unlock":
+        if locks:
+            return UnlockAssignment(event_id=str(rng.choice(sorted(locks))))
+        return UnlockAssignment(event_id=str(rng.choice(event_ids)))
+    capacity = rng.choice([None, 1, 2, 3])
+    return SetIntervalCapacity(
+        interval_id=str(rng.choice(interval_ids)),
+        capacity=None if capacity is None else int(capacity),
+    )
+
+
+class TestRandomizedReplay:
+    """Seeded mutation sequences: warm resolves ≡ cold solves throughout."""
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_replay_matches_cold(self, seed):
+        instance = make_random_instance(
+            seed=seed, num_users=40, num_events=10, num_intervals=4, num_competing=6
+        )
+        session = SchedulingSession(
+            instance, algorithm="INC", seed=seed, execution=EXECUTION
+        )
+        pool = interest_pool(40)
+        rng = np.random.default_rng(seed)
+        fresh_ids = iter(range(1000))
+        applied = rejected = resolves = 0
+        # A cold first resolve anchors the baseline grid the warm path patches.
+        assert_resolve_matches_cold(session, 6, "INC", seed)
+        for step in range(14):
+            mutation = random_mutation(rng, session, pool, fresh_ids)
+            try:
+                session.apply([mutation])
+                applied += 1
+            except MutationError:
+                # Randomly drawn locks/removals may legitimately violate the
+                # constraints; a reject must leave the session consistent,
+                # which the next resolve's cold cross-check proves.
+                rejected += 1
+            if step % 2 == 1:
+                algorithm = ALGORITHMS[resolves % len(ALGORITHMS)]
+                resolves += 1
+                assert_resolve_matches_cold(session, 6, algorithm, seed)
+        assert applied >= 5  # the trace must carry real mutation traffic
+        snapshot = session.stats.snapshot()
+        assert snapshot["mutation_batches"] == applied
+        assert snapshot["resolves_total"] == resolves + 1
+
+    def test_batched_mutations_match_cold(self):
+        """Multi-mutation atomic batches reach the same state as cold."""
+        instance = make_random_instance(seed=5, num_users=30, num_events=8, num_intervals=4)
+        session = SchedulingSession(instance, seed=5, execution=EXECUTION)
+        pool = interest_pool(30)
+        session.resolve(5)
+        events = [event.id for event in instance.events]
+        users = [user.id for user in instance.users]
+        session.apply(
+            [
+                UpdateInterest(user_id=users[0], values={events[0]: float(pool[0, 0])}),
+                UpdateInterest(user_id=users[1], values={events[2]: float(pool[1, 1])}),
+                LockAssignment(event_id=events[3], interval_id="t1"),
+                SetIntervalCapacity(interval_id="t0", capacity=2),
+            ]
+        )
+        for algorithm in ALGORITHMS:
+            assert_resolve_matches_cold(session, 5, algorithm, 5)
+
+
+class TestStructuralMutations:
+    """Add/remove events keep the cached grid aligned with the instance."""
+
+    def test_add_then_resolve_matches_cold(self):
+        instance = make_random_instance(seed=21, num_users=40, num_events=9, num_intervals=4)
+        session = SchedulingSession(instance, seed=21, execution=EXECUTION)
+        pool = interest_pool(40)
+        session.resolve(5)
+        session.apply(
+            [
+                AddEvent(
+                    event=Event(id="x0", location="loc1", required_resources=1.0),
+                    interest=tuple(float(v) for v in pool[:, 3]),
+                )
+            ]
+        )
+        warm = assert_resolve_matches_cold(session, 5, "INC", 21)
+        assert warm.service["warm"] is True
+
+    def test_add_then_remove_restores_cold_schedule(self):
+        """Adding and removing an event must land back on the original result."""
+        instance = make_random_instance(seed=22, num_users=40, num_events=9, num_intervals=4)
+        session = SchedulingSession(instance, seed=22, execution=EXECUTION)
+        pool = interest_pool(40)
+        original = session.resolve(5)
+        session.apply(
+            [
+                AddEvent(
+                    event=Event(id="x0", location="loc0", required_resources=1.0),
+                    interest=tuple(float(v) for v in pool[:, 5]),
+                )
+            ]
+        )
+        session.resolve(5)
+        session.apply([RemoveEvent(event_id="x0")])
+        roundtrip = assert_resolve_matches_cold(session, 5, "INC", 22)
+        assert roundtrip.schedule.as_dict() == original.schedule.as_dict()
+        assert roundtrip.utility == original.utility
+
+
+class TestNonGridAlgorithms:
+    """RAND / EXACT resolve through the session with identical results."""
+
+    def test_rand_and_exact_match_cold(self):
+        instance = make_random_instance(
+            seed=7, num_users=20, num_events=5, num_intervals=2, num_competing=4
+        )
+        session = SchedulingSession(instance, seed=11, execution=EXECUTION)
+        events = [event.id for event in instance.events]
+        session.apply([LockAssignment(event_id=events[0], interval_id="t0")])
+        for algorithm in ("RAND", "EXACT"):
+            warm = session.resolve(2, algorithm=algorithm)
+            cold = cold_solve(session, 2, algorithm, 11)
+            assert warm.schedule.as_dict() == cold.schedule.as_dict()
+            assert warm.utility == cold.utility
+
+
+class TestAtomicityAndSavedWork:
+    def test_rejected_batch_leaves_session_unchanged(self):
+        instance = make_random_instance(seed=31, num_users=30, num_events=8, num_intervals=4)
+        session = SchedulingSession(instance, seed=31, execution=EXECUTION)
+        session.resolve(5)
+        before_status = session.status()
+        before_schedule = session.last_schedule()
+        users = [user.id for user in instance.users]
+        events = [event.id for event in instance.events]
+        with pytest.raises(MutationError):
+            session.apply(
+                [
+                    # Valid head, invalid tail: the whole batch must roll back.
+                    UpdateInterest(user_id=users[0], values={events[0]: 0.5}),
+                    RemoveEvent(event_id="no-such-event"),
+                ]
+            )
+        assert session.status() == before_status
+        assert session.last_schedule() == before_schedule
+        assert_resolve_matches_cold(session, 5, "INC", 31)
+
+    def test_warm_resolve_saves_work(self):
+        instance = make_random_instance(seed=41, num_users=50, num_events=12, num_intervals=5)
+        session = SchedulingSession(instance, seed=41, execution=EXECUTION)
+        first = session.resolve(6)
+        assert first.service["warm"] is False
+        assert first.service["scores_saved"] == 0
+        users = [user.id for user in instance.users]
+        events = [event.id for event in instance.events]
+        session.apply([UpdateInterest(user_id=users[0], values={events[0]: 0.5})])
+        second = assert_resolve_matches_cold(session, 6, "INC", 41)
+        assert second.service["warm"] is True
+        # One stale row out of twelve: most of the grid must be reused.
+        assert second.service["scores_saved"] > second.service["scores_recomputed"]
+        snapshot = session.stats.snapshot()
+        assert snapshot["resolves_total"] == 2
+        assert snapshot["warm_resolves"] == 1
+        assert snapshot["scores_saved"] == second.service["scores_saved"]
+        assert second.summary()["service"]["warm"] is True
